@@ -1,0 +1,45 @@
+//! The Instant-NeRF near-memory-processing accelerator model.
+//!
+//! Implements Sec. IV of the paper on top of the [`inerf_dram`] timing
+//! simulator:
+//!
+//! * [`config`] — Tab. III microarchitecture parameters (200 MHz, 256 INT32
+//!   + 256 FP32 PEs and 2 KB scratchpad per bank, 3.6 mm² / 596.3 mW from
+//!   the paper's post-layout results, taken as calibrated constants — see
+//!   DESIGN.md).
+//! * [`mapping`] — the hash-table mapping scheme: intra-level spreading of
+//!   sequential rows across subarrays and inter-level clustering of levels
+//!   onto banks (Sec. IV-B), plus request-stream generation with the
+//!   row-buffer-sized `r0` register filter.
+//! * [`microarch`] — per-bank compute-time model for the PE arrays.
+//! * [`isa`] — the Fig. 8 microarchitecture at instruction level: a small
+//!   ISA, kernel program generators and an in-order execution model that
+//!   cross-validates the analytical cycle counts.
+//! * [`parallel`] — the heterogeneous inter-bank parallelism design
+//!   (Sec. IV-C): parameter parallelism for HT/HT_b, data parallelism for
+//!   MLP/MLP_b, and the four inter-bank data-movement categories of Fig. 10.
+//! * [`pipeline`] — end-to-end per-iteration and per-scene training
+//!   time/energy estimation (the Fig. 11 numbers).
+//!
+//! # Example
+//!
+//! ```
+//! use inerf_accel::{AccelConfig, mapping::{HashTableMapping, MappingScheme}};
+//!
+//! let accel = AccelConfig::paper();
+//! let mapping = HashTableMapping::paper(MappingScheme::Clustered, 8);
+//! assert_eq!(accel.banks, 16);
+//! assert!(mapping.bank_of_level(0) == mapping.bank_of_level(4)); // clustered coarse levels
+//! ```
+
+pub mod config;
+pub mod isa;
+pub mod mapping;
+pub mod microarch;
+pub mod parallel;
+pub mod pipeline;
+
+pub use config::AccelConfig;
+pub use mapping::{HashTableMapping, MappingScheme};
+pub use parallel::{MovementBreakdown, ParallelismKind, ParallelismPlan};
+pub use pipeline::{IterationEstimate, PipelineModel, StepTime};

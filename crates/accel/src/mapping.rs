@@ -1,0 +1,362 @@
+//! Hash-table-to-DRAM mapping (paper Sec. IV-B).
+//!
+//! Two composable decisions:
+//!
+//! * **Inter-level mapping** — which bank stores which level. The paper
+//!   clusters the cheap coarse levels (their conflict load is unbalanced —
+//!   Fig. 9) into groups `{0–4}`, `{5–8}`, `{9–10}` and gives every finer
+//!   level its own bank, balancing per-bank processing time.
+//! * **Intra-level mapping** — where a level's rows land inside its bank.
+//!   Spreading *sequential* row addresses round-robin across subarrays
+//!   converts the >50% of conflicts caused by sequential-address requests
+//!   into subarray-parallel accesses.
+
+use inerf_dram::{AccessKind, DramConfig, PhysAddr, Request};
+use inerf_encoding::requests::{row_of_entry, ENTRIES_PER_ROW};
+use inerf_encoding::LookupTrace;
+use serde::{Deserialize, Serialize};
+
+/// Inter-level bank-assignment policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MappingScheme {
+    /// The paper's scheme: coarse levels clustered ({0–4}, {5–8}, {9–10}),
+    /// fine levels one bank each.
+    Clustered,
+    /// Naive scheme for ablation: level `l` on bank `l % banks`.
+    OneLevelPerBank,
+    /// Naive scheme for ablation: sequential rows stay sequential within a
+    /// subarray (no intra-level spreading). Inter-level as `Clustered`.
+    ClusteredNoSpread,
+}
+
+/// Maps `(level, entry)` hash-table coordinates to physical DRAM addresses
+/// and generates request streams from lookup traces.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HashTableMapping {
+    scheme: MappingScheme,
+    /// `assignment[level]` = bank holding that level.
+    assignment: Vec<u32>,
+    /// Subarrays per bank used by the intra-level spread.
+    subarrays: u32,
+}
+
+impl HashTableMapping {
+    /// Builds the mapping for the paper's 16-level table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `subarrays == 0`.
+    pub fn paper(scheme: MappingScheme, subarrays: u32) -> Self {
+        Self::new(scheme, 16, 16, subarrays)
+    }
+
+    /// Builds a mapping for `levels` hash-table levels over `banks` banks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is zero.
+    pub fn new(scheme: MappingScheme, levels: u32, banks: u32, subarrays: u32) -> Self {
+        assert!(levels > 0 && banks > 0 && subarrays > 0, "mapping parameters must be positive");
+        let assignment = match scheme {
+            MappingScheme::OneLevelPerBank => (0..levels).map(|l| l % banks).collect(),
+            MappingScheme::Clustered | MappingScheme::ClusteredNoSpread => {
+                // Groups: {0..=4} {5..=8} {9..=10}, then one bank per level.
+                (0..levels)
+                    .map(|l| {
+                        let group = match l {
+                            0..=4 => 0,
+                            5..=8 => 1,
+                            9..=10 => 2,
+                            _ => 3 + (l - 11),
+                        };
+                        group % banks
+                    })
+                    .collect()
+            }
+        };
+        HashTableMapping { scheme, assignment, subarrays }
+    }
+
+    /// The active scheme.
+    pub fn scheme(&self) -> MappingScheme {
+        self.scheme
+    }
+
+    /// The bank storing `level`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` exceeds the configured level count.
+    pub fn bank_of_level(&self, level: u32) -> u32 {
+        self.assignment[level as usize]
+    }
+
+    /// Number of distinct banks used.
+    pub fn banks_used(&self) -> usize {
+        let mut b: Vec<u32> = self.assignment.clone();
+        b.sort_unstable();
+        b.dedup();
+        b.len()
+    }
+
+    /// Maps one table entry to its physical address.
+    ///
+    /// Levels sharing a bank partition its subarrays (each co-resident level
+    /// owns `S / co_resident` subarrays), so the interleaved per-point level
+    /// streams never fight over a subarray. Within a level's share, the
+    /// spread policy places sequential rows round-robin across its
+    /// subarrays; the no-spread ablation packs them sequentially instead.
+    pub fn map_entry(&self, level: u32, entry: u32, dram: &DramConfig) -> PhysAddr {
+        let bank = self.bank_of_level(level);
+        let co_resident =
+            self.assignment.iter().filter(|&&b| b == bank).count() as u32;
+        let stack_index = self.assignment[..level as usize]
+            .iter()
+            .filter(|&&b| b == bank)
+            .count() as u32;
+        let share = (self.subarrays / co_resident).max(1);
+        let sa_base = (stack_index * share) % self.subarrays;
+        let rows_per_level = (1u32 << 19) / ENTRIES_PER_ROW; // paper table: 2^19 entries
+        let row_idx = row_of_entry(entry);
+        let (subarray, row) = match self.scheme {
+            MappingScheme::ClusteredNoSpread => {
+                // Sequential rows stay sequential inside one subarray.
+                (sa_base, stack_index * rows_per_level + row_idx)
+            }
+            _ => (
+                sa_base + row_idx % share,
+                // Distinct row region per co-resident level (subarray shares
+                // can overlap when co_resident > S).
+                stack_index * rows_per_level + row_idx / share,
+            ),
+        };
+        PhysAddr {
+            channel: bank / dram.banks_per_channel % dram.channels,
+            bank: bank % dram.banks_per_channel,
+            subarray: subarray % dram.subarrays_per_bank,
+            row: row % dram.rows_per_subarray,
+            col: (entry % ENTRIES_PER_ROW) * 4,
+        }
+    }
+
+    /// Generates the DRAM request stream of the HT step for a lookup trace.
+    ///
+    /// Mirrors the accelerator datapath: per level, a two-row `r0` register
+    /// pair retains the most recently streamed rows (a cube straddles at
+    /// most two rows under the Morton layout), so a request is emitted only
+    /// when a cube needs a row not already held; the per-level register
+    /// cache additionally skips cubes identical to the previous point's.
+    ///
+    /// `write_back` models HT_b: embedding gradients accumulate in the
+    /// scratchpad during the read sweep and drain as one batched write pass
+    /// over the touched rows afterwards (deduplicated), avoiding per-access
+    /// read/write turnarounds.
+    pub fn requests_for_trace(
+        &self,
+        trace: &LookupTrace,
+        dram: &DramConfig,
+        write_back: bool,
+    ) -> Vec<Request> {
+        let levels = self.assignment.len();
+        let mut last_cube: Vec<Option<u64>> = vec![None; levels];
+        // Two-entry LRU of (subarray, row) per level.
+        let mut r0: Vec<[Option<(u32, u32)>; 2]> = vec![[None; 2]; levels];
+        let mut out = Vec::new();
+        let mut touched: Vec<PhysAddr> = Vec::new();
+        let mut touched_keys: std::collections::HashSet<(u32, u32, u32)> =
+            std::collections::HashSet::new();
+        for cube in trace.cubes() {
+            let li = cube.level as usize;
+            if li >= levels {
+                continue;
+            }
+            if last_cube[li] == Some(cube.cube_id) {
+                continue; // register-cache hit: embeddings already loaded
+            }
+            last_cube[li] = Some(cube.cube_id);
+            // Distinct rows of the cube, filtered through the r0 pair.
+            let mut seen = [u32::MAX; 8];
+            let mut n = 0usize;
+            for &e in &cube.entries {
+                let r = row_of_entry(e);
+                if seen[..n].contains(&r) {
+                    continue;
+                }
+                seen[n] = r;
+                n += 1;
+                let addr = self.map_entry(cube.level, e, dram);
+                let key = (addr.subarray, addr.row);
+                if r0[li].contains(&Some(key)) {
+                    continue; // already resident in a row register
+                }
+                r0[li][1] = r0[li][0];
+                r0[li][0] = Some(key);
+                out.push(Request::new(addr, AccessKind::Read));
+                if write_back && touched_keys.insert((addr.bank, addr.subarray, addr.row)) {
+                    touched.push(addr);
+                }
+            }
+        }
+        if write_back {
+            // Batched gradient drain: one write per touched row, streamed
+            // row-major so consecutive writes round-robin the subarrays and
+            // the drain itself is conflict-light.
+            touched.sort_unstable_by_key(|a| (a.bank, a.row, a.subarray));
+            out.extend(touched.into_iter().map(|a| Request::new(a, AccessKind::Write)));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inerf_encoding::{HashFunction, HashGrid, HashGridConfig};
+    use inerf_geom::Vec3;
+
+    #[test]
+    fn clustered_assignment_matches_paper_groups() {
+        let m = HashTableMapping::paper(MappingScheme::Clustered, 8);
+        // Levels 0–4 share a bank.
+        for l in 1..=4 {
+            assert_eq!(m.bank_of_level(l), m.bank_of_level(0));
+        }
+        // Levels 5–8 share a different bank.
+        for l in 6..=8 {
+            assert_eq!(m.bank_of_level(l), m.bank_of_level(5));
+        }
+        assert_ne!(m.bank_of_level(0), m.bank_of_level(5));
+        // Levels 9–10 share.
+        assert_eq!(m.bank_of_level(9), m.bank_of_level(10));
+        // Levels 11..=15 each alone.
+        let fine: Vec<u32> = (11..16).map(|l| m.bank_of_level(l)).collect();
+        let mut dedup = fine.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 5, "fine levels must use distinct banks: {fine:?}");
+        // 3 groups + 5 singles = 8 banks.
+        assert_eq!(m.banks_used(), 8);
+    }
+
+    #[test]
+    fn one_level_per_bank_uses_all_banks() {
+        let m = HashTableMapping::paper(MappingScheme::OneLevelPerBank, 8);
+        assert_eq!(m.banks_used(), 16);
+    }
+
+    #[test]
+    fn map_entry_spreads_sequential_rows_over_subarrays() {
+        let m = HashTableMapping::paper(MappingScheme::Clustered, 8);
+        let dram = DramConfig::paper(8);
+        // Entries 0 and 256 are in consecutive rows → different subarrays.
+        let a = m.map_entry(12, 0, &dram);
+        let b = m.map_entry(12, ENTRIES_PER_ROW, &dram);
+        assert_eq!(a.bank, b.bank);
+        assert_ne!(
+            (a.subarray, a.row),
+            (b.subarray, b.row),
+            "sequential rows must not collide"
+        );
+        assert_ne!(a.subarray, b.subarray, "spread must change the subarray");
+    }
+
+    #[test]
+    fn no_spread_keeps_sequential_rows_in_one_subarray() {
+        let m = HashTableMapping::paper(MappingScheme::ClusteredNoSpread, 8);
+        let dram = DramConfig::paper(8);
+        let a = m.map_entry(12, 0, &dram);
+        let b = m.map_entry(12, ENTRIES_PER_ROW, &dram);
+        assert_eq!(a.subarray, b.subarray);
+        assert_eq!(b.row, a.row + 1);
+    }
+
+    #[test]
+    fn same_entry_same_address() {
+        let m = HashTableMapping::paper(MappingScheme::Clustered, 8);
+        let dram = DramConfig::paper(8);
+        assert_eq!(m.map_entry(7, 1234, &dram), m.map_entry(7, 1234, &dram));
+    }
+
+    #[test]
+    fn co_resident_levels_do_not_alias() {
+        // Levels 0 and 1 share a bank; identical entry indices must map to
+        // different rows (stacked level regions).
+        let m = HashTableMapping::paper(MappingScheme::Clustered, 8);
+        let dram = DramConfig::paper(8);
+        let a = m.map_entry(0, 0, &dram);
+        let b = m.map_entry(1, 0, &dram);
+        assert_eq!(a.bank, b.bank);
+        assert_ne!((a.subarray, a.row), (b.subarray, b.row));
+    }
+
+    fn ray_trace(grid: &HashGrid, rays: usize, samples: usize) -> LookupTrace {
+        let mut t = LookupTrace::new();
+        for r in 0..rays {
+            let y = 0.05 + 0.9 * r as f32 / rays as f32;
+            for s in 0..samples {
+                let x = (s as f32 + 0.5) / samples as f32;
+                t.push_point(&grid.cube_lookups(Vec3::new(x, y, 0.4)));
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn request_generation_filters_reuse() {
+        let grid = HashGrid::new(HashGridConfig::paper(HashFunction::Morton), 3);
+        let trace = ray_trace(&grid, 4, 64);
+        let m = HashTableMapping::paper(MappingScheme::Clustered, 8);
+        let dram = DramConfig::paper(8);
+        let reqs = m.requests_for_trace(&trace, &dram, false);
+        // Without any filtering there would be 4*64*16*8 = 32768 accesses;
+        // reuse must cut this by a large factor.
+        assert!(!reqs.is_empty());
+        assert!(
+            reqs.len() < 32768 / 4,
+            "r0/register filtering too weak: {} requests",
+            reqs.len()
+        );
+        assert!(reqs.iter().all(|r| r.kind == AccessKind::Read));
+    }
+
+    #[test]
+    fn write_back_appends_batched_drain() {
+        let grid = HashGrid::new(HashGridConfig::paper(HashFunction::Morton), 3);
+        let trace = ray_trace(&grid, 2, 32);
+        let m = HashTableMapping::paper(MappingScheme::Clustered, 8);
+        let dram = DramConfig::paper(8);
+        let rd = m.requests_for_trace(&trace, &dram, false);
+        let rw = m.requests_for_trace(&trace, &dram, true);
+        let writes: Vec<_> = rw.iter().filter(|r| r.kind == AccessKind::Write).collect();
+        // Reads are identical; writes cover each touched row exactly once.
+        assert_eq!(rw.len() - writes.len(), rd.len());
+        assert!(!writes.is_empty());
+        assert!(writes.len() <= rd.len(), "drain must be deduplicated");
+        let mut keys: Vec<_> =
+            writes.iter().map(|r| (r.addr.bank, r.addr.subarray, r.addr.row)).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), writes.len(), "each row written once");
+        // All writes come after all reads (scratchpad-accumulated drain).
+        let first_write = rw.iter().position(|r| r.kind == AccessKind::Write).unwrap();
+        assert!(rw[first_write..].iter().all(|r| r.kind == AccessKind::Write));
+    }
+
+    #[test]
+    fn morton_needs_fewer_requests_than_original_end_to_end() {
+        // The full co-design chain: Morton hashing produces fewer mapped DRAM
+        // requests than the original hash on the same point stream.
+        let mg = HashGrid::new(HashGridConfig::paper(HashFunction::Morton), 3);
+        let og = HashGrid::new(HashGridConfig::paper(HashFunction::Original), 3);
+        let m = HashTableMapping::paper(MappingScheme::Clustered, 8);
+        let dram = DramConfig::paper(8);
+        let rm = m.requests_for_trace(&ray_trace(&mg, 8, 64), &dram, false);
+        let ro = m.requests_for_trace(&ray_trace(&og, 8, 64), &dram, false);
+        assert!(
+            (rm.len() as f64) < 0.8 * ro.len() as f64,
+            "Morton {} vs original {}",
+            rm.len(),
+            ro.len()
+        );
+    }
+}

@@ -1,0 +1,116 @@
+//! Per-bank compute-time model of the Instant-NeRF microarchitecture.
+//!
+//! The compute engine (paper Fig. 8) has separate INT32 and FP32 PE groups.
+//! INT32 PEs execute the hash-index calculation; FP32 PEs the interpolation
+//! and MLP arithmetic. The 2 KB scratchpad cannot hold the MLP weights
+//! (~14 KB), so weight tiles stream from the local bank between GEMV tiles —
+//! modelled as a per-layer reload overhead.
+
+use crate::config::AccelConfig;
+use inerf_trainer::workload::{step_ops, Step};
+use inerf_trainer::ModelConfig;
+
+/// Compute cycles one bank needs to process `points` points of `step`.
+///
+/// PEs are throughput-1: one INT op or one FP MAC (2 FLOPs) per cycle. The
+/// INT and FP groups run concurrently, so the step's compute time is the
+/// maximum of the two pipelines.
+pub fn bank_compute_cycles(
+    accel: &AccelConfig,
+    model: &ModelConfig,
+    step: Step,
+    points: u64,
+) -> u64 {
+    let ops = step_ops(model, step);
+    let int_cycles = (ops.int_ops * points).div_ceil(accel.int_pes as u64);
+    let fp_cycles = (ops.fp_ops * points).div_ceil(2 * accel.fp_pes as u64);
+    let compute = int_cycles.max(fp_cycles);
+    compute + weight_reload_cycles(accel, model, step, points)
+}
+
+/// Extra cycles spent re-streaming MLP weight tiles that exceed the
+/// scratchpad. HT steps keep their working set (hash registers + one cube)
+/// on chip and pay nothing.
+fn weight_reload_cycles(
+    accel: &AccelConfig,
+    model: &ModelConfig,
+    step: Step,
+    points: u64,
+) -> u64 {
+    let weight_bytes = match step {
+        Step::MlpD | Step::MlpDB | Step::MlpC | Step::MlpCB => {
+            inerf_trainer::workload::mlp_param_bytes(model) / 2
+        }
+        Step::Ht | Step::HtB => return 0,
+    };
+    if weight_bytes <= accel.scratchpad_bytes as u64 {
+        return 0;
+    }
+    // Weight-stationary dataflow: each scratchpad-sized weight tile is
+    // loaded once per batch and the whole point stream flows through it
+    // (activation traffic is accounted in the DRAM model). The load streams
+    // at the 128-bit (16 B/cycle) internal width.
+    let _ = points;
+    weight_bytes.div_ceil(16)
+}
+
+/// Seconds for `cycles` accelerator cycles.
+pub fn cycles_to_seconds(accel: &AccelConfig, cycles: u64) -> f64 {
+    cycles as f64 * accel.cycle_seconds()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inerf_encoding::HashFunction;
+
+    fn setup() -> (AccelConfig, ModelConfig) {
+        (AccelConfig::paper(), ModelConfig::paper(HashFunction::Morton))
+    }
+
+    #[test]
+    fn compute_scales_linearly_with_points() {
+        let (a, m) = setup();
+        let one = bank_compute_cycles(&a, &m, Step::Ht, 1000);
+        let two = bank_compute_cycles(&a, &m, Step::Ht, 2000);
+        let ratio = two as f64 / one as f64;
+        assert!((ratio - 2.0).abs() < 0.05, "ratio {ratio}");
+    }
+
+    #[test]
+    fn ht_is_int_bound_mlp_is_fp_bound() {
+        let (a, m) = setup();
+        // HT with the Morton hash runs many INT ops per point; MLPs none.
+        let ht = step_ops(&m, Step::Ht);
+        assert!(ht.int_ops * 2 * a.fp_pes as u64 > ht.fp_ops * a.int_pes as u64);
+        let mlp = step_ops(&m, Step::MlpD);
+        assert_eq!(mlp.int_ops, 0);
+    }
+
+    #[test]
+    fn mlp_pays_weight_reload() {
+        let (a, m) = setup();
+        let mlp_ops = step_ops(&m, Step::MlpD);
+        let raw = (mlp_ops.fp_ops * 1000).div_ceil(2 * a.fp_pes as u64);
+        let with_reload = bank_compute_cycles(&a, &m, Step::MlpD, 1000);
+        assert!(with_reload > raw, "weights (~14 KB) exceed the 2 KB scratchpad");
+    }
+
+    #[test]
+    fn tiny_mlp_fits_scratchpad() {
+        let a = AccelConfig::paper();
+        let m = ModelConfig::tiny();
+        // Tiny config weights are small enough to fit in 2 KB.
+        if inerf_trainer::workload::mlp_param_bytes(&m) / 2 <= a.scratchpad_bytes as u64 {
+            let ops = step_ops(&m, Step::MlpD);
+            let raw = (ops.fp_ops * 500).div_ceil(2 * a.fp_pes as u64);
+            assert_eq!(bank_compute_cycles(&a, &m, Step::MlpD, 500), raw);
+        }
+    }
+
+    #[test]
+    fn seconds_conversion() {
+        let a = AccelConfig::paper();
+        assert!((cycles_to_seconds(&a, 200_000_000) - 1.0).abs() < 1e-9);
+    }
+}

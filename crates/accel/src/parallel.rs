@@ -1,0 +1,287 @@
+//! Heterogeneous inter-bank parallelism (paper Sec. IV-C, Fig. 10).
+//!
+//! Two classic options exist per step: *data parallelism* (duplicate
+//! parameters, split inputs) and *parameter parallelism* (split parameters,
+//! duplicate inputs). Inter-bank transfers are expensive (16-bit shared
+//! channel I/O), so the paper chooses per step whichever duplicates the
+//! *smaller* operand: parameter parallelism for HT/HT_b (the 25 MB table is
+//! split; the 3 MB inputs are duplicated) and data parallelism for MLP/MLP_b
+//! (the 0.014 MB weights are duplicated; the 16 MB activations are split).
+
+use crate::config::AccelConfig;
+use inerf_trainer::workload::{mlp_combined_sizes, step_sizes, Step};
+use inerf_trainer::ModelConfig;
+use serde::{Deserialize, Serialize};
+
+/// Inter-bank parallelization of one step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ParallelismKind {
+    /// Split inputs, duplicate parameters.
+    Data,
+    /// Split parameters, duplicate inputs.
+    Parameter,
+}
+
+/// The per-step parallelism choices of a full design.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ParallelismPlan {
+    /// HT forward.
+    pub ht: ParallelismKind,
+    /// MLP forward (MLPd → MLPc).
+    pub mlp: ParallelismKind,
+    /// MLP backward.
+    pub mlp_b: ParallelismKind,
+    /// HT backward.
+    pub ht_b: ParallelismKind,
+}
+
+impl ParallelismPlan {
+    /// The paper's heterogeneous plan.
+    pub const fn paper() -> Self {
+        ParallelismPlan {
+            ht: ParallelismKind::Parameter,
+            mlp: ParallelismKind::Data,
+            mlp_b: ParallelismKind::Data,
+            ht_b: ParallelismKind::Parameter,
+        }
+    }
+
+    /// Ablation: data parallelism everywhere (the table is duplicated!).
+    pub const fn all_data() -> Self {
+        ParallelismPlan {
+            ht: ParallelismKind::Data,
+            mlp: ParallelismKind::Data,
+            mlp_b: ParallelismKind::Data,
+            ht_b: ParallelismKind::Data,
+        }
+    }
+
+    /// Ablation: parameter parallelism everywhere (activations shuttle
+    /// between banks inside the MLP).
+    pub const fn all_parameter() -> Self {
+        ParallelismPlan {
+            ht: ParallelismKind::Parameter,
+            mlp: ParallelismKind::Parameter,
+            mlp_b: ParallelismKind::Parameter,
+            ht_b: ParallelismKind::Parameter,
+        }
+    }
+}
+
+/// Inter-bank traffic of one training iteration, split into the paper's
+/// four categories (Fig. 10).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct MovementBreakdown {
+    /// Category 1: parameter/data duplication for the chosen parallelism.
+    pub cat1_duplication: u64,
+    /// Category 2: input/output transfer between sequential steps.
+    pub cat2_sequential: u64,
+    /// Category 3: intermediate transfers within a single step.
+    pub cat3_intermediate: u64,
+    /// Category 4: parameter-gradient partial-sum transfers.
+    pub cat4_gradients: u64,
+}
+
+impl MovementBreakdown {
+    /// Total bytes moved between banks per iteration.
+    pub fn total(&self) -> u64 {
+        self.cat1_duplication + self.cat2_sequential + self.cat3_intermediate + self.cat4_gradients
+    }
+
+    /// Seconds to move this traffic over the inter-bank interconnect.
+    pub fn seconds(&self, accel: &AccelConfig) -> f64 {
+        self.total() as f64 / accel.interbank_bw_bytes_per_s
+    }
+}
+
+/// Computes the per-iteration inter-bank traffic of `plan` for a batch of
+/// `points` sampled points on `banks` banks.
+pub fn movement_bytes(
+    model: &ModelConfig,
+    plan: &ParallelismPlan,
+    points: u64,
+    banks: u64,
+) -> MovementBreakdown {
+    let ht = step_sizes(model, Step::Ht, points);
+    let mlp = mlp_combined_sizes(model, points);
+    let ht_b = step_sizes(model, Step::HtB, points);
+    let mut m = MovementBreakdown::default();
+
+    // Category 1 — duplication.
+    m.cat1_duplication += match plan.ht {
+        // Inputs (coordinates) broadcast to every table-holding bank.
+        ParallelismKind::Parameter => ht.input_bytes * (banks - 1),
+        // The whole hash table replicated per bank.
+        ParallelismKind::Data => ht.param_bytes * (banks - 1),
+    };
+    m.cat1_duplication += match plan.mlp {
+        ParallelismKind::Data => mlp.param_bytes * (banks - 1),
+        ParallelismKind::Parameter => mlp.input_bytes * (banks - 1),
+    };
+
+    // Category 2 — sequential-step transfers: HT output → MLP input when the
+    // layouts differ (parameter-parallel HT leaves per-level features on
+    // table banks; data-parallel MLP wants per-point partitions), and the
+    // mirrored transfer feeding HT_b.
+    let ht_to_mlp_differs = plan.ht != plan.mlp;
+    if ht_to_mlp_differs {
+        m.cat2_sequential += ht.output_bytes;
+    }
+    let mlpb_to_htb_differs = plan.mlp_b != plan.ht_b;
+    if mlpb_to_htb_differs {
+        m.cat2_sequential += ht_b.input_bytes;
+    }
+
+    // Category 3 — intra-step intermediates: parameter-parallel MLPs must
+    // move activations between banks at every layer boundary.
+    if plan.mlp == ParallelismKind::Parameter {
+        m.cat3_intermediate += mlp.intermediate_bytes;
+    }
+    if plan.mlp_b == ParallelismKind::Parameter {
+        m.cat3_intermediate += mlp.intermediate_bytes;
+    }
+
+    // Category 4 — gradient partial sums: data-parallel backward steps must
+    // all-reduce their parameter gradients.
+    if plan.mlp_b == ParallelismKind::Data {
+        m.cat4_gradients += mlp.param_bytes * (banks - 1);
+    }
+    if plan.ht_b == ParallelismKind::Data {
+        m.cat4_gradients += ht_b.param_bytes * (banks - 1);
+    }
+    m
+}
+
+/// Transfer-time-relevant bus traffic of one iteration, in bytes.
+///
+/// Unlike [`movement_bytes`] (which accounts the duplication *footprint*,
+/// the quantity the paper's Category table minimizes), this counts bytes
+/// crossing the die's shared I/O once per transfer: a broadcast reaches all
+/// banks in one bus pass, while a gradient all-reduce collects one partial
+/// per bank.
+pub fn bus_bytes(
+    model: &ModelConfig,
+    plan: &ParallelismPlan,
+    points: u64,
+    banks: u64,
+) -> u64 {
+    let ht = step_sizes(model, Step::Ht, points);
+    let mlp = mlp_combined_sizes(model, points);
+    let ht_b = step_sizes(model, Step::HtB, points);
+    let mut bytes = 0u64;
+    // Category 1 (broadcast once).
+    bytes += match plan.ht {
+        ParallelismKind::Parameter => ht.input_bytes,
+        ParallelismKind::Data => ht.param_bytes,
+    };
+    bytes += match plan.mlp {
+        ParallelismKind::Data => mlp.param_bytes,
+        ParallelismKind::Parameter => mlp.input_bytes,
+    };
+    // Category 2.
+    if plan.ht != plan.mlp {
+        bytes += ht.output_bytes;
+    }
+    if plan.mlp_b != plan.ht_b {
+        bytes += ht_b.input_bytes;
+    }
+    // Category 3.
+    if plan.mlp == ParallelismKind::Parameter {
+        bytes += mlp.intermediate_bytes;
+    }
+    if plan.mlp_b == ParallelismKind::Parameter {
+        bytes += mlp.intermediate_bytes;
+    }
+    // Category 4 (one partial per bank).
+    if plan.mlp_b == ParallelismKind::Data {
+        bytes += mlp.param_bytes * banks;
+    }
+    if plan.ht_b == ParallelismKind::Data {
+        bytes += ht_b.param_bytes * banks;
+    }
+    bytes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inerf_encoding::HashFunction;
+
+    const POINTS: u64 = 256 * 1024;
+    const BANKS: u64 = 16;
+
+    fn model() -> ModelConfig {
+        ModelConfig::paper(HashFunction::Morton)
+    }
+
+    #[test]
+    fn paper_plan_matches_fig10_categories() {
+        let m = movement_bytes(&model(), &ParallelismPlan::paper(), POINTS, BANKS);
+        // Fig. 10 table: HT duplicates data (yes), MLP duplicates params
+        // (yes), one sequential transfer each direction, no intermediates,
+        // gradients only for the small MLPs.
+        assert!(m.cat1_duplication > 0);
+        assert!(m.cat2_sequential > 0);
+        assert_eq!(m.cat3_intermediate, 0, "paper plan has no Category-3 traffic");
+        assert!(m.cat4_gradients > 0);
+        // Category 4 covers only the tiny MLP weights, not the 25 MB table.
+        let mlp_params = mlp_combined_sizes(&model(), POINTS).param_bytes;
+        assert_eq!(m.cat4_gradients, mlp_params * (BANKS - 1));
+    }
+
+    #[test]
+    fn paper_plan_beats_both_homogeneous_plans() {
+        // The central Sec. IV-C claim.
+        let paper = movement_bytes(&model(), &ParallelismPlan::paper(), POINTS, BANKS).total();
+        let all_data = movement_bytes(&model(), &ParallelismPlan::all_data(), POINTS, BANKS).total();
+        let all_param =
+            movement_bytes(&model(), &ParallelismPlan::all_parameter(), POINTS, BANKS).total();
+        assert!(
+            paper < all_data / 2,
+            "paper {paper} should be far below all-data {all_data} (table duplication)"
+        );
+        assert!(
+            paper < all_param,
+            "paper {paper} should beat all-parameter {all_param} (activation shuttling)"
+        );
+    }
+
+    #[test]
+    fn all_data_duplicates_the_table() {
+        let m = movement_bytes(&model(), &ParallelismPlan::all_data(), POINTS, BANKS);
+        let table = step_sizes(&model(), Step::Ht, POINTS).param_bytes;
+        assert!(m.cat1_duplication >= table * (BANKS - 1));
+    }
+
+    #[test]
+    fn all_parameter_moves_intermediates() {
+        let m = movement_bytes(&model(), &ParallelismPlan::all_parameter(), POINTS, BANKS);
+        assert!(m.cat3_intermediate > 0);
+        assert_eq!(m.cat4_gradients, 0, "parameter-parallel backward needs no all-reduce");
+    }
+
+    #[test]
+    fn bus_bytes_preserves_plan_ordering() {
+        let paper = bus_bytes(&model(), &ParallelismPlan::paper(), POINTS, BANKS);
+        let all_data = bus_bytes(&model(), &ParallelismPlan::all_data(), POINTS, BANKS);
+        let all_param = bus_bytes(&model(), &ParallelismPlan::all_parameter(), POINTS, BANKS);
+        assert!(paper < all_data, "paper {paper} vs all-data {all_data}");
+        assert!(paper < all_param, "paper {paper} vs all-param {all_param}");
+    }
+
+    #[test]
+    fn bus_bytes_smaller_than_footprint() {
+        let plan = ParallelismPlan::paper();
+        let bus = bus_bytes(&model(), &plan, POINTS, BANKS);
+        let footprint = movement_bytes(&model(), &plan, POINTS, BANKS).total();
+        assert!(bus < footprint, "broadcast counting must shrink traffic: {bus} vs {footprint}");
+    }
+
+    #[test]
+    fn movement_seconds_positive() {
+        let accel = AccelConfig::paper();
+        let m = movement_bytes(&model(), &ParallelismPlan::paper(), POINTS, BANKS);
+        assert!(m.seconds(&accel) > 0.0);
+        assert_eq!(m.total(), m.cat1_duplication + m.cat2_sequential + m.cat4_gradients);
+    }
+}

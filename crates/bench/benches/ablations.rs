@@ -1,0 +1,60 @@
+//! Ablation benches: isolate each co-design element of DESIGN.md §7 and
+//! report its contribution to the iteration time.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use inerf_accel::parallel::ParallelismPlan;
+use inerf_accel::{HashTableMapping, MappingScheme, PipelineModel};
+use inerf_bench::ray_first_trace;
+use inerf_encoding::{HashFunction, HashGrid};
+use inerf_trainer::ModelConfig;
+use std::hint::black_box;
+
+const BATCH: u64 = 256 * 1024;
+
+fn bench(c: &mut Criterion) {
+    let model = ModelConfig::paper(HashFunction::Morton);
+    let grid = HashGrid::new(model.grid, 7);
+    let (trace, n) = ray_first_trace(&grid, 8, 128);
+
+    let model_org = ModelConfig::paper(HashFunction::Original);
+    let grid_org = HashGrid::new(model_org.grid, 7);
+    let (trace_org, n_org) = ray_first_trace(&grid_org, 8, 128);
+
+    println!("\nAblation table (pipelined ms/iteration, 256K-point batch):");
+    let base = PipelineModel::paper(model.clone()).estimate_iteration(&trace, n, BATCH);
+    println!("  full design point             {:8.3}", base.pipelined_seconds * 1e3);
+    let no_morton =
+        PipelineModel::paper(model_org).estimate_iteration(&trace_org, n_org, BATCH);
+    println!("  - Morton hash                 {:8.3}", no_morton.pipelined_seconds * 1e3);
+    let no_spread = PipelineModel::paper(model.clone())
+        .with_mapping(HashTableMapping::paper(MappingScheme::ClusteredNoSpread, 32), 32)
+        .estimate_iteration(&trace, n, BATCH);
+    println!("  - subarray spreading          {:8.3}", no_spread.pipelined_seconds * 1e3);
+    let no_cluster = PipelineModel::paper(model.clone())
+        .with_mapping(HashTableMapping::paper(MappingScheme::OneLevelPerBank, 32), 32)
+        .estimate_iteration(&trace, n, BATCH);
+    println!("  - inter-level clustering      {:8.3}", no_cluster.pipelined_seconds * 1e3);
+    let all_data = PipelineModel::paper(model.clone())
+        .with_plan(ParallelismPlan::all_data())
+        .estimate_iteration(&trace, n, BATCH);
+    println!("  - heterogeneous parallelism   {:8.3}", all_data.pipelined_seconds * 1e3);
+    println!("  - stage pipelining            {:8.3}\n", base.serial_seconds * 1e3);
+
+    let mut group = c.benchmark_group("ablations/subarray_sweep");
+    group.sample_size(10);
+    for sa in [1u32, 8, 32, 64] {
+        let pm = PipelineModel::paper(model.clone())
+            .with_mapping(HashTableMapping::paper(MappingScheme::Clustered, sa), sa);
+        group.bench_function(format!("{sa}_subarrays"), |b| {
+            b.iter(|| pm.estimate_iteration(black_box(&trace), n, BATCH))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Fig. 11: per-scene speedup and energy efficiency over the edge GPUs —
+//! the paper's headline result — plus the pipeline-estimation kernel.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use inerf_accel::PipelineModel;
+use inerf_bench::ray_first_trace;
+use inerf_encoding::{HashFunction, HashGrid};
+use inerf_scenes::SceneKind;
+use inerf_trainer::ModelConfig;
+use instant_nerf::experiments::fig11;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let rows = fig11::run(&SceneKind::ALL, 1024, 128, 7);
+    println!("\n{}", fig11::render(&rows));
+    let lo = rows.iter().map(|r| r.speedup_xnx).fold(f64::MAX, f64::min);
+    let hi = rows.iter().map(|r| r.speedup_xnx).fold(0.0f64, f64::max);
+    println!("XNX speedup range {lo:.1}x-{hi:.1}x (paper 22.0x-49.3x)");
+    let lo = rows.iter().map(|r| r.energy_gain_xnx).fold(f64::MAX, f64::min);
+    let hi = rows.iter().map(|r| r.energy_gain_xnx).fold(0.0f64, f64::max);
+    println!("XNX energy-gain range {lo:.1}x-{hi:.1}x (paper 46.4x-103.7x)\n");
+
+    let model = ModelConfig::paper(HashFunction::Morton);
+    let grid = HashGrid::new(model.grid, 7);
+    let (trace, n) = ray_first_trace(&grid, 8, 128);
+    let pipeline = PipelineModel::paper(model);
+    c.bench_function("fig11/iteration_estimate_1k_points", |b| {
+        b.iter(|| pipeline.estimate_iteration(black_box(&trace), n, 256 * 1024))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

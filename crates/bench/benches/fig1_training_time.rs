@@ -1,0 +1,34 @@
+//! Fig. 1: training time per device and its breakdown.
+//!
+//! Prints the reproduced figure, then benchmarks the GPU cost model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use inerf_encoding::HashFunction;
+use inerf_gpu::{GpuSpec, TrainingCost};
+use inerf_trainer::ModelConfig;
+use instant_nerf::experiments::fig1;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    println!("\n{}", fig1::render(&fig1::run()));
+    let model = ModelConfig::paper(HashFunction::Original);
+    let spec = GpuSpec::xnx();
+    c.bench_function("fig1/gpu_cost_model", |b| {
+        b.iter(|| {
+            TrainingCost::estimate(
+                black_box(&spec),
+                black_box(&model),
+                256 * 1024,
+                35_000,
+                1.0,
+            )
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

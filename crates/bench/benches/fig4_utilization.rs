@@ -1,0 +1,17 @@
+//! Fig. 4: DRAM throughput / ALU utilization of the bottleneck kernels.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use instant_nerf::experiments::fig4;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    println!("\n{}", fig4::render(&fig4::run()));
+    c.bench_function("fig4/utilization_model", |b| b.iter(|| black_box(fig4::run())));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

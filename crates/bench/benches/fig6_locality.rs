@@ -1,0 +1,36 @@
+//! Fig. 6: index-distance histograms and the requests-per-cube statistic,
+//! plus raw hash-function throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use inerf_encoding::HashFunction;
+use inerf_geom::grid::GridCoord;
+use instant_nerf::experiments::fig6;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    println!("\n{}", fig6::render(&fig6::run(2048, 7)));
+    let mut group = c.benchmark_group("fig6/hash_function");
+    for hash in [HashFunction::Original, HashFunction::Morton] {
+        group.bench_function(hash.label(), |b| {
+            b.iter(|| {
+                let mut acc = 0u32;
+                for i in 0..1000u32 {
+                    let v = GridCoord::new(i, i.wrapping_mul(7), i.wrapping_mul(13));
+                    acc ^= hash.index(black_box(v), 1 << 19);
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+    c.bench_function("fig6/histogram_2048_points", |b| {
+        b.iter(|| black_box(fig6::run(2048, 7)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Fig. 7: cube sharing and effective-bandwidth improvement, plus the
+//! register-cache replay kernel.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use inerf_bench::ray_first_trace;
+use inerf_encoding::requests::replay_with_register_cache;
+use inerf_encoding::{HashFunction, HashGrid, HashGridConfig};
+use instant_nerf::experiments::fig7;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    println!("\n{}", fig7::render(&fig7::run(64, 128, 7)));
+    let grid = HashGrid::new(HashGridConfig::paper(HashFunction::Morton), 7);
+    let (trace, _) = ray_first_trace(&grid, 16, 128);
+    c.bench_function("fig7/register_cache_replay", |b| {
+        b.iter(|| replay_with_register_cache(black_box(&trace), 16))
+    });
+    c.bench_function("fig7/trace_generation_2k_points", |b| {
+        b.iter(|| ray_first_trace(black_box(&grid), 16, 128))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Fig. 9: bank conflicts vs subarray count, plus raw DRAM-simulator
+//! throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use inerf_accel::{AccelConfig, HashTableMapping, MappingScheme};
+use inerf_bench::ray_first_trace;
+use inerf_dram::DramSim;
+use inerf_encoding::{HashFunction, HashGrid, HashGridConfig};
+use instant_nerf::experiments::fig9;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    println!("\n{}", fig9::render(&fig9::run(16, 96, 7)));
+    let grid = HashGrid::new(HashGridConfig::paper(HashFunction::Morton), 7);
+    let (trace, _) = ray_first_trace(&grid, 8, 96);
+    let accel = AccelConfig::paper();
+    let mut group = c.benchmark_group("fig9/dram_replay");
+    for sa in [1u32, 8, 64] {
+        let dram = accel.nmp_dram(sa);
+        let mapping = HashTableMapping::paper(MappingScheme::Clustered, sa);
+        let reqs = mapping.requests_for_trace(&trace, &dram, false);
+        group.bench_function(format!("{sa}_subarrays_{}_reqs", reqs.len()), |b| {
+            b.iter(|| DramSim::new(dram).run(black_box(&reqs)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

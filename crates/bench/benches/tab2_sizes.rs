@@ -1,0 +1,30 @@
+//! Tabs. I–III: specifications and workload sizing.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use inerf_encoding::HashFunction;
+use inerf_trainer::workload::{step_sizes, Step};
+use inerf_trainer::ModelConfig;
+use instant_nerf::experiments::tables;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    println!("\n{}", tables::tab1());
+    println!("{}", tables::tab2());
+    println!("{}", tables::tab3());
+    let model = ModelConfig::paper(HashFunction::Morton);
+    c.bench_function("tab2/workload_sizing", |b| {
+        b.iter(|| {
+            Step::ALL
+                .iter()
+                .map(|&s| step_sizes(black_box(&model), s, 256 * 1024).param_bytes)
+                .sum::<u64>()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Tab. IV: PSNR of the five algorithms. Prints a quick-budget table over
+//! a scene subset and benchmarks a single training iteration per method.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use inerf_encoding::HashFunction;
+use inerf_scenes::{zoo, DatasetConfig, SceneKind};
+use inerf_trainer::baselines::{FastNerfLite, NerfLite, TensorfLite};
+use inerf_trainer::{IngpModel, ModelConfig, TrainConfig, TrainableField, Trainer};
+use instant_nerf::experiments::psnr::{self, PsnrBudget};
+
+fn bench(c: &mut Criterion) {
+    let scenes = [SceneKind::Chair, SceneKind::Lego, SceneKind::Mic];
+    let rows = psnr::run(&PsnrBudget::quick(), &scenes, 42);
+    println!("\n{}", psnr::render(&rows, &scenes));
+    println!("(quick budget; run `cargo run --release --example psnr_table full` for the recorded numbers)\n");
+
+    let dataset = DatasetConfig::tiny().generate(&zoo::scene(SceneKind::Lego));
+    let mut group = c.benchmark_group("tab4/train_iteration");
+    group.sample_size(10);
+
+    fn iter_time<M: TrainableField + Clone>(model: M) -> impl FnMut(&mut criterion::Bencher<'_>, &inerf_scenes::Dataset) {
+        move |b, ds| {
+            let mut trainer = Trainer::new(model.clone(), TrainConfig::tiny(), 7);
+            b.iter(|| trainer.train_step(ds));
+        }
+    }
+
+    group.bench_with_input("ingp_morton", &dataset, iter_time(IngpModel::new(ModelConfig::tiny(), 1)));
+    group.bench_with_input(
+        "ingp_original",
+        &dataset,
+        iter_time(IngpModel::new(
+            {
+                let mut cfg = ModelConfig::tiny();
+                cfg.grid.hash = HashFunction::Original;
+                cfg
+            },
+            1,
+        )),
+    );
+    group.bench_with_input("nerf_lite", &dataset, iter_time(NerfLite::new(4, 16, 1)));
+    group.bench_with_input("tensorf_lite", &dataset, iter_time(TensorfLite::new(16, 4, 16, 1)));
+    group.bench_with_input("fastnerf_lite", &dataset, iter_time(FastNerfLite::new(4, 16, 4, 1)));
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,179 @@
+//! DRAM organization and timing configuration (paper Tab. III).
+
+use crate::address::PhysAddr;
+use serde::{Deserialize, Serialize};
+
+/// Timing constraints in DRAM command-clock cycles.
+///
+/// Values follow Tab. III of the paper (LPDDR4-2400):
+/// `tCL-tRCD-tRPpb = 4-4-6`, `tRAS = 9`, `tCCD = 8`, `tRRD = 2`, `tFAW = 9`,
+/// `tWR = 6`, `tRA = 2`, `tWA = 7`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Timing {
+    /// CAS (read) latency.
+    pub cl: u64,
+    /// ACT → RD/WR delay.
+    pub rcd: u64,
+    /// Per-bank precharge latency.
+    pub rp: u64,
+    /// Minimum row-open time (ACT → PRE).
+    pub ras: u64,
+    /// Column-to-column delay (back-to-back bursts on one bank).
+    pub ccd: u64,
+    /// ACT → ACT to different banks of the same rank.
+    pub rrd: u64,
+    /// Four-activate window.
+    pub faw: u64,
+    /// Write recovery (last write data → PRE).
+    pub wr: u64,
+    /// Read-to-any-command turnaround.
+    pub ra: u64,
+    /// Write-to-any-command turnaround.
+    pub wa: u64,
+}
+
+impl Timing {
+    /// Tab. III LPDDR4-2400 timing set.
+    pub const fn lpddr4_2400() -> Self {
+        Timing { cl: 4, rcd: 4, rp: 6, ras: 9, ccd: 8, rrd: 2, faw: 9, wr: 6, ra: 2, wa: 7 }
+    }
+}
+
+/// Full DRAM organization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DramConfig {
+    /// Independent channels.
+    pub channels: u32,
+    /// Banks per chip (LPDDR4: 16 physical banks).
+    pub banks_per_channel: u32,
+    /// Subarrays per bank (the Fig. 9 sweep parameter: 1–64).
+    pub subarrays_per_bank: u32,
+    /// Rows per subarray.
+    pub rows_per_subarray: u32,
+    /// Row-buffer (page) size in bytes.
+    pub row_bytes: u32,
+    /// Timing constraints.
+    pub timing: Timing,
+    /// Command-clock frequency in MHz (LPDDR4-2400: 1200 MHz clock).
+    pub clock_mhz: u32,
+    /// Whether request data crosses the shared channel I/O bus (true for a
+    /// host processor; false for near-bank NMP compute, which consumes data
+    /// locally at the bank).
+    pub use_channel_bus: bool,
+    /// Data-bus burst occupancy in cycles (BL16 on a 16-bit channel).
+    pub burst_cycles: u64,
+}
+
+impl DramConfig {
+    /// The paper's configuration: 8 channels, 16 banks/channel, 1 KB rows,
+    /// LPDDR4-2400 timing, with `subarrays` per bank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `subarrays` is 0 or not a power of two.
+    pub fn paper(subarrays: u32) -> Self {
+        assert!(subarrays > 0 && subarrays.is_power_of_two(), "subarrays must be a power of two");
+        DramConfig {
+            channels: 8,
+            banks_per_channel: 16,
+            subarrays_per_bank: subarrays,
+            // 16 GB total / (8 ch × 16 banks) = 128 MB per bank.
+            rows_per_subarray: (128 * 1024) / subarrays, // 128 MB / 1 KB rows
+            row_bytes: 1024,
+            timing: Timing::lpddr4_2400(),
+            clock_mhz: 1200,
+            use_channel_bus: false,
+            burst_cycles: 8,
+        }
+    }
+
+    /// A host-style configuration where data crosses the channel bus.
+    pub fn paper_host(subarrays: u32) -> Self {
+        DramConfig { use_channel_bus: true, ..Self::paper(subarrays) }
+    }
+
+    /// Total banks across all channels.
+    pub const fn total_banks(&self) -> u32 {
+        self.channels * self.banks_per_channel
+    }
+
+    /// Per-bank capacity in bytes.
+    pub const fn bank_bytes(&self) -> u64 {
+        self.subarrays_per_bank as u64 * self.rows_per_subarray as u64 * self.row_bytes as u64
+    }
+
+    /// Builds a physical address from components.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any component exceeds the configured organization.
+    pub fn address(&self, channel: u32, bank: u32, subarray: u32, row: u32, col: u32) -> PhysAddr {
+        assert!(channel < self.channels, "channel {channel} out of range");
+        assert!(bank < self.banks_per_channel, "bank {bank} out of range");
+        assert!(subarray < self.subarrays_per_bank, "subarray {subarray} out of range");
+        assert!(row < self.rows_per_subarray, "row {row} out of range");
+        assert!(col < self.row_bytes, "column {col} out of range");
+        PhysAddr { channel, bank, subarray, row, col }
+    }
+
+    /// Seconds per command-clock cycle.
+    pub fn cycle_seconds(&self) -> f64 {
+        1.0 / (self.clock_mhz as f64 * 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_timing_values() {
+        let t = Timing::lpddr4_2400();
+        assert_eq!((t.cl, t.rcd, t.rp), (4, 4, 6));
+        assert_eq!(t.ras, 9);
+        assert_eq!(t.ccd, 8);
+        assert_eq!(t.faw, 9);
+    }
+
+    #[test]
+    fn paper_capacity_is_16gb() {
+        let c = DramConfig::paper(8);
+        let total = c.bank_bytes() * c.total_banks() as u64;
+        assert_eq!(total, 16 * 1024 * 1024 * 1024, "Tab. III says 16 GB total");
+    }
+
+    #[test]
+    fn bank_capacity_independent_of_subarrays() {
+        for s in [1u32, 2, 4, 8, 16, 32, 64] {
+            let c = DramConfig::paper(s);
+            assert_eq!(c.bank_bytes(), 128 * 1024 * 1024, "128 MB per bank at {s} subarrays");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_subarrays_rejected() {
+        let _ = DramConfig::paper(3);
+    }
+
+    #[test]
+    fn address_validation() {
+        let c = DramConfig::paper(4);
+        let a = c.address(7, 15, 3, 100, 1023);
+        assert_eq!(a.channel, 7);
+        assert_eq!(a.col, 1023);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_address_panics() {
+        let c = DramConfig::paper(4);
+        let _ = c.address(8, 0, 0, 0, 0);
+    }
+
+    #[test]
+    fn cycle_time_matches_clock() {
+        let c = DramConfig::paper(1);
+        assert!((c.cycle_seconds() - 1.0 / 1.2e9).abs() < 1e-15);
+    }
+}

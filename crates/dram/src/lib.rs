@@ -1,0 +1,38 @@
+//! A cycle-level LPDDR4 DRAM timing simulator.
+//!
+//! Models the organization of paper Fig. 5 and the timing parameters of
+//! Tab. III: channels → ranks → chips of 16 banks, each bank split into
+//! subarrays with local row buffers (subarray-level parallelism, SALP
+//! [Kim et al., ISCA'12]). The simulator replays a request stream and
+//! reports cycles, row-buffer outcomes, bank conflicts and energy.
+//!
+//! The model is deliberately Ramulator-like in scope (per-command timing
+//! constraints enforced at the bank/rank level) while remaining deterministic
+//! and dependency-free; see DESIGN.md for the substitution rationale.
+//!
+//! # Example
+//!
+//! ```
+//! use inerf_dram::{DramConfig, DramSim, Request, AccessKind};
+//!
+//! let config = DramConfig::paper(8); // 8 subarrays per bank
+//! let mut sim = DramSim::new(config);
+//! let addr = config.address(0, 0, 0, 42, 0); // channel, bank, subarray, row, col
+//! let stats = sim.run(&[Request::new(addr, AccessKind::Read)]);
+//! assert_eq!(stats.row_misses, 1); // first touch always opens the row
+//! ```
+
+pub mod address;
+pub mod bank;
+pub mod config;
+pub mod energy;
+pub mod request;
+pub mod sim;
+pub mod stats;
+
+pub use address::PhysAddr;
+pub use config::{DramConfig, Timing};
+pub use energy::EnergyModel;
+pub use request::{AccessKind, Request};
+pub use sim::DramSim;
+pub use stats::SimStats;

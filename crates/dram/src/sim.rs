@@ -1,0 +1,318 @@
+//! The request-stream simulator.
+
+use crate::bank::{BankTimeline, CommandKind, CommandRecord, RankActTracker, RowOutcome};
+use crate::config::DramConfig;
+use crate::energy::EnergyModel;
+use crate::request::{AccessKind, Request};
+use crate::stats::SimStats;
+
+/// Replays request streams against the configured DRAM, bank by bank, and
+/// aggregates timing/energy statistics.
+///
+/// Requests to the same bank are served in order (FCFS per bank — the
+/// accelerator's deterministic streaming makes reordering unnecessary);
+/// different banks and channels proceed in parallel subject to the rank
+/// ACT constraints (tRRD, tFAW) and, optionally, the shared channel data
+/// bus.
+#[derive(Debug, Clone)]
+pub struct DramSim {
+    config: DramConfig,
+    energy: EnergyModel,
+    banks: Vec<BankTimeline>,
+    rank_acts: Vec<RankActTracker>,
+    channel_bus_free: Vec<u64>,
+    log: Vec<CommandRecord>,
+    keep_log: bool,
+}
+
+impl DramSim {
+    /// Creates a simulator with the default LPDDR4 energy model.
+    pub fn new(config: DramConfig) -> Self {
+        DramSim {
+            banks: (0..config.total_banks())
+                .map(|_| BankTimeline::new(config.subarrays_per_bank))
+                .collect(),
+            rank_acts: (0..config.channels).map(|_| RankActTracker::new()).collect(),
+            channel_bus_free: vec![0; config.channels as usize],
+            energy: EnergyModel::lpddr4(),
+            config,
+            log: Vec::new(),
+            keep_log: false,
+        }
+    }
+
+    /// Enables the per-command log (used by protocol-legality tests).
+    pub fn with_command_log(mut self) -> Self {
+        self.keep_log = true;
+        self
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &DramConfig {
+        &self.config
+    }
+
+    /// The issued-command log (empty unless [`DramSim::with_command_log`]).
+    pub fn command_log(&self) -> &[CommandRecord] {
+        &self.log
+    }
+
+    /// Resets all bank/bus state (keeps configuration).
+    pub fn reset(&mut self) {
+        *self = if self.keep_log {
+            DramSim::new(self.config).with_command_log()
+        } else {
+            DramSim::new(self.config)
+        };
+    }
+
+    /// Replays `requests` and returns aggregate statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any address lies outside the configured organization.
+    pub fn run(&mut self, requests: &[Request]) -> SimStats {
+        let mut stats = SimStats { requests: requests.len() as u64, ..Default::default() };
+        let mut makespan = 0u64;
+        let mut io_bursts = 0u64;
+        for req in requests {
+            let a = req.addr;
+            assert!(a.channel < self.config.channels, "address channel out of range");
+            assert!(a.bank < self.config.banks_per_channel, "address bank out of range");
+            assert!(a.subarray < self.config.subarrays_per_bank, "address subarray out of range");
+            let gb = a.global_bank(self.config.banks_per_channel) as usize;
+            let rank_ok = self.rank_acts[a.channel as usize].earliest(&self.config.timing);
+            let is_write = req.kind == AccessKind::Write;
+            let served = self.banks[gb].serve(
+                a.subarray,
+                a.row,
+                is_write,
+                req.arrival,
+                rank_ok,
+                &self.config.timing,
+                &self.config,
+            );
+            match served.outcome {
+                RowOutcome::Hit => stats.row_hits += 1,
+                RowOutcome::Miss => stats.row_misses += 1,
+                // A conflict that did not stall behaves like a miss whose
+                // precharge was hidden in idle time; Fig. 9 counts stalls.
+                RowOutcome::Conflict if served.stalled => stats.bank_conflicts += 1,
+                RowOutcome::Conflict => stats.row_misses += 1,
+            }
+            if let Some(t) = served.pre_at {
+                stats.pres += 1;
+                self.record(t, CommandKind::Pre, gb as u32, a.subarray, 0);
+            }
+            if let Some(t) = served.act_at {
+                stats.acts += 1;
+                self.rank_acts[a.channel as usize].record(t);
+                self.record(t, CommandKind::Act, gb as u32, a.subarray, a.row);
+            }
+            if is_write {
+                stats.writes += 1;
+                self.record(served.col_at, CommandKind::Write, gb as u32, a.subarray, a.row);
+            } else {
+                stats.reads += 1;
+                self.record(served.col_at, CommandKind::Read, gb as u32, a.subarray, a.row);
+            }
+            let mut done = served.data_done;
+            if self.config.use_channel_bus {
+                // Data must also cross the shared channel I/O bus.
+                let bus = &mut self.channel_bus_free[a.channel as usize];
+                let start = done.max(*bus);
+                *bus = start + self.config.burst_cycles;
+                done = start + self.config.burst_cycles;
+                io_bursts += 1;
+            }
+            makespan = makespan.max(done);
+        }
+        stats.total_cycles = makespan;
+        stats.energy_pj = self.energy.total_pj(
+            &stats,
+            io_bursts,
+            self.config.total_banks(),
+            self.config.cycle_seconds(),
+        );
+        stats
+    }
+
+    fn record(&mut self, cycle: u64, kind: CommandKind, bank: u32, subarray: u32, row: u32) {
+        if self.keep_log {
+            self.log.push(CommandRecord { cycle, kind, bank, subarray, row });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn req(cfg: &DramConfig, ch: u32, bank: u32, sa: u32, row: u32) -> Request {
+        Request::new(cfg.address(ch, bank, sa, row, 0), AccessKind::Read)
+    }
+
+    #[test]
+    fn sequential_same_row_hits() {
+        let cfg = DramConfig::paper(8);
+        let mut sim = DramSim::new(cfg);
+        let reqs: Vec<Request> = (0..10).map(|_| req(&cfg, 0, 0, 0, 7)).collect();
+        let stats = sim.run(&reqs);
+        assert_eq!(stats.row_misses, 1);
+        assert_eq!(stats.row_hits, 9);
+        assert_eq!(stats.bank_conflicts, 0);
+    }
+
+    #[test]
+    fn alternating_rows_conflict_without_salp() {
+        let cfg = DramConfig::paper(1);
+        let mut sim = DramSim::new(cfg);
+        let reqs: Vec<Request> = (0..10).map(|i| req(&cfg, 0, 0, 0, i % 2)).collect();
+        let stats = sim.run(&reqs);
+        assert_eq!(stats.row_misses, 1);
+        assert_eq!(stats.bank_conflicts, 9);
+    }
+
+    #[test]
+    fn salp_eliminates_alternating_conflicts() {
+        let cfg = DramConfig::paper(2);
+        let mut sim = DramSim::new(cfg);
+        // Same alternation, but the mapping spreads rows over 2 subarrays.
+        let reqs: Vec<Request> = (0..10).map(|i| req(&cfg, 0, 0, i % 2, i % 2)).collect();
+        let stats = sim.run(&reqs);
+        assert_eq!(stats.bank_conflicts, 0);
+        assert_eq!(stats.row_misses, 2);
+        assert_eq!(stats.row_hits, 8);
+    }
+
+    #[test]
+    fn more_banks_reduce_makespan() {
+        let cfg = DramConfig::paper(8);
+        let mut sim = DramSim::new(cfg);
+        // 64 requests all to one bank...
+        let serial: Vec<Request> = (0..64).map(|i| req(&cfg, 0, 0, 0, i)).collect();
+        let t_serial = sim.run(&serial).total_cycles;
+        sim.reset();
+        // ...vs spread over 16 banks.
+        let parallel: Vec<Request> = (0..64).map(|i| req(&cfg, 0, i % 16, 0, i)).collect();
+        let t_parallel = sim.run(&parallel).total_cycles;
+        assert!(
+            t_parallel < t_serial / 2,
+            "bank parallelism should help: {t_parallel} vs {t_serial}"
+        );
+    }
+
+    #[test]
+    fn channel_bus_serializes_host_traffic() {
+        let near = DramConfig::paper(8);
+        let host = DramConfig::paper_host(8);
+        let reqs: Vec<Request> = (0..64).map(|i| req(&near, 0, i % 16, 0, 3)).collect();
+        let t_near = DramSim::new(near).run(&reqs).total_cycles;
+        let reqs_host: Vec<Request> = (0..64).map(|i| req(&host, 0, i % 16, 0, 3)).collect();
+        let t_host = DramSim::new(host).run(&reqs_host).total_cycles;
+        assert!(t_host > t_near, "host bus contention must slow things: {t_host} vs {t_near}");
+    }
+
+    #[test]
+    fn energy_increases_with_conflicts() {
+        let cfg = DramConfig::paper(1);
+        let mut sim = DramSim::new(cfg);
+        let hits: Vec<Request> = (0..32).map(|_| req(&cfg, 0, 0, 0, 1)).collect();
+        let e_hits = sim.run(&hits).energy_pj;
+        sim.reset();
+        let conflicts: Vec<Request> = (0..32).map(|i| req(&cfg, 0, 0, 0, i % 2)).collect();
+        let e_conf = sim.run(&conflicts).energy_pj;
+        assert!(e_conf > e_hits, "conflicts burn ACT/PRE energy: {e_conf} vs {e_hits}");
+    }
+
+    /// Protocol legality on random workloads, checked from the command log.
+    fn check_protocol(cfg: DramConfig, reqs: &[Request]) {
+        let mut sim = DramSim::new(cfg).with_command_log();
+        let _ = sim.run(reqs);
+        let log = sim.command_log();
+        let t = cfg.timing;
+        // (1) ACT-to-ACT spacing within a channel respects tRRD; any 5
+        // consecutive ACTs span more than tFAW.
+        let banks_per_ch = cfg.banks_per_channel;
+        for ch in 0..cfg.channels {
+            let acts: Vec<u64> = log
+                .iter()
+                .filter(|c| c.kind == CommandKind::Act && c.bank / banks_per_ch == ch)
+                .map(|c| c.cycle)
+                .collect();
+            let mut sorted = acts.clone();
+            sorted.sort_unstable();
+            for w in sorted.windows(2) {
+                assert!(w[1] - w[0] >= t.rrd, "tRRD violated: {} -> {}", w[0], w[1]);
+            }
+            for w in sorted.windows(5) {
+                assert!(w[4] - w[0] >= t.faw, "tFAW violated: {:?}", w);
+            }
+        }
+        // (2) Per subarray: ACT→PRE ≥ tRAS and PRE→ACT ≥ tRP.
+        use std::collections::HashMap;
+        let mut last: HashMap<(u32, u32), (CommandKind, u64)> = HashMap::new();
+        for c in log {
+            if c.kind == CommandKind::Read || c.kind == CommandKind::Write {
+                continue;
+            }
+            if let Some((pk, pc)) = last.get(&(c.bank, c.subarray)) {
+                match (pk, c.kind) {
+                    (CommandKind::Act, CommandKind::Pre) => {
+                        assert!(c.cycle - pc >= t.ras, "tRAS violated");
+                    }
+                    (CommandKind::Pre, CommandKind::Act) => {
+                        assert!(c.cycle - pc >= t.rp, "tRP violated");
+                    }
+                    _ => {}
+                }
+            }
+            last.insert((c.bank, c.subarray), (c.kind, c.cycle));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn random_workloads_respect_protocol(seed in 0u64..1000, subarrays_log2 in 0u32..4) {
+            let cfg = DramConfig::paper(1 << subarrays_log2);
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let reqs: Vec<Request> = (0..200)
+                .map(|_| {
+                    let kind = if rng.gen_bool(0.3) { AccessKind::Write } else { AccessKind::Read };
+                    Request::new(
+                        cfg.address(
+                            rng.gen_range(0..cfg.channels),
+                            rng.gen_range(0..cfg.banks_per_channel),
+                            rng.gen_range(0..cfg.subarrays_per_bank),
+                            rng.gen_range(0..64),
+                            0,
+                        ),
+                        kind,
+                    )
+                })
+                .collect();
+            check_protocol(cfg, &reqs);
+        }
+
+        #[test]
+        fn stats_accounting_consistent(seed in 0u64..200) {
+            let cfg = DramConfig::paper(4);
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let n = 100usize;
+            let reqs: Vec<Request> = (0..n)
+                .map(|_| req(&cfg, rng.gen_range(0..8), rng.gen_range(0..16), rng.gen_range(0..4), rng.gen_range(0..16)))
+                .collect();
+            let stats = DramSim::new(cfg).run(&reqs);
+            prop_assert_eq!(stats.requests, n as u64);
+            prop_assert_eq!(stats.row_hits + stats.row_misses + stats.bank_conflicts, n as u64);
+            prop_assert_eq!(stats.acts, stats.row_misses + stats.bank_conflicts);
+            prop_assert!(stats.pres >= stats.bank_conflicts);
+            prop_assert_eq!(stats.reads + stats.writes, n as u64);
+            prop_assert!(stats.total_cycles > 0);
+        }
+    }
+}

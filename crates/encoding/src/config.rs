@@ -1,0 +1,146 @@
+//! Hash grid configuration.
+
+use crate::hash::HashFunction;
+use inerf_geom::grid::{build_levels, GridLevel};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the multi-resolution hash grid.
+///
+/// Defaults follow the iNGP/paper setup: `L = 16` levels, `T = 2^19` entries
+/// per level, `F = 2` features per entry, base resolution 16 growing
+/// geometrically to 512.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HashGridConfig {
+    /// Number of resolution levels `L`.
+    pub levels: u32,
+    /// log2 of the table size `T` per level.
+    pub table_size_log2: u32,
+    /// Features per entry `F`.
+    pub features: u32,
+    /// Coarsest resolution (cells per axis).
+    pub n_min: u32,
+    /// Finest resolution (cells per axis).
+    pub n_max: u32,
+    /// Which hash mapping function indexes the table.
+    pub hash: HashFunction,
+}
+
+impl HashGridConfig {
+    /// The paper's configuration: `L=16, T=2^19, F=2`, resolutions 16→512.
+    ///
+    /// Each level is `T * F * 4B = 4 MB` of f32 training state; with the
+    /// paper's 32-bit (FP16×2) inference entries a level is 2 MB, matching
+    /// the "each individual level of the hash table is 2 MB" observation in
+    /// Sec. II-B.
+    pub fn paper(hash: HashFunction) -> Self {
+        HashGridConfig {
+            levels: 16,
+            table_size_log2: 19,
+            features: 2,
+            n_min: 16,
+            n_max: 512,
+            hash,
+        }
+    }
+
+    /// A small configuration for fast unit tests and examples.
+    pub fn tiny(hash: HashFunction) -> Self {
+        HashGridConfig {
+            levels: 4,
+            table_size_log2: 12,
+            features: 2,
+            n_min: 4,
+            n_max: 32,
+            hash,
+        }
+    }
+
+    /// Table entries per level, `T`.
+    #[inline]
+    pub const fn table_size(&self) -> u32 {
+        1 << self.table_size_log2
+    }
+
+    /// Output feature dimension of the encoding, `L * F`.
+    #[inline]
+    pub const fn feature_dim(&self) -> usize {
+        (self.levels * self.features) as usize
+    }
+
+    /// Total number of trainable embedding scalars, `L * T * F`.
+    #[inline]
+    pub const fn parameter_count(&self) -> usize {
+        (self.levels as usize) * (self.table_size() as usize) * (self.features as usize)
+    }
+
+    /// Size in bytes of one level's table at the given bytes-per-entry
+    /// (paper: 4 B per entry — one 32-bit vector of two FP16 features).
+    #[inline]
+    pub const fn level_bytes(&self, bytes_per_entry: usize) -> usize {
+        self.table_size() as usize * bytes_per_entry
+    }
+
+    /// Builds the per-level grid descriptors.
+    pub fn build_levels(&self) -> Vec<GridLevel> {
+        build_levels(self.n_min, self.n_max, self.levels)
+    }
+
+    /// Whether a level's dense vertex grid fits in the table without hashing
+    /// (iNGP indexes such coarse levels directly).
+    pub fn level_is_dense(&self, level: &GridLevel) -> bool {
+        level.dense_vertex_count() <= self.table_size() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_sizes() {
+        let c = HashGridConfig::paper(HashFunction::Morton);
+        assert_eq!(c.table_size(), 1 << 19);
+        assert_eq!(c.feature_dim(), 32);
+        assert_eq!(c.parameter_count(), 16 * (1 << 19) * 2);
+        // 2 MB per level at the paper's 4-byte entries.
+        assert_eq!(c.level_bytes(4), 2 * 1024 * 1024);
+    }
+
+    #[test]
+    fn paper_hash_table_total_matches_tab2() {
+        // Tab. II: hash table parameters are 25 MB for HT (FP16 entries,
+        // minus the dense coarse levels stored compactly). Our f32 total:
+        let c = HashGridConfig::paper(HashFunction::Morton);
+        let fp16_bytes: usize = c
+            .build_levels()
+            .iter()
+            .map(|l| {
+                let entries = (l.dense_vertex_count() as usize).min(c.table_size() as usize);
+                entries * c.features as usize * 2 // FP16
+            })
+            .sum();
+        let mb = fp16_bytes as f64 / (1024.0 * 1024.0);
+        assert!(
+            (20.0..30.0).contains(&mb),
+            "hash table should be ~25 MB as in Tab. II, got {mb:.1} MB"
+        );
+    }
+
+    #[test]
+    fn tiny_config_levels() {
+        let c = HashGridConfig::tiny(HashFunction::Original);
+        let levels = c.build_levels();
+        assert_eq!(levels.len(), 4);
+        assert_eq!(levels[0].resolution, 4);
+        assert!(levels[3].resolution >= 30);
+    }
+
+    #[test]
+    fn dense_level_detection() {
+        let c = HashGridConfig::paper(HashFunction::Morton);
+        let levels = c.build_levels();
+        // 16^3 = 4096 vertices — dense. 512^3 — hashed.
+        assert!(c.level_is_dense(&levels[0]));
+        assert!(!c.level_is_dense(&levels[15]));
+    }
+}

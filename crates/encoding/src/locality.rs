@@ -1,0 +1,191 @@
+//! Locality statistics behind the paper's Fig. 6 and Fig. 7(a).
+
+use crate::trace::LookupTrace;
+
+/// Histogram bucket labels used by Fig. 6 (index distance between two
+/// neighbouring vertices of one 3D cube).
+pub const DISTANCE_BUCKET_LABELS: [&str; 5] = ["1~4", "4~16", "16~256", "256~5000", ">5000"];
+
+/// Upper bounds (inclusive) of the first four Fig. 6 buckets.
+const DISTANCE_BUCKET_BOUNDS: [u32; 4] = [4, 16, 256, 5000];
+
+/// Buckets a single index distance per Fig. 6.
+#[inline]
+pub fn distance_bucket(dist: u32) -> usize {
+    DISTANCE_BUCKET_BOUNDS.iter().position(|&b| dist <= b).unwrap_or(4)
+}
+
+/// The 12 edges of a cube expressed as corner-index pairs (corners that
+/// differ in exactly one coordinate bit).
+pub fn cube_edges() -> impl Iterator<Item = (usize, usize)> {
+    (0..8usize).flat_map(|c| {
+        [1usize, 2, 4]
+            .into_iter()
+            .filter_map(move |bit| if c & bit == 0 { Some((c, c | bit)) } else { None })
+    })
+}
+
+/// Computes the Fig. 6 breakdown: the percentage of cube-edge index
+/// distances falling into each bucket, over all cubes in the trace.
+///
+/// Returns percentages summing to ~100 (all zeros for an empty trace).
+pub fn index_distance_histogram(trace: &LookupTrace) -> [f64; 5] {
+    let mut counts = [0u64; 5];
+    for cube in trace.cubes() {
+        for (a, b) in cube_edges() {
+            let d = cube.entries[a].abs_diff(cube.entries[b]);
+            counts[distance_bucket(d)] += 1;
+        }
+    }
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return [0.0; 5];
+    }
+    let mut out = [0.0; 5];
+    for (o, c) in out.iter_mut().zip(counts) {
+        *o = 100.0 * c as f64 / total as f64;
+    }
+    out
+}
+
+/// Fig. 7(a): for each level, the mean number of *consecutive* points that
+/// share the same interpolation cube, under the trace's streaming order.
+///
+/// A value of `k` means that on average `k` successive points hit the same
+/// cube before the stream moves on — exactly the register-reuse opportunity
+/// the ray-first streaming order creates.
+pub fn points_sharing_cube_per_level(trace: &LookupTrace, levels: u32) -> Vec<f64> {
+    (0..levels)
+        .map(|level| {
+            let mut runs = 0u64;
+            let mut total_points = 0u64;
+            let mut last_id: Option<u64> = None;
+            for cube in trace.level_cubes(level) {
+                total_points += 1;
+                if last_id != Some(cube.cube_id) {
+                    runs += 1;
+                    last_id = Some(cube.cube_id);
+                }
+            }
+            if runs == 0 {
+                0.0
+            } else {
+                total_points as f64 / runs as f64
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::HashGridConfig;
+    use crate::hash::HashFunction;
+    use crate::table::HashGrid;
+    use crate::trace::{CubeLookup, LookupTrace};
+    use inerf_geom::Vec3;
+
+    #[test]
+    fn cube_edges_count_is_twelve() {
+        assert_eq!(cube_edges().count(), 12);
+        // Every pair differs in exactly one bit.
+        for (a, b) in cube_edges() {
+            assert_eq!((a ^ b).count_ones(), 1);
+        }
+    }
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(distance_bucket(0), 0);
+        assert_eq!(distance_bucket(4), 0);
+        assert_eq!(distance_bucket(5), 1);
+        assert_eq!(distance_bucket(16), 1);
+        assert_eq!(distance_bucket(256), 2);
+        assert_eq!(distance_bucket(5000), 3);
+        assert_eq!(distance_bucket(5001), 4);
+    }
+
+    /// Streams points along straight rays through the unit cube — the
+    /// ray-first order — and returns the trace.
+    fn ray_first_trace(grid: &HashGrid, rays: usize, samples: usize) -> LookupTrace {
+        let mut trace = LookupTrace::new();
+        for r in 0..rays {
+            let y = 0.1 + 0.8 * (r as f32 / rays.max(1) as f32);
+            for s in 0..samples {
+                let t = (s as f32 + 0.5) / samples as f32;
+                let p = Vec3::new(t, y, 0.5);
+                trace.push_point(&grid.cube_lookups(p));
+            }
+        }
+        trace
+    }
+
+    #[test]
+    fn morton_keeps_more_neighbours_close_than_original() {
+        // The core Fig. 6 claim: Morton pushes mass into the small-distance
+        // buckets and empties the >5000 bucket.
+        let morton = HashGrid::new(HashGridConfig::paper(HashFunction::Morton), 1);
+        let original = HashGrid::new(HashGridConfig::paper(HashFunction::Original), 1);
+        let tm = ray_first_trace(&morton, 8, 32);
+        let to = ray_first_trace(&original, 8, 32);
+        let hm = index_distance_histogram(&tm);
+        let ho = index_distance_histogram(&to);
+        let close_m = hm[0] + hm[1];
+        let close_o = ho[0] + ho[1];
+        assert!(
+            close_m > close_o + 10.0,
+            "Morton close-bucket share {close_m:.1}% should clearly beat original {close_o:.1}%"
+        );
+        assert!(
+            hm[4] < ho[4],
+            "Morton far bucket {:.1}% should be below original {:.1}%",
+            hm[4],
+            ho[4]
+        );
+    }
+
+    #[test]
+    fn histogram_percentages_sum_to_100() {
+        let grid = HashGrid::new(HashGridConfig::tiny(HashFunction::Original), 3);
+        let t = ray_first_trace(&grid, 4, 16);
+        let h = index_distance_histogram(&t);
+        let sum: f64 = h.iter().sum();
+        assert!((sum - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_trace_histogram_is_zero() {
+        let h = index_distance_histogram(&LookupTrace::new());
+        assert_eq!(h, [0.0; 5]);
+    }
+
+    #[test]
+    fn sharing_decreases_with_level() {
+        // Fig. 7(a): coarse levels share cubes across many consecutive
+        // points; fine levels share almost none.
+        let grid = HashGrid::new(HashGridConfig::paper(HashFunction::Morton), 1);
+        let t = ray_first_trace(&grid, 4, 128);
+        let sharing = points_sharing_cube_per_level(&t, grid.config().levels);
+        assert!(sharing[0] > 4.0, "coarsest level sharing {} too low", sharing[0]);
+        assert!(
+            *sharing.last().unwrap() < 2.0,
+            "finest level sharing {} too high",
+            sharing.last().unwrap()
+        );
+        // Broadly decreasing: first level shares at least as much as the last.
+        assert!(sharing[0] > *sharing.last().unwrap());
+    }
+
+    #[test]
+    fn sharing_counts_runs_not_global_matches() {
+        // Construct a synthetic trace: ids A A B A — the final A is a new
+        // run, so mean run length is 4 points / 3 runs.
+        let mk = |id: u64| CubeLookup { level: 0, entries: [0; 8], cube_id: id };
+        let mut t = LookupTrace::new();
+        for id in [7u64, 7, 9, 7] {
+            t.push_point(&[mk(id)]);
+        }
+        let s = points_sharing_cube_per_level(&t, 1);
+        assert!((s[0] - 4.0 / 3.0).abs() < 1e-9);
+    }
+}

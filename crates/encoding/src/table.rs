@@ -1,0 +1,329 @@
+//! The trainable multi-resolution hash table (iNGP Steps (1)–(3)).
+
+use crate::config::HashGridConfig;
+use crate::hash::level_index;
+use crate::trace::{CubeLookup, LookupTrace};
+use inerf_geom::grid::GridLevel;
+use inerf_geom::morton::morton_encode;
+use inerf_geom::Vec3;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// The multi-resolution hash grid of trainable embedding vectors.
+///
+/// Stores `L × T × F` f32 parameters plus a same-shaped gradient buffer.
+/// `encode*` implements the forward pass (hash → gather → trilinear
+/// interpolation → concatenate); [`HashGrid::backward`] scatter-adds the
+/// output gradient back into the embedding gradients (the paper's "HT_b"
+/// step).
+///
+/// # Example
+///
+/// ```
+/// use inerf_encoding::{HashGrid, HashGridConfig, HashFunction};
+/// use inerf_geom::Vec3;
+///
+/// let mut grid = HashGrid::new(HashGridConfig::tiny(HashFunction::Morton), 1);
+/// let p = Vec3::new(0.3, 0.6, 0.9);
+/// let features = grid.encode(p);
+/// // Backward of a unit output gradient accumulates into the table.
+/// let ones = vec![1.0; features.len()];
+/// grid.backward(p, &ones);
+/// assert!(grid.gradients().iter().any(|&g| g != 0.0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct HashGrid {
+    config: HashGridConfig,
+    levels: Vec<GridLevel>,
+    embeddings: Vec<f32>,
+    gradients: Vec<f32>,
+}
+
+impl HashGrid {
+    /// Creates a grid with iNGP's uniform init in `[-1e-4, 1e-4]`.
+    pub fn new(config: HashGridConfig, seed: u64) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let n = config.parameter_count();
+        let embeddings = (0..n).map(|_| rng.gen_range(-1e-4f32..1e-4)).collect();
+        HashGrid { config, levels: config.build_levels(), embeddings, gradients: vec![0.0; n] }
+    }
+
+    /// The configuration this grid was built with.
+    pub fn config(&self) -> &HashGridConfig {
+        &self.config
+    }
+
+    /// Per-level grid descriptors.
+    pub fn levels(&self) -> &[GridLevel] {
+        &self.levels
+    }
+
+    /// All trainable parameters (row-major: level, entry, feature).
+    pub fn parameters(&self) -> &[f32] {
+        &self.embeddings
+    }
+
+    /// Mutable parameters (for the optimizer).
+    pub fn parameters_mut(&mut self) -> &mut [f32] {
+        &mut self.embeddings
+    }
+
+    /// Accumulated gradients, same layout as [`HashGrid::parameters`].
+    pub fn gradients(&self) -> &[f32] {
+        &self.gradients
+    }
+
+    /// Parameters and gradients together (for optimizer steps that need
+    /// simultaneous mutable/shared access).
+    pub fn parameters_and_gradients_mut(&mut self) -> (&mut [f32], &[f32]) {
+        (&mut self.embeddings, &self.gradients)
+    }
+
+    /// Clears accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        self.gradients.fill(0.0);
+    }
+
+    #[inline]
+    fn base_offset(&self, level: u32, entry: u32) -> usize {
+        let t = self.config.table_size() as usize;
+        let f = self.config.features as usize;
+        ((level as usize * t) + entry as usize) * f
+    }
+
+    /// Encodes a point in `[0,1]^3` into `L*F` features.
+    pub fn encode(&self, p: Vec3) -> Vec<f32> {
+        let mut out = vec![0.0; self.config.feature_dim()];
+        self.encode_into(p, &mut out);
+        out
+    }
+
+    /// Encodes into a caller-provided buffer of length `L*F`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != feature_dim()`.
+    pub fn encode_into(&self, p: Vec3, out: &mut [f32]) {
+        assert_eq!(out.len(), self.config.feature_dim(), "output buffer size mismatch");
+        let f = self.config.features as usize;
+        let t = self.config.table_size();
+        for (li, level) in self.levels.iter().enumerate() {
+            let (base, frac) = level.cube_of(p);
+            let slot = &mut out[li * f..(li + 1) * f];
+            slot.fill(0.0);
+            for c in 0..8u8 {
+                let w = GridLevel::corner_weight(frac, c);
+                if w == 0.0 {
+                    continue;
+                }
+                let entry = level_index(self.config.hash, level, base.corner(c), t);
+                let off = self.base_offset(li as u32, entry);
+                for (k, s) in slot.iter_mut().enumerate() {
+                    *s += w * self.embeddings[off + k];
+                }
+            }
+        }
+    }
+
+    /// Encodes a point while appending its cube lookups to `trace`.
+    pub fn encode_with_trace(&self, p: Vec3, out: &mut [f32], trace: &mut LookupTrace) {
+        self.encode_into(p, out);
+        let cubes = self.cube_lookups(p);
+        trace.push_point(&cubes);
+    }
+
+    /// Computes the per-level cube lookups (entry indices) of a point without
+    /// touching the embedding data — the address stream of the HT step.
+    pub fn cube_lookups(&self, p: Vec3) -> Vec<CubeLookup> {
+        let t = self.config.table_size();
+        self.levels
+            .iter()
+            .map(|level| {
+                let (base, _) = level.cube_of(p);
+                let mut entries = [0u32; 8];
+                for (c, e) in entries.iter_mut().enumerate() {
+                    *e = level_index(self.config.hash, level, base.corner(c as u8), t);
+                }
+                CubeLookup {
+                    level: level.index,
+                    entries,
+                    cube_id: morton_encode(base.x, base.y, base.z)
+                        | ((level.index as u64) << 58),
+                }
+            })
+            .collect()
+    }
+
+    /// Backward pass ("HT_b"): scatter-adds `d_features` (length `L*F`) into
+    /// the embedding gradients at the entries that contributed to `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d_features.len() != feature_dim()`.
+    pub fn backward(&mut self, p: Vec3, d_features: &[f32]) {
+        assert_eq!(d_features.len(), self.config.feature_dim(), "gradient size mismatch");
+        let f = self.config.features as usize;
+        let t = self.config.table_size();
+        for (li, level) in self.levels.iter().enumerate() {
+            let (base, frac) = level.cube_of(p);
+            let dslot = &d_features[li * f..(li + 1) * f];
+            for c in 0..8u8 {
+                let w = GridLevel::corner_weight(frac, c);
+                if w == 0.0 {
+                    continue;
+                }
+                let entry = level_index(self.config.hash, level, base.corner(c), t);
+                let off = ((li * t as usize) + entry as usize) * f;
+                for (k, d) in dslot.iter().enumerate() {
+                    self.gradients[off + k] += w * d;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::HashFunction;
+    use proptest::prelude::*;
+
+    fn grid(hash: HashFunction) -> HashGrid {
+        HashGrid::new(HashGridConfig::tiny(hash), 7)
+    }
+
+    #[test]
+    fn encode_dimension_and_finiteness() {
+        let g = grid(HashFunction::Morton);
+        let f = g.encode(Vec3::new(0.1, 0.5, 0.9));
+        assert_eq!(f.len(), g.config().feature_dim());
+        assert!(f.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn encode_is_continuous_across_small_steps() {
+        let g = grid(HashFunction::Morton);
+        let a = g.encode(Vec3::new(0.5, 0.5, 0.5));
+        let b = g.encode(Vec3::new(0.5 + 1e-4, 0.5, 0.5));
+        let diff: f32 = a.iter().zip(&b).map(|(x, y)| (x - y).abs()).sum();
+        assert!(diff < 1e-3, "encoding should be continuous, diff = {diff}");
+    }
+
+    #[test]
+    fn encode_at_vertex_returns_vertex_embedding() {
+        // At an exact lattice vertex of the coarsest level, only one corner
+        // contributes per level (weights collapse to a delta).
+        let mut g = grid(HashFunction::Morton);
+        // Manually set a recognizable value at the level-0 entry of the cube
+        // corner nearest to origin.
+        let p = Vec3::new(0.0, 0.0, 0.0);
+        let lookups = g.cube_lookups(p);
+        let entry = lookups[0].entries[0];
+        let f = g.config().features as usize;
+        let off = entry as usize * f; // level 0 offset
+        g.embeddings[off] = 0.5;
+        g.embeddings[off + 1] = -0.25;
+        let feats = g.encode(p);
+        assert!((feats[0] - 0.5).abs() < 1e-6);
+        assert!((feats[1] + 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn backward_scatters_weighted_gradients() {
+        let mut g = grid(HashFunction::Original);
+        let p = Vec3::new(0.37, 0.51, 0.73);
+        let dim = g.config().feature_dim();
+        let dout = vec![1.0f32; dim];
+        g.backward(p, &dout);
+        // Per level, the 8 corner weights sum to 1, so the total scattered
+        // gradient per feature channel per level is 1 (barring hash
+        // collisions which still conserve the sum).
+        let total: f32 = g.gradients().iter().sum();
+        let expected = dim as f32; // L levels * F features * weight-sum 1
+        assert!((total - expected).abs() < 1e-4, "total {total} vs {expected}");
+        g.zero_grad();
+        assert!(g.gradients().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        // d(feature_k)/d(embedding_j) computed by backward must match the
+        // finite-difference slope of encode().
+        let mut g = grid(HashFunction::Morton);
+        let p = Vec3::new(0.31, 0.62, 0.17);
+        let dim = g.config().feature_dim();
+        // Probe output channel 3 (level 1, feature 1 in tiny config).
+        let k = 3;
+        let mut dout = vec![0.0f32; dim];
+        dout[k] = 1.0;
+        g.zero_grad();
+        g.backward(p, &dout);
+        // Pick the first nonzero-gradient parameter and check numerically.
+        let j = g.gradients().iter().position(|&v| v.abs() > 1e-6).expect("some gradient");
+        let analytic = g.gradients()[j];
+        let eps = 1e-3f32;
+        let orig = g.embeddings[j];
+        g.embeddings[j] = orig + eps;
+        let up = g.encode(p)[k];
+        g.embeddings[j] = orig - eps;
+        let down = g.encode(p)[k];
+        g.embeddings[j] = orig;
+        let numeric = (up - down) / (2.0 * eps);
+        assert!(
+            (analytic - numeric).abs() < 1e-3,
+            "analytic {analytic} vs numeric {numeric}"
+        );
+    }
+
+    #[test]
+    fn trace_records_one_cube_per_level() {
+        let g = grid(HashFunction::Morton);
+        let mut trace = LookupTrace::new();
+        let mut buf = vec![0.0; g.config().feature_dim()];
+        g.encode_with_trace(Vec3::splat(0.4), &mut buf, &mut trace);
+        g.encode_with_trace(Vec3::splat(0.6), &mut buf, &mut trace);
+        assert_eq!(trace.point_count(), 2);
+        assert_eq!(trace.cubes().len(), 2 * g.config().levels as usize);
+    }
+
+    #[test]
+    fn nearby_points_share_cube_id_at_coarse_level() {
+        let g = grid(HashFunction::Morton);
+        // Tiny config: coarsest level res 4 (cell 0.25), finest res 32
+        // (cell ~0.031); a 0.05 step stays in the coarse cube but crosses a
+        // fine cell boundary.
+        let a = g.cube_lookups(Vec3::new(0.50, 0.50, 0.50));
+        let b = g.cube_lookups(Vec3::new(0.55, 0.50, 0.50));
+        // Coarsest level: same cube. Finest level: typically different.
+        assert_eq!(a[0].cube_id, b[0].cube_id);
+        assert_ne!(a.last().unwrap().cube_id, b.last().unwrap().cube_id);
+    }
+
+    proptest! {
+        #[test]
+        fn encode_bounded_by_weight_one_combination(
+            px in 0.0f32..1.0, py in 0.0f32..1.0, pz in 0.0f32..1.0
+        ) {
+            // Each output feature is a convex combination of 8 embeddings,
+            // all initialized in [-1e-4, 1e-4], so outputs stay in range.
+            let g = grid(HashFunction::Morton);
+            let f = g.encode(Vec3::new(px, py, pz));
+            for v in f {
+                prop_assert!(v.abs() <= 1e-4 + 1e-6);
+            }
+        }
+
+        #[test]
+        fn lookups_in_table_range(
+            px in -0.2f32..1.2, py in -0.2f32..1.2, pz in -0.2f32..1.2
+        ) {
+            let g = grid(HashFunction::Original);
+            let t = g.config().table_size();
+            for cube in g.cube_lookups(Vec3::new(px, py, pz)) {
+                for e in cube.entries {
+                    prop_assert!(e < t);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Lookup traces: the memory-access record consumed by the simulators.
+//!
+//! Every encoded point touches `L` cubes (one per level), each with eight
+//! vertex entries. A [`LookupTrace`] records those entry indices in
+//! processing order so the DRAM/accelerator models can replay the exact
+//! access stream the algorithm generates.
+
+use serde::{Deserialize, Serialize};
+
+/// A single hash-table entry access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LookupEvent {
+    /// Hash-table level.
+    pub level: u32,
+    /// Entry index within the level (`< T`).
+    pub entry: u32,
+}
+
+/// The eight vertex lookups of one point at one level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CubeLookup {
+    /// Hash-table level.
+    pub level: u32,
+    /// Entry indices of the cube's eight corners (corner order: bit 0 → +x,
+    /// bit 1 → +y, bit 2 → +z).
+    pub entries: [u32; 8],
+    /// Base vertex Morton code — used to detect cube reuse between
+    /// consecutive points without re-deriving coordinates.
+    pub cube_id: u64,
+}
+
+/// An ordered record of cube lookups produced while encoding a point stream.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LookupTrace {
+    cubes: Vec<CubeLookup>,
+    points: usize,
+}
+
+impl LookupTrace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records the cube lookups of one more point. `cubes_for_point` must
+    /// hold exactly one [`CubeLookup`] per level, in level order.
+    pub fn push_point(&mut self, cubes_for_point: &[CubeLookup]) {
+        self.cubes.extend_from_slice(cubes_for_point);
+        self.points += 1;
+    }
+
+    /// All recorded cube lookups, in processing order.
+    pub fn cubes(&self) -> &[CubeLookup] {
+        &self.cubes
+    }
+
+    /// Number of points recorded.
+    pub fn point_count(&self) -> usize {
+        self.points
+    }
+
+    /// Total entry accesses (8 per cube).
+    pub fn entry_access_count(&self) -> usize {
+        self.cubes.len() * 8
+    }
+
+    /// Iterates over the cubes of a single level, preserving order.
+    pub fn level_cubes(&self, level: u32) -> impl Iterator<Item = &CubeLookup> {
+        self.cubes.iter().filter(move |c| c.level == level)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cube(level: u32, base: u32) -> CubeLookup {
+        let mut entries = [0u32; 8];
+        for (i, e) in entries.iter_mut().enumerate() {
+            *e = base + i as u32;
+        }
+        CubeLookup { level, entries, cube_id: base as u64 }
+    }
+
+    #[test]
+    fn push_and_count() {
+        let mut t = LookupTrace::new();
+        t.push_point(&[cube(0, 0), cube(1, 100)]);
+        t.push_point(&[cube(0, 8), cube(1, 100)]);
+        assert_eq!(t.point_count(), 2);
+        assert_eq!(t.cubes().len(), 4);
+        assert_eq!(t.entry_access_count(), 32);
+    }
+
+    #[test]
+    fn level_filter() {
+        let mut t = LookupTrace::new();
+        t.push_point(&[cube(0, 0), cube(1, 100)]);
+        t.push_point(&[cube(0, 8), cube(1, 100)]);
+        let lvl1: Vec<_> = t.level_cubes(1).collect();
+        assert_eq!(lvl1.len(), 2);
+        assert!(lvl1.iter().all(|c| c.level == 1));
+    }
+}

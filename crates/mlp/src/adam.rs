@@ -1,0 +1,168 @@
+//! The Adam optimizer (Kingma & Ba), as used by iNGP.
+
+use serde::{Deserialize, Serialize};
+
+/// Adam optimizer state for a flat parameter vector.
+///
+/// iNGP trains both the hash-table embeddings and the MLP weights with Adam;
+/// the trainer crate instantiates one `AdamState` per parameter group.
+///
+/// # Example
+///
+/// ```
+/// use inerf_mlp::AdamState;
+///
+/// let mut params = vec![1.0f32];
+/// let mut adam = AdamState::new(1, 0.1);
+/// for _ in 0..100 {
+///     let grad = vec![2.0 * params[0]]; // minimize x^2
+///     adam.step(&mut params, &grad);
+/// }
+/// assert!(params[0].abs() < 0.5);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdamState {
+    m: Vec<f32>,
+    v: Vec<f32>,
+    t: u64,
+    /// Learning rate.
+    pub learning_rate: f32,
+    /// First-moment decay `β₁`.
+    pub beta1: f32,
+    /// Second-moment decay `β₂`.
+    pub beta2: f32,
+    /// Numerical-stability epsilon.
+    pub epsilon: f32,
+}
+
+impl AdamState {
+    /// Creates Adam state for `n` parameters with iNGP-style defaults
+    /// (`β₁ = 0.9`, `β₂ = 0.99`, `ε = 1e-10` scaled to `1e-8` for f32).
+    pub fn new(n: usize, learning_rate: f32) -> Self {
+        AdamState {
+            m: vec![0.0; n],
+            v: vec![0.0; n],
+            t: 0,
+            learning_rate,
+            beta1: 0.9,
+            beta2: 0.99,
+            epsilon: 1e-8,
+        }
+    }
+
+    /// Number of steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+
+    /// Performs one Adam update of `params` given `grads`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` and `grads` differ in length, or do not match the
+    /// state's size.
+    pub fn step(&mut self, params: &mut [f32], grads: &[f32]) {
+        assert_eq!(params.len(), grads.len(), "params/grads length mismatch");
+        assert_eq!(params.len(), self.m.len(), "optimizer state size mismatch");
+        self.t += 1;
+        let b1t = 1.0 - self.beta1.powi(self.t as i32);
+        let b2t = 1.0 - self.beta2.powi(self.t as i32);
+        for i in 0..params.len() {
+            let g = grads[i];
+            self.m[i] = self.beta1 * self.m[i] + (1.0 - self.beta1) * g;
+            self.v[i] = self.beta2 * self.v[i] + (1.0 - self.beta2) * g * g;
+            let m_hat = self.m[i] / b1t;
+            let v_hat = self.v[i] / b2t;
+            params[i] -= self.learning_rate * m_hat / (v_hat.sqrt() + self.epsilon);
+        }
+    }
+
+    /// A closure-style single-parameter update for use with
+    /// `Mlp::for_each_param_mut`; the caller must visit parameters in a
+    /// stable order covering the whole state exactly once per step.
+    ///
+    /// Call [`AdamState::begin_step`] once before each sweep.
+    pub fn update_one(&mut self, idx: usize, param: &mut f32, grad: f32) {
+        let b1t = 1.0 - self.beta1.powi(self.t as i32);
+        let b2t = 1.0 - self.beta2.powi(self.t as i32);
+        self.m[idx] = self.beta1 * self.m[idx] + (1.0 - self.beta1) * grad;
+        self.v[idx] = self.beta2 * self.v[idx] + (1.0 - self.beta2) * grad * grad;
+        let m_hat = self.m[idx] / b1t;
+        let v_hat = self.v[idx] / b2t;
+        *param -= self.learning_rate * m_hat / (v_hat.sqrt() + self.epsilon);
+    }
+
+    /// Advances the step counter for a sweep of [`AdamState::update_one`]
+    /// calls.
+    pub fn begin_step(&mut self) {
+        self.t += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimizes_quadratic() {
+        let mut p = vec![5.0f32, -3.0];
+        let mut adam = AdamState::new(2, 0.1);
+        for _ in 0..500 {
+            let g = vec![2.0 * p[0], 2.0 * p[1]];
+            adam.step(&mut p, &g);
+        }
+        assert!(p[0].abs() < 0.05 && p[1].abs() < 0.05, "did not converge: {p:?}");
+        assert_eq!(adam.steps(), 500);
+    }
+
+    #[test]
+    fn bias_correction_makes_first_step_lr_sized() {
+        // With bias correction, the first Adam step has magnitude ≈ lr
+        // regardless of gradient scale.
+        for scale in [1e-3f32, 1.0, 1e3] {
+            let mut p = vec![0.0f32];
+            let mut adam = AdamState::new(1, 0.01);
+            adam.step(&mut p, &[scale]);
+            assert!(
+                (p[0].abs() - 0.01).abs() < 1e-4,
+                "first step for grad {scale}: {}",
+                p[0]
+            );
+        }
+    }
+
+    #[test]
+    fn update_one_matches_step() {
+        let mut p1 = vec![1.0f32, 2.0, 3.0];
+        let mut p2 = p1.clone();
+        let g = vec![0.5f32, -0.2, 0.9];
+        let mut a1 = AdamState::new(3, 0.05);
+        let mut a2 = AdamState::new(3, 0.05);
+        for _ in 0..10 {
+            a1.step(&mut p1, &g);
+            a2.begin_step();
+            for i in 0..3 {
+                a2.update_one(i, &mut p2[i], g[i]);
+            }
+        }
+        for (x, y) in p1.iter().zip(&p2) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let mut adam = AdamState::new(2, 0.1);
+        let mut p = vec![0.0f32, 0.0];
+        adam.step(&mut p, &[1.0]);
+    }
+
+    #[test]
+    fn zero_gradient_is_noop() {
+        let mut p = vec![1.5f32];
+        let mut adam = AdamState::new(1, 0.1);
+        adam.step(&mut p, &[0.0]);
+        assert_eq!(p[0], 1.5);
+    }
+}

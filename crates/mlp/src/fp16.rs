@@ -1,0 +1,157 @@
+//! IEEE 754 binary16 conversion.
+//!
+//! The paper's accelerator handles mixed precision: hash-table entries are
+//! stored as 32-bit vectors of two FP16 features while computation runs in
+//! FP32/INT32 (Sec. IV-A). These conversions model the quantization the
+//! storage path introduces, and are used by the accelerator model and by
+//! quantization-robustness tests.
+
+/// Converts an `f32` to its nearest IEEE 754 binary16 bit pattern
+/// (round-to-nearest-even), with overflow mapping to infinity.
+pub fn f32_to_f16_bits(x: f32) -> u16 {
+    let bits = x.to_bits();
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let exp = ((bits >> 23) & 0xff) as i32;
+    let frac = bits & 0x007f_ffff;
+
+    if exp == 0xff {
+        // Inf or NaN.
+        let nan_bit = if frac != 0 { 0x0200 } else { 0 };
+        return sign | 0x7c00 | nan_bit;
+    }
+    // Re-bias exponent: f32 bias 127 → f16 bias 15.
+    let unbiased = exp - 127;
+    if unbiased > 15 {
+        return sign | 0x7c00; // overflow → inf
+    }
+    if unbiased >= -14 {
+        // Normal f16. Round the 23-bit fraction to 10 bits, RNE.
+        let mantissa = frac >> 13;
+        let round_bits = frac & 0x1fff;
+        let mut h = sign | (((unbiased + 15) as u16) << 10) | mantissa as u16;
+        if round_bits > 0x1000 || (round_bits == 0x1000 && (mantissa & 1) == 1) {
+            h = h.wrapping_add(1); // may carry into exponent — that is correct RNE
+        }
+        return h;
+    }
+    if unbiased >= -24 {
+        // Subnormal f16.
+        let shift = (-14 - unbiased) as u32;
+        let full = (frac | 0x0080_0000) >> 13; // implicit leading 1, 10-bit frac domain
+        let mantissa = full >> shift;
+        let rem = full & ((1 << shift) - 1);
+        let half = 1u32 << (shift - 1);
+        let mut h = sign | mantissa as u16;
+        if rem > half || (rem == half && (mantissa & 1) == 1) {
+            h = h.wrapping_add(1);
+        }
+        return h;
+    }
+    sign // underflow → signed zero
+}
+
+/// Converts an IEEE 754 binary16 bit pattern to `f32` (exact).
+pub fn f16_bits_to_f32(h: u16) -> f32 {
+    let sign = ((h & 0x8000) as u32) << 16;
+    let exp = ((h >> 10) & 0x1f) as u32;
+    let frac = (h & 0x3ff) as u32;
+    let bits = if exp == 0x1f {
+        // Inf/NaN.
+        sign | 0x7f80_0000 | (frac << 13)
+    } else if exp == 0 {
+        if frac == 0 {
+            sign
+        } else {
+            // Subnormal: value = frac * 2^-24. Normalize around the MSB.
+            let k = 31 - frac.leading_zeros(); // MSB position, 0..=9
+            let exp_n = 103 + k; // (k - 24) + 127
+            let frac_n = (frac << (10 - k)) & 0x3ff; // drop implicit leading 1
+            sign | (exp_n << 23) | (frac_n << 13)
+        }
+    } else {
+        sign | ((exp + 127 - 15) << 23) | (frac << 13)
+    };
+    f32::from_bits(bits)
+}
+
+/// Quantizes through FP16 and back — the storage-path round trip.
+pub fn quantize_f16(x: f32) -> f32 {
+    f16_bits_to_f32(f32_to_f16_bits(x))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn exact_small_integers() {
+        for i in -128i32..=128 {
+            let x = i as f32;
+            assert_eq!(quantize_f16(x), x, "integer {i} must round-trip exactly");
+        }
+    }
+
+    #[test]
+    fn known_bit_patterns() {
+        assert_eq!(f32_to_f16_bits(0.0), 0x0000);
+        assert_eq!(f32_to_f16_bits(-0.0), 0x8000);
+        assert_eq!(f32_to_f16_bits(1.0), 0x3c00);
+        assert_eq!(f32_to_f16_bits(-2.0), 0xc000);
+        assert_eq!(f32_to_f16_bits(65504.0), 0x7bff); // f16 max
+        assert_eq!(f32_to_f16_bits(1e6), 0x7c00); // overflow → inf
+        assert_eq!(f16_bits_to_f32(0x3c00), 1.0);
+        assert_eq!(f16_bits_to_f32(0x7c00), f32::INFINITY);
+    }
+
+    #[test]
+    fn subnormals_round_trip() {
+        let smallest_subnormal = f16_bits_to_f32(0x0001);
+        assert!(smallest_subnormal > 0.0);
+        assert_eq!(f32_to_f16_bits(smallest_subnormal), 0x0001);
+        let largest_subnormal = f16_bits_to_f32(0x03ff);
+        assert_eq!(f32_to_f16_bits(largest_subnormal), 0x03ff);
+    }
+
+    #[test]
+    fn nan_preserved() {
+        let q = quantize_f16(f32::NAN);
+        assert!(q.is_nan());
+    }
+
+    #[test]
+    fn relative_error_bounded_for_normals() {
+        // FP16 has 11 significand bits → relative error <= 2^-11.
+        for &x in &[0.001f32, 0.1, 0.5, 1.0, 3.14159, 100.0, 60000.0] {
+            let q = quantize_f16(x);
+            let rel = ((q - x) / x).abs();
+            assert!(rel <= 1.0 / 2048.0 + 1e-7, "x={x}: rel err {rel}");
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_is_idempotent(x in -60000.0f32..60000.0) {
+            let q = quantize_f16(x);
+            prop_assert_eq!(quantize_f16(q), q);
+        }
+
+        #[test]
+        fn all_f16_bit_patterns_roundtrip(h in 0u16..=0xffff) {
+            // Converting any f16 to f32 and back must be the identity
+            // (modulo NaN payload canonicalization).
+            let x = f16_bits_to_f32(h);
+            if x.is_nan() {
+                prop_assert!(f16_bits_to_f32(f32_to_f16_bits(x)).is_nan());
+            } else {
+                prop_assert_eq!(f32_to_f16_bits(x), h);
+            }
+        }
+
+        #[test]
+        fn quantization_error_small(x in -1.0f32..1.0) {
+            let q = quantize_f16(x);
+            prop_assert!((q - x).abs() <= x.abs() / 1024.0 + 1e-7);
+        }
+    }
+}

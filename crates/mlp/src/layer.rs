@@ -1,0 +1,313 @@
+//! Dense layers with explicit forward/backward passes.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Activation function applied after a layer's affine transform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Activation {
+    /// No activation.
+    Identity,
+    /// `max(0, x)`.
+    Relu,
+    /// Logistic sigmoid (used for RGB outputs).
+    Sigmoid,
+    /// `exp(x)` truncated to avoid overflow (used for density outputs).
+    Exp,
+    /// Softplus `ln(1 + e^x)` — a smooth non-negative alternative for density.
+    Softplus,
+}
+
+impl Activation {
+    /// Applies the activation.
+    #[inline]
+    pub fn apply(self, x: f32) -> f32 {
+        match self {
+            Activation::Identity => x,
+            Activation::Relu => x.max(0.0),
+            Activation::Sigmoid => 1.0 / (1.0 + (-x).exp()),
+            Activation::Exp => x.clamp(-15.0, 15.0).exp(),
+            Activation::Softplus => {
+                if x > 15.0 {
+                    x
+                } else {
+                    (1.0 + x.exp()).ln()
+                }
+            }
+        }
+    }
+
+    /// Derivative of the activation expressed in terms of the
+    /// *pre-activation* `x` and the *post-activation* `y = apply(x)`.
+    #[inline]
+    pub fn derivative(self, x: f32, y: f32) -> f32 {
+        match self {
+            Activation::Identity => 1.0,
+            Activation::Relu => {
+                if x > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Sigmoid => y * (1.0 - y),
+            Activation::Exp => y, // d/dx e^x = e^x (clamp region has zero grad anyway)
+            Activation::Softplus => 1.0 / (1.0 + (-x).exp()),
+        }
+    }
+}
+
+/// A dense layer `y = act(W x + b)` with gradient accumulation buffers.
+///
+/// Weights are stored row-major: `w[o * in_dim + i]` connects input `i` to
+/// output `o`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DenseLayer {
+    in_dim: usize,
+    out_dim: usize,
+    activation: Activation,
+    weights: Vec<f32>,
+    bias: Vec<f32>,
+    grad_weights: Vec<f32>,
+    grad_bias: Vec<f32>,
+}
+
+impl DenseLayer {
+    /// Creates a layer with He-style uniform initialization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(in_dim: usize, out_dim: usize, activation: Activation, seed: u64) -> Self {
+        assert!(in_dim > 0 && out_dim > 0, "layer dimensions must be positive");
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let bound = (6.0 / (in_dim + out_dim) as f32).sqrt();
+        let weights = (0..in_dim * out_dim).map(|_| rng.gen_range(-bound..bound)).collect();
+        DenseLayer {
+            in_dim,
+            out_dim,
+            activation,
+            weights,
+            bias: vec![0.0; out_dim],
+            grad_weights: vec![0.0; in_dim * out_dim],
+            grad_bias: vec![0.0; out_dim],
+        }
+    }
+
+    /// Input dimension.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output dimension.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// The layer's activation function.
+    pub fn activation(&self) -> Activation {
+        self.activation
+    }
+
+    /// Number of trainable parameters (weights + biases).
+    pub fn parameter_count(&self) -> usize {
+        self.weights.len() + self.bias.len()
+    }
+
+    /// Forward pass: writes pre-activations into `pre` and activated outputs
+    /// into `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if buffer sizes disagree with the layer dimensions.
+    pub fn forward_into(&self, input: &[f32], pre: &mut [f32], out: &mut [f32]) {
+        assert_eq!(input.len(), self.in_dim, "input size mismatch");
+        assert_eq!(pre.len(), self.out_dim, "pre-activation buffer mismatch");
+        assert_eq!(out.len(), self.out_dim, "output buffer mismatch");
+        for o in 0..self.out_dim {
+            let row = &self.weights[o * self.in_dim..(o + 1) * self.in_dim];
+            let mut acc = self.bias[o];
+            for (w, x) in row.iter().zip(input) {
+                acc += w * x;
+            }
+            pre[o] = acc;
+            out[o] = self.activation.apply(acc);
+        }
+    }
+
+    /// Backward pass: given `d_out` (gradient w.r.t. activated output), the
+    /// cached `input`, `pre`-activations and `out`puts, accumulates weight
+    /// and bias gradients and writes the gradient w.r.t. the input into
+    /// `d_input`.
+    pub fn backward_into(
+        &mut self,
+        input: &[f32],
+        pre: &[f32],
+        out: &[f32],
+        d_out: &[f32],
+        d_input: &mut [f32],
+    ) {
+        assert_eq!(d_out.len(), self.out_dim, "output gradient size mismatch");
+        assert_eq!(d_input.len(), self.in_dim, "input gradient buffer mismatch");
+        d_input.fill(0.0);
+        for o in 0..self.out_dim {
+            let d_pre = d_out[o] * self.activation.derivative(pre[o], out[o]);
+            if d_pre == 0.0 {
+                continue;
+            }
+            self.grad_bias[o] += d_pre;
+            let row_w = &self.weights[o * self.in_dim..(o + 1) * self.in_dim];
+            let row_g = &mut self.grad_weights[o * self.in_dim..(o + 1) * self.in_dim];
+            for i in 0..self.in_dim {
+                row_g[i] += d_pre * input[i];
+                d_input[i] += d_pre * row_w[i];
+            }
+        }
+    }
+
+    /// Clears accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        self.grad_weights.fill(0.0);
+        self.grad_bias.fill(0.0);
+    }
+
+    /// Flattened view of all parameters: weights then biases.
+    pub fn parameters(&self) -> impl Iterator<Item = &f32> {
+        self.weights.iter().chain(self.bias.iter())
+    }
+
+    /// Applies `f(param, grad)` to every parameter/gradient pair (the
+    /// optimizer hook).
+    pub fn for_each_param_mut(&mut self, mut f: impl FnMut(&mut f32, f32)) {
+        for (w, g) in self.weights.iter_mut().zip(&self.grad_weights) {
+            f(w, *g);
+        }
+        for (b, g) in self.bias.iter_mut().zip(&self.grad_bias) {
+            f(b, *g);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn activations_and_derivatives() {
+        for act in [
+            Activation::Identity,
+            Activation::Relu,
+            Activation::Sigmoid,
+            Activation::Exp,
+            Activation::Softplus,
+        ] {
+            for &x in &[-2.0f32, -0.5, 0.3, 1.7] {
+                let y = act.apply(x);
+                let eps = 1e-3;
+                let numeric = (act.apply(x + eps) - act.apply(x - eps)) / (2.0 * eps);
+                let analytic = act.derivative(x, y);
+                assert!(
+                    (numeric - analytic).abs() < 1e-2,
+                    "{act:?} at {x}: numeric {numeric} vs analytic {analytic}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn relu_clamps_and_sigmoid_bounds() {
+        assert_eq!(Activation::Relu.apply(-3.0), 0.0);
+        assert_eq!(Activation::Relu.apply(2.0), 2.0);
+        let s = Activation::Sigmoid.apply(100.0);
+        assert!(s <= 1.0 && s > 0.999);
+        assert!(Activation::Exp.apply(100.0).is_finite());
+    }
+
+    #[test]
+    fn forward_known_values() {
+        let mut layer = DenseLayer::new(2, 1, Activation::Identity, 0);
+        layer.weights = vec![2.0, -1.0];
+        layer.bias = vec![0.5];
+        let mut pre = [0.0];
+        let mut out = [0.0];
+        layer.forward_into(&[3.0, 4.0], &mut pre, &mut out);
+        assert_eq!(pre[0], 2.0 * 3.0 - 4.0 + 0.5);
+        assert_eq!(out[0], pre[0]);
+    }
+
+    #[test]
+    fn backward_gradients_match_finite_difference() {
+        let mut layer = DenseLayer::new(3, 2, Activation::Relu, 9);
+        let input = [0.5f32, -0.3, 0.8];
+        let d_out = [1.0f32, -2.0];
+        let mut pre = [0.0; 2];
+        let mut out = [0.0; 2];
+        layer.forward_into(&input, &mut pre, &mut out);
+        let mut d_input = [0.0; 3];
+        layer.backward_into(&input, &pre, &out, &d_out, &mut d_input);
+
+        // Finite difference on weight (0,1): perturb and measure the change
+        // in loss = sum(d_out .* output).
+        let loss = |l: &DenseLayer| {
+            let mut p = [0.0; 2];
+            let mut o = [0.0; 2];
+            l.forward_into(&input, &mut p, &mut o);
+            d_out.iter().zip(o).map(|(g, y)| g * y).sum::<f32>()
+        };
+        let eps = 1e-3;
+        for wi in 0..6 {
+            let mut pert = layer.clone();
+            pert.weights[wi] += eps;
+            let up = loss(&pert);
+            pert.weights[wi] -= 2.0 * eps;
+            let down = loss(&pert);
+            let numeric = (up - down) / (2.0 * eps);
+            assert!(
+                (numeric - layer.grad_weights[wi]).abs() < 1e-2,
+                "weight {wi}: numeric {numeric} vs analytic {}",
+                layer.grad_weights[wi]
+            );
+        }
+        // Input gradient check.
+        for ii in 0..3 {
+            let mut in_pert = input;
+            in_pert[ii] += eps;
+            let mut p = [0.0; 2];
+            let mut o = [0.0; 2];
+            layer.forward_into(&in_pert, &mut p, &mut o);
+            let up: f32 = d_out.iter().zip(o).map(|(g, y)| g * y).sum();
+            in_pert[ii] -= 2.0 * eps;
+            layer.forward_into(&in_pert, &mut p, &mut o);
+            let down: f32 = d_out.iter().zip(o).map(|(g, y)| g * y).sum();
+            let numeric = (up - down) / (2.0 * eps);
+            assert!(
+                (numeric - d_input[ii]).abs() < 1e-2,
+                "input {ii}: numeric {numeric} vs analytic {}",
+                d_input[ii]
+            );
+        }
+    }
+
+    #[test]
+    fn zero_grad_clears() {
+        let mut layer = DenseLayer::new(2, 2, Activation::Identity, 1);
+        let input = [1.0, 1.0];
+        let mut pre = [0.0; 2];
+        let mut out = [0.0; 2];
+        layer.forward_into(&input, &mut pre, &mut out);
+        let mut d_in = [0.0; 2];
+        layer.backward_into(&input, &pre, &out, &[1.0, 1.0], &mut d_in);
+        assert!(layer.grad_weights.iter().any(|&g| g != 0.0));
+        layer.zero_grad();
+        assert!(layer.grad_weights.iter().all(|&g| g == 0.0));
+        assert!(layer.grad_bias.iter().all(|&g| g == 0.0));
+    }
+
+    #[test]
+    fn parameter_count() {
+        let layer = DenseLayer::new(4, 3, Activation::Relu, 2);
+        assert_eq!(layer.parameter_count(), 4 * 3 + 3);
+        assert_eq!(layer.parameters().count(), 15);
+    }
+}

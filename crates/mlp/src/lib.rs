@@ -1,0 +1,31 @@
+//! Small fully-connected networks with explicit backward passes.
+//!
+//! iNGP replaces the giant vanilla-NeRF MLP with two small heads: a density
+//! MLP (`MLPd`) and a color MLP (`MLPc`), both a few layers of width 64.
+//! This crate implements them from scratch:
+//!
+//! * [`layer`] — dense layers with activation, forward and backward.
+//! * [`mlp`] — layer stacks with cached activations for backprop.
+//! * [`adam`] — the Adam optimizer used by iNGP.
+//! * [`fp16`] — IEEE 754 half-precision conversion, modelling the paper's
+//!   mixed-precision storage path (FP16 table entries, FP32 accumulation).
+//!
+//! # Example
+//!
+//! ```
+//! use inerf_mlp::{Mlp, Activation};
+//!
+//! // A 4 → 8 → 2 network with ReLU hidden activation.
+//! let mut net = Mlp::new(&[4, 8, 2], Activation::Relu, Activation::Identity, 42);
+//! let out = net.forward(&[0.1, -0.2, 0.3, 0.4]).output().to_vec();
+//! assert_eq!(out.len(), 2);
+//! ```
+
+pub mod adam;
+pub mod fp16;
+pub mod layer;
+pub mod mlp;
+
+pub use adam::AdamState;
+pub use layer::{Activation, DenseLayer};
+pub use mlp::{Mlp, MlpActivations};

@@ -1,0 +1,238 @@
+//! Multi-layer perceptrons built from [`DenseLayer`]s.
+
+use crate::layer::{Activation, DenseLayer};
+use serde::{Deserialize, Serialize};
+
+/// The cached activations of one forward pass, needed for backprop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MlpActivations {
+    /// `inputs[l]` is the input to layer `l`; `inputs[0]` is the network input.
+    inputs: Vec<Vec<f32>>,
+    /// Per-layer pre-activations.
+    pres: Vec<Vec<f32>>,
+    /// Per-layer activated outputs; the last is the network output.
+    outs: Vec<Vec<f32>>,
+}
+
+impl MlpActivations {
+    /// The network output of this forward pass.
+    pub fn output(&self) -> &[f32] {
+        self.outs.last().expect("at least one layer")
+    }
+}
+
+/// A stack of dense layers.
+///
+/// Hidden layers share one activation; the output layer has its own (e.g.
+/// `Sigmoid` for RGB, `Identity` for feature heads).
+///
+/// # Example
+///
+/// ```
+/// use inerf_mlp::{Mlp, Activation};
+/// let mut net = Mlp::new(&[2, 4, 1], Activation::Relu, Activation::Sigmoid, 7);
+/// let acts = net.forward(&[0.5, -0.5]);
+/// assert!(acts.output()[0] > 0.0 && acts.output()[0] < 1.0);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Mlp {
+    layers: Vec<DenseLayer>,
+}
+
+impl Mlp {
+    /// Creates an MLP from layer widths, e.g. `&[32, 64, 16]` builds
+    /// 32→64→16.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two widths are given.
+    pub fn new(widths: &[usize], hidden: Activation, output: Activation, seed: u64) -> Self {
+        assert!(widths.len() >= 2, "an MLP needs at least input and output widths");
+        let layers = widths
+            .windows(2)
+            .enumerate()
+            .map(|(i, w)| {
+                let act = if i + 2 == widths.len() { output } else { hidden };
+                DenseLayer::new(w[0], w[1], act, seed.wrapping_add(i as u64 * 0x9E37))
+            })
+            .collect();
+        Mlp { layers }
+    }
+
+    /// The layers of the network.
+    pub fn layers(&self) -> &[DenseLayer] {
+        &self.layers
+    }
+
+    /// Input dimension.
+    pub fn in_dim(&self) -> usize {
+        self.layers[0].in_dim()
+    }
+
+    /// Output dimension.
+    pub fn out_dim(&self) -> usize {
+        self.layers.last().expect("nonempty").out_dim()
+    }
+
+    /// Total trainable parameters.
+    pub fn parameter_count(&self) -> usize {
+        self.layers.iter().map(|l| l.parameter_count()).sum()
+    }
+
+    /// Forward pass, caching everything backprop needs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len() != in_dim()`.
+    pub fn forward(&self, input: &[f32]) -> MlpActivations {
+        let mut inputs = Vec::with_capacity(self.layers.len());
+        let mut pres = Vec::with_capacity(self.layers.len());
+        let mut outs = Vec::with_capacity(self.layers.len());
+        let mut current = input.to_vec();
+        for layer in &self.layers {
+            let mut pre = vec![0.0; layer.out_dim()];
+            let mut out = vec![0.0; layer.out_dim()];
+            layer.forward_into(&current, &mut pre, &mut out);
+            inputs.push(current);
+            current = out.clone();
+            pres.push(pre);
+            outs.push(out);
+        }
+        MlpActivations { inputs, pres, outs }
+    }
+
+    /// Backward pass: accumulates parameter gradients and returns the
+    /// gradient w.r.t. the network input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d_out.len() != out_dim()` or `acts` came from a different
+    /// architecture.
+    pub fn backward(&mut self, acts: &MlpActivations, d_out: &[f32]) -> Vec<f32> {
+        assert_eq!(acts.outs.len(), self.layers.len(), "activation cache mismatch");
+        let mut grad = d_out.to_vec();
+        for (l, layer) in self.layers.iter_mut().enumerate().rev() {
+            let mut d_input = vec![0.0; layer.in_dim()];
+            layer.backward_into(&acts.inputs[l], &acts.pres[l], &acts.outs[l], &grad, &mut d_input);
+            grad = d_input;
+        }
+        grad
+    }
+
+    /// Clears accumulated gradients in every layer.
+    pub fn zero_grad(&mut self) {
+        for layer in &mut self.layers {
+            layer.zero_grad();
+        }
+    }
+
+    /// Applies `f(param, grad)` over every parameter of every layer.
+    pub fn for_each_param_mut(&mut self, mut f: impl FnMut(&mut f32, f32)) {
+        for layer in &mut self.layers {
+            layer.for_each_param_mut(&mut f);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn forward_shapes() {
+        let net = Mlp::new(&[3, 8, 8, 2], Activation::Relu, Activation::Identity, 1);
+        assert_eq!(net.in_dim(), 3);
+        assert_eq!(net.out_dim(), 2);
+        assert_eq!(net.parameter_count(), (3 * 8 + 8) + (8 * 8 + 8) + (8 * 2 + 2));
+        let acts = net.forward(&[1.0, 2.0, 3.0]);
+        assert_eq!(acts.output().len(), 2);
+    }
+
+    #[test]
+    fn gradient_check_full_network() {
+        // Loss = sum(d_out .* output); check d(loss)/d(input) numerically.
+        let mut net = Mlp::new(&[4, 6, 3], Activation::Relu, Activation::Sigmoid, 3);
+        let input = [0.3f32, -0.7, 0.2, 0.9];
+        let d_out = [1.0f32, -1.0, 0.5];
+        let acts = net.forward(&input);
+        let d_in = net.backward(&acts, &d_out);
+        let loss = |x: &[f32]| {
+            let a = net.forward(x);
+            d_out.iter().zip(a.output()).map(|(g, y)| g * y).sum::<f32>()
+        };
+        let eps = 1e-3;
+        for i in 0..4 {
+            let mut xp = input;
+            xp[i] += eps;
+            let up = loss(&xp);
+            xp[i] -= 2.0 * eps;
+            let down = loss(&xp);
+            let numeric = (up - down) / (2.0 * eps);
+            assert!(
+                (numeric - d_in[i]).abs() < 2e-2,
+                "input {i}: numeric {numeric} vs analytic {}",
+                d_in[i]
+            );
+        }
+    }
+
+    #[test]
+    fn sgd_reduces_loss_on_toy_regression() {
+        // Fit y = sigmoid(2x - 1) from samples; plain SGD must reduce MSE.
+        let mut net = Mlp::new(&[1, 8, 1], Activation::Relu, Activation::Sigmoid, 5);
+        let data: Vec<(f32, f32)> = (0..32)
+            .map(|i| {
+                let x = i as f32 / 31.0;
+                (x, 1.0 / (1.0 + (-(2.0 * x - 1.0)).exp()))
+            })
+            .collect();
+        let eval = |net: &Mlp| -> f32 {
+            data.iter()
+                .map(|(x, y)| {
+                    let o = net.forward(&[*x]).output()[0];
+                    (o - y) * (o - y)
+                })
+                .sum::<f32>()
+                / data.len() as f32
+        };
+        let before = eval(&net);
+        for _ in 0..300 {
+            net.zero_grad();
+            for (x, y) in &data {
+                let acts = net.forward(&[*x]);
+                let o = acts.output()[0];
+                let d = 2.0 * (o - y) / data.len() as f32;
+                net.backward(&acts, &[d]);
+            }
+            net.for_each_param_mut(|p, g| *p -= 0.5 * g);
+        }
+        let after = eval(&net);
+        assert!(after < before * 0.25, "loss {before} -> {after} did not drop enough");
+    }
+
+    #[test]
+    fn zero_grad_then_step_is_noop() {
+        let mut net = Mlp::new(&[2, 4, 1], Activation::Relu, Activation::Identity, 8);
+        let before: Vec<f32> =
+            net.layers().iter().flat_map(|l| l.parameters().copied().collect::<Vec<_>>()).collect();
+        net.zero_grad();
+        net.for_each_param_mut(|p, g| *p -= 0.1 * g);
+        let after: Vec<f32> =
+            net.layers().iter().flat_map(|l| l.parameters().copied().collect::<Vec<_>>()).collect();
+        assert_eq!(before, after);
+    }
+
+    proptest! {
+        #[test]
+        fn outputs_finite_for_bounded_inputs(
+            a in -10.0f32..10.0, b in -10.0f32..10.0, c in -10.0f32..10.0
+        ) {
+            let net = Mlp::new(&[3, 16, 4], Activation::Relu, Activation::Exp, 11);
+            let out = net.forward(&[a, b, c]);
+            for &v in out.output() {
+                prop_assert!(v.is_finite());
+            }
+        }
+    }
+}

@@ -1,0 +1,256 @@
+//! The volume-rendering composite and its analytic gradient.
+
+use inerf_geom::Vec3;
+use serde::{Deserialize, Serialize};
+
+/// One queried sample along a ray: the model's density and color outputs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SamplePoint {
+    /// Predicted density `σ_i ≥ 0`.
+    pub sigma: f32,
+    /// Predicted RGB color `c_i`.
+    pub color: Vec3,
+}
+
+/// The result of compositing one ray.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompositeOutput {
+    /// The rendered pixel color `Ĉ(r)`.
+    pub color: Vec3,
+    /// Per-sample blend weights `w_i = T_i α_i` (sum ≤ 1).
+    pub weights: Vec<f32>,
+    /// Transmittance *after* each sample: `T_{i+1} = Π_{j ≤ i} (1 - α_j)`.
+    pub transmittance_after: Vec<f32>,
+    /// Residual transmittance past the last sample (background weight).
+    pub background_weight: f32,
+}
+
+/// Composites samples along a ray (paper Eq. 1).
+///
+/// `dts[i]` is the segment length `δ_i = t_{i+1} - t_i` attributed to sample
+/// `i`. Negative densities are clamped to zero (the density head normally
+/// guarantees non-negativity; the clamp keeps the renderer total).
+///
+/// # Panics
+///
+/// Panics if `samples` and `dts` differ in length.
+pub fn composite(samples: &[SamplePoint], dts: &[f32]) -> CompositeOutput {
+    assert_eq!(samples.len(), dts.len(), "samples/dts length mismatch");
+    let n = samples.len();
+    let mut color = Vec3::ZERO;
+    let mut transmittance = 1.0f32;
+    let mut weights = Vec::with_capacity(n);
+    let mut trans_after = Vec::with_capacity(n);
+    for (s, &dt) in samples.iter().zip(dts) {
+        let sigma = s.sigma.max(0.0);
+        let alpha = 1.0 - (-sigma * dt).exp();
+        let w = transmittance * alpha;
+        color += s.color * w;
+        transmittance *= 1.0 - alpha;
+        weights.push(w);
+        trans_after.push(transmittance);
+    }
+    CompositeOutput { color, weights, transmittance_after: trans_after, background_weight: transmittance }
+}
+
+/// Per-sample gradients of the composite.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompositeGradients {
+    /// `∂L/∂σ_i`.
+    pub d_sigma: Vec<f32>,
+    /// `∂L/∂c_i`.
+    pub d_color: Vec<Vec3>,
+}
+
+/// Backward pass of [`composite`]: given `d_color_out = ∂L/∂Ĉ`, returns the
+/// gradients w.r.t. every sample's density and color.
+///
+/// Derivation: with `w_i = T_i α_i` and `T_{i+1} = T_i (1 - α_i)`,
+///
+/// ```text
+/// ∂Ĉ/∂c_i = w_i
+/// ∂Ĉ/∂σ_i = δ_i ( T_{i+1} c_i  −  Σ_{j>i} w_j c_j )
+/// ```
+///
+/// The suffix sum is accumulated in a single reverse sweep, so the whole
+/// backward is `O(n)`.
+///
+/// # Panics
+///
+/// Panics if the argument lengths disagree with `out`.
+pub fn composite_backward(
+    samples: &[SamplePoint],
+    dts: &[f32],
+    out: &CompositeOutput,
+    d_color_out: Vec3,
+) -> CompositeGradients {
+    let n = samples.len();
+    assert_eq!(dts.len(), n, "samples/dts length mismatch");
+    assert_eq!(out.weights.len(), n, "composite output does not match samples");
+    let mut d_sigma = vec![0.0f32; n];
+    let mut d_color = vec![Vec3::ZERO; n];
+    // Suffix sum of w_j * c_j for j > i, per channel.
+    let mut suffix = Vec3::ZERO;
+    for i in (0..n).rev() {
+        let w = out.weights[i];
+        d_color[i] = d_color_out * w;
+        let t_after = out.transmittance_after[i];
+        let g = samples[i].color * t_after - suffix;
+        // The clamp σ ← max(σ, 0) has zero slope for negative inputs.
+        d_sigma[i] = if samples[i].sigma < 0.0 { 0.0 } else { dts[i] * d_color_out.dot(g) };
+        suffix += samples[i].color * w;
+    }
+    CompositeGradients { d_sigma, d_color }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn sp(sigma: f32, r: f32, g: f32, b: f32) -> SamplePoint {
+        SamplePoint { sigma, color: Vec3::new(r, g, b) }
+    }
+
+    #[test]
+    fn empty_ray_is_black_with_full_background() {
+        let out = composite(&[], &[]);
+        assert_eq!(out.color, Vec3::ZERO);
+        assert_eq!(out.background_weight, 1.0);
+    }
+
+    #[test]
+    fn opaque_first_sample_blocks_rest() {
+        let samples = [sp(1e5, 1.0, 0.0, 0.0), sp(1e5, 0.0, 1.0, 0.0)];
+        let out = composite(&samples, &[0.1, 0.1]);
+        assert!(out.color.x > 0.999);
+        assert!(out.color.y < 1e-4);
+        assert!(out.background_weight < 1e-6);
+    }
+
+    #[test]
+    fn zero_density_passes_through() {
+        let samples = [sp(0.0, 1.0, 1.0, 1.0); 4];
+        let out = composite(&samples, &[0.25; 4]);
+        assert_eq!(out.color, Vec3::ZERO);
+        assert!((out.background_weight - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn matches_closed_form_for_uniform_medium() {
+        // Uniform σ over total length D: C = c (1 - e^{-σD}).
+        let sigma = 2.0f32;
+        let n = 200;
+        let d = 1.0f32;
+        let dt = d / n as f32;
+        let samples: Vec<SamplePoint> = (0..n).map(|_| sp(sigma, 0.8, 0.4, 0.2)).collect();
+        let dts = vec![dt; n];
+        let out = composite(&samples, &dts);
+        let expect = 1.0 - (-sigma * d).exp();
+        assert!((out.color.x - 0.8 * expect).abs() < 1e-3);
+        assert!((out.color.y - 0.4 * expect).abs() < 1e-3);
+        assert!((out.background_weight - (-sigma * d).exp()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn weights_sum_with_background_to_one() {
+        let samples = [sp(0.5, 1.0, 0.0, 0.0), sp(3.0, 0.0, 1.0, 0.0), sp(1.0, 0.0, 0.0, 1.0)];
+        let out = composite(&samples, &[0.3, 0.5, 0.2]);
+        let total: f32 = out.weights.iter().sum::<f32>() + out.background_weight;
+        assert!((total - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn transmittance_is_monotone_nonincreasing() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let samples: Vec<SamplePoint> =
+            (0..32).map(|_| sp(rng.gen_range(0.0..5.0), 0.5, 0.5, 0.5)).collect();
+        let dts = vec![0.05f32; 32];
+        let out = composite(&samples, &dts);
+        let mut prev = 1.0f32;
+        for &t in &out.transmittance_after {
+            assert!(t <= prev + 1e-7);
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn backward_matches_finite_difference() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let n = 8;
+        let samples: Vec<SamplePoint> = (0..n)
+            .map(|_| sp(rng.gen_range(0.1..4.0), rng.gen(), rng.gen(), rng.gen()))
+            .collect();
+        let dts: Vec<f32> = (0..n).map(|_| rng.gen_range(0.05..0.2)).collect();
+        let d_out = Vec3::new(0.7, -1.3, 0.4);
+        let out = composite(&samples, &dts);
+        let grads = composite_backward(&samples, &dts, &out, d_out);
+
+        let loss = |s: &[SamplePoint]| -> f32 {
+            let o = composite(s, &dts);
+            d_out.dot(o.color)
+        };
+        let eps = 1e-3;
+        for i in 0..n {
+            // Sigma gradient.
+            let mut pert = samples.clone();
+            pert[i].sigma += eps;
+            let up = loss(&pert);
+            pert[i].sigma -= 2.0 * eps;
+            let down = loss(&pert);
+            let numeric = (up - down) / (2.0 * eps);
+            assert!(
+                (numeric - grads.d_sigma[i]).abs() < 2e-2,
+                "sigma {i}: numeric {numeric} vs analytic {}",
+                grads.d_sigma[i]
+            );
+            // Color gradient (x channel).
+            let mut pert = samples.clone();
+            pert[i].color.x += eps;
+            let up = loss(&pert);
+            pert[i].color.x -= 2.0 * eps;
+            let down = loss(&pert);
+            let numeric = (up - down) / (2.0 * eps);
+            assert!(
+                (numeric - grads.d_color[i].x).abs() < 2e-2,
+                "color {i}: numeric {numeric} vs analytic {}",
+                grads.d_color[i].x
+            );
+        }
+    }
+
+    #[test]
+    fn negative_density_clamped_with_zero_gradient() {
+        let samples = [sp(-1.0, 1.0, 1.0, 1.0), sp(2.0, 0.5, 0.5, 0.5)];
+        let dts = [0.1, 0.1];
+        let out = composite(&samples, &dts);
+        assert_eq!(out.weights[0], 0.0);
+        let grads = composite_backward(&samples, &dts, &out, Vec3::ONE);
+        assert_eq!(grads.d_sigma[0], 0.0);
+        assert!(grads.d_sigma[1].abs() > 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn color_stays_in_convex_hull(
+            seed in 0u64..500, n in 1usize..24
+        ) {
+            // With colors in [0,1]^3 the composite is a sub-convex
+            // combination, so output channels stay in [0,1].
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let samples: Vec<SamplePoint> = (0..n)
+                .map(|_| sp(rng.gen_range(0.0..10.0), rng.gen(), rng.gen(), rng.gen()))
+                .collect();
+            let dts: Vec<f32> = (0..n).map(|_| rng.gen_range(0.01..0.3)).collect();
+            let out = composite(&samples, &dts);
+            for ch in [out.color.x, out.color.y, out.color.z] {
+                prop_assert!((-1e-6..=1.0 + 1e-6).contains(&ch));
+            }
+            let wsum: f32 = out.weights.iter().sum();
+            prop_assert!(wsum <= 1.0 + 1e-5);
+            prop_assert!(out.background_weight >= -1e-6);
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! The iNGP-style NeRF training loop and its baselines.
+//!
+//! Ties the substrates together into the full pipeline of paper Fig. 2/3:
+//! pixel-batch selection (Step a), ray sampling (Step b), model query
+//! (Step c: hash encoding + MLPs), volume rendering (Step d), L2 loss
+//! (Step e) and back-propagation (Step f), with Adam updates for both the
+//! hash-table embeddings and the MLP weights.
+//!
+//! Modules:
+//!
+//! * [`model`] — the [`TrainableField`] trait and [`model::IngpModel`], the
+//!   hash-grid + two-small-MLPs architecture of iNGP / Instant-NeRF.
+//! * [`train`] — generic training loop, rendering and PSNR evaluation.
+//! * [`streaming`] — ray-first vs random point streaming orders (the
+//!   paper's Sec. III-B) and trace generation for the hardware simulators.
+//! * [`workload`] — the Tab. II workload model (parameter/data sizes of the
+//!   bottleneck steps) and FLOP/op counts used by the cost models.
+//! * [`baselines`] — compact NeRF, FastNeRF and TensoRF baselines for
+//!   Tab. IV.
+//! * [`occupancy`] — iNGP's occupancy grid for empty-space skipping (the
+//!   mechanism behind the scene-conditioned hardware traces).
+//!
+//! # Example
+//!
+//! ```
+//! use inerf_trainer::model::{IngpModel, ModelConfig};
+//! use inerf_trainer::train::{TrainConfig, Trainer};
+//! use inerf_scenes::{zoo, DatasetConfig};
+//!
+//! let scene = zoo::scene(zoo::SceneKind::Mic);
+//! let dataset = DatasetConfig::tiny().generate(&scene);
+//! let model = IngpModel::new(ModelConfig::tiny(), 1);
+//! let mut trainer = Trainer::new(model, TrainConfig::tiny(), 7);
+//! let report = trainer.train(&dataset, 3);
+//! assert_eq!(report.iterations, 3);
+//! ```
+
+pub mod baselines;
+pub mod model;
+pub mod occupancy;
+pub mod streaming;
+pub mod train;
+pub mod workload;
+
+pub use model::{IngpModel, ModelConfig, TrainableField};
+pub use occupancy::OccupancyGrid;
+pub use streaming::StreamingOrder;
+pub use train::{TrainConfig, TrainReport, Trainer};

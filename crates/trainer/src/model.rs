@@ -1,0 +1,416 @@
+//! The iNGP model (hash grid + two small MLPs) and the trainable-field trait.
+
+use inerf_encoding::{HashFunction, HashGrid, HashGridConfig};
+use inerf_geom::Vec3;
+use inerf_mlp::{Activation, AdamState, Mlp, MlpActivations};
+use serde::{Deserialize, Serialize};
+
+/// A radiance-field model that can be trained by [`crate::train::Trainer`].
+///
+/// The trainer drives it per batch: `begin_batch` → `query` for every sample
+/// point (in streaming order) → `backward` for every point (same indices) →
+/// `apply_gradients`. Implementations cache whatever the backward pass needs
+/// during `query`.
+pub trait TrainableField {
+    /// Clears per-batch caches and accumulated gradients.
+    fn begin_batch(&mut self);
+
+    /// Queries density and color at point `p` (normalized `[0,1]^3`) viewed
+    /// along `d`; returns `(sigma, rgb)` and caches intermediates under the
+    /// returned index.
+    fn query(&mut self, p: Vec3, d: Vec3) -> (f32, Vec3);
+
+    /// Back-propagates the loss gradient of cached point `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `idx` is out of range for the current
+    /// batch.
+    fn backward(&mut self, idx: usize, d_sigma: f32, d_color: Vec3);
+
+    /// Applies one optimizer step using the accumulated gradients.
+    fn apply_gradients(&mut self);
+
+    /// Queries without caching (for evaluation/rendering).
+    fn query_eval(&self, p: Vec3, d: Vec3) -> (f32, Vec3);
+
+    /// Total trainable parameter count.
+    fn parameter_count(&self) -> usize;
+}
+
+/// Architecture hyper-parameters of [`IngpModel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ModelConfig {
+    /// Hash-grid configuration.
+    pub grid: HashGridConfig,
+    /// Hidden width of the density MLP.
+    pub density_hidden: usize,
+    /// Output width of the density MLP (1 density + geometry features).
+    pub density_out: usize,
+    /// Hidden width of the color MLP (two hidden layers).
+    pub color_hidden: usize,
+}
+
+impl ModelConfig {
+    /// The paper's configuration: `L=16, T=2^19, F=2` grid, width-64 MLPs,
+    /// 16 density outputs (iNGP defaults).
+    pub fn paper(hash: HashFunction) -> Self {
+        ModelConfig {
+            grid: HashGridConfig::paper(hash),
+            density_hidden: 64,
+            density_out: 16,
+            color_hidden: 64,
+        }
+    }
+
+    /// A small configuration for tests and examples (seconds to train).
+    pub fn tiny() -> Self {
+        ModelConfig {
+            grid: HashGridConfig::tiny(HashFunction::Morton),
+            density_hidden: 16,
+            density_out: 8,
+            color_hidden: 16,
+        }
+    }
+
+    /// A mid-sized configuration that reaches good PSNR on the procedural
+    /// scenes in a few hundred iterations (used by the PSNR experiments).
+    pub fn small(hash: HashFunction) -> Self {
+        ModelConfig {
+            grid: HashGridConfig {
+                levels: 8,
+                table_size_log2: 14,
+                features: 2,
+                n_min: 4,
+                n_max: 96,
+                hash,
+            },
+            density_hidden: 32,
+            density_out: 8,
+            color_hidden: 32,
+        }
+    }
+}
+
+/// Spherical-harmonics-style direction encoding (degree 2, 9 coefficients),
+/// the view-direction featurization iNGP feeds its color MLP.
+pub fn direction_encoding(d: Vec3) -> [f32; 9] {
+    let (x, y, z) = (d.x, d.y, d.z);
+    [
+        1.0,
+        x,
+        y,
+        z,
+        x * y,
+        x * z,
+        y * z,
+        x * x - y * y,
+        3.0 * z * z - 1.0,
+    ]
+}
+
+/// Cached activations of one queried point (needed for backprop).
+#[derive(Debug, Clone)]
+struct PointCache {
+    p: Vec3,
+    density_acts: MlpActivations,
+    color_acts: MlpActivations,
+    sigma: f32,
+}
+
+/// The iNGP / Instant-NeRF model: multi-resolution hash grid → density MLP →
+/// color MLP.
+///
+/// The density MLP maps the `L*F` encoding to `density_out` values; element 0
+/// passes through `exp` to give `σ`, the rest are geometry features. The
+/// color MLP consumes the geometry features plus the 9-dim direction
+/// encoding and outputs sigmoid RGB.
+#[derive(Debug, Clone)]
+pub struct IngpModel {
+    config: ModelConfig,
+    grid: HashGrid,
+    density_mlp: Mlp,
+    color_mlp: Mlp,
+    grid_adam: AdamState,
+    density_adam: AdamState,
+    color_adam: AdamState,
+    cache: Vec<PointCache>,
+}
+
+impl IngpModel {
+    /// Learning rate used for all parameter groups (iNGP uses 1e-2 with
+    /// per-group scaling; one shared rate suffices at our scale).
+    pub const LEARNING_RATE: f32 = 1e-2;
+
+    /// Global-norm gradient clip applied per parameter group each step.
+    /// The exp density activation can otherwise blow a batch's gradients
+    /// up and collapse training (a known iNGP instability).
+    pub const GRAD_CLIP_NORM: f32 = 32.0;
+
+    /// Creates a model with freshly initialized parameters.
+    pub fn new(config: ModelConfig, seed: u64) -> Self {
+        let grid = HashGrid::new(config.grid, seed);
+        let feat = config.grid.feature_dim();
+        let density_mlp = Mlp::new(
+            &[feat, config.density_hidden, config.density_out],
+            Activation::Relu,
+            Activation::Identity,
+            seed ^ 0xD5,
+        );
+        let color_in = (config.density_out - 1) + 9;
+        let color_mlp = Mlp::new(
+            &[color_in, config.color_hidden, config.color_hidden, 3],
+            Activation::Relu,
+            Activation::Sigmoid,
+            seed ^ 0xC0,
+        );
+        let grid_adam = AdamState::new(grid.parameters().len(), Self::LEARNING_RATE);
+        let density_adam = AdamState::new(density_mlp.parameter_count(), Self::LEARNING_RATE);
+        let color_adam = AdamState::new(color_mlp.parameter_count(), Self::LEARNING_RATE);
+        IngpModel {
+            config,
+            grid,
+            density_mlp,
+            color_mlp,
+            grid_adam,
+            density_adam,
+            color_adam,
+            cache: Vec::new(),
+        }
+    }
+
+    /// The architecture configuration.
+    pub fn config(&self) -> &ModelConfig {
+        &self.config
+    }
+
+    /// The underlying hash grid (e.g. for trace generation).
+    pub fn grid(&self) -> &HashGrid {
+        &self.grid
+    }
+
+    fn forward_parts(&self, p: Vec3, d: Vec3) -> (MlpActivations, MlpActivations, f32, Vec3) {
+        let feats = self.grid.encode(p);
+        let density_acts = self.density_mlp.forward(&feats);
+        let raw = density_acts.output();
+        // Softplus density: like iNGP's exp it is positive and unbounded,
+        // but its gradient never vanishes at small raw values — the exp
+        // head can collapse to zero density on thin-structure scenes and
+        // never recover (dead-gradient local optimum).
+        let sigma = Activation::Softplus.apply(raw[0]);
+        let dir = direction_encoding(d);
+        let mut color_in = Vec::with_capacity(raw.len() - 1 + 9);
+        color_in.extend_from_slice(&raw[1..]);
+        color_in.extend_from_slice(&dir);
+        let color_acts = self.color_mlp.forward(&color_in);
+        let o = color_acts.output();
+        let rgb = Vec3::new(o[0], o[1], o[2]);
+        (density_acts, color_acts, sigma, rgb)
+    }
+
+    fn step_mlp(mlp: &mut Mlp, adam: &mut AdamState) {
+        // Global-norm clip over the MLP's gradients.
+        let mut norm_sq = 0.0f64;
+        mlp.for_each_param_mut(|_, g| norm_sq += (g as f64) * (g as f64));
+        let scale = clip_scale(norm_sq, Self::GRAD_CLIP_NORM);
+        adam.begin_step();
+        let mut idx = 0usize;
+        mlp.for_each_param_mut(|p, g| {
+            adam.update_one(idx, p, g * scale);
+            idx += 1;
+        });
+    }
+}
+
+/// Scale factor bringing a gradient vector of squared norm `norm_sq` inside
+/// the `clip` ball (1.0 when already inside).
+fn clip_scale(norm_sq: f64, clip: f32) -> f32 {
+    let norm = norm_sq.sqrt() as f32;
+    if norm > clip {
+        clip / norm
+    } else {
+        1.0
+    }
+}
+
+impl TrainableField for IngpModel {
+    fn begin_batch(&mut self) {
+        self.cache.clear();
+        self.grid.zero_grad();
+        self.density_mlp.zero_grad();
+        self.color_mlp.zero_grad();
+    }
+
+    fn query(&mut self, p: Vec3, d: Vec3) -> (f32, Vec3) {
+        let (density_acts, color_acts, sigma, rgb) = self.forward_parts(p, d);
+        self.cache.push(PointCache { p, density_acts, color_acts, sigma });
+        (sigma, rgb)
+    }
+
+    fn backward(&mut self, idx: usize, d_sigma: f32, d_color: Vec3) {
+        let cache = &self.cache[idx];
+        let p = cache.p;
+        let sigma = cache.sigma;
+        // Color MLP backward.
+        let d_color_in = self
+            .color_mlp
+            .backward(&cache.color_acts, &[d_color.x, d_color.y, d_color.z]);
+        // Density MLP backward: raw[0] via exp chain, raw[1..] from color MLP
+        // input gradient (the direction-encoding part has no parameters).
+        let geo = self.config.density_out - 1;
+        let mut d_raw = vec![0.0f32; self.config.density_out];
+        // d softplus(x)/dx = sigmoid(x) = 1 - e^{-softplus(x)}.
+        d_raw[0] = d_sigma * (1.0 - (-sigma).exp());
+        d_raw[1..].copy_from_slice(&d_color_in[..geo]);
+        let d_feats = self.density_mlp.backward(&cache.density_acts, &d_raw);
+        self.grid.backward(p, &d_feats);
+    }
+
+    fn apply_gradients(&mut self) {
+        {
+            let (params, grads) = self.grid.parameters_and_gradients_mut();
+            let mut grads = grads.to_vec();
+            let norm_sq: f64 = grads.iter().map(|&g| (g as f64) * (g as f64)).sum();
+            let scale = clip_scale(norm_sq, Self::GRAD_CLIP_NORM);
+            if scale < 1.0 {
+                for g in &mut grads {
+                    *g *= scale;
+                }
+            }
+            self.grid_adam.step(params, &grads);
+        }
+        Self::step_mlp(&mut self.density_mlp, &mut self.density_adam);
+        Self::step_mlp(&mut self.color_mlp, &mut self.color_adam);
+    }
+
+    fn query_eval(&self, p: Vec3, d: Vec3) -> (f32, Vec3) {
+        let (_, _, sigma, rgb) = self.forward_parts(p, d);
+        (sigma, rgb)
+    }
+
+    fn parameter_count(&self) -> usize {
+        self.grid.parameters().len()
+            + self.density_mlp.parameter_count()
+            + self.color_mlp.parameter_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_output_ranges() {
+        let mut m = IngpModel::new(ModelConfig::tiny(), 3);
+        m.begin_batch();
+        let (sigma, rgb) = m.query(Vec3::splat(0.4), Vec3::new(0.0, 0.0, 1.0));
+        assert!(sigma > 0.0 && sigma.is_finite());
+        for ch in [rgb.x, rgb.y, rgb.z] {
+            assert!((0.0..=1.0).contains(&ch));
+        }
+    }
+
+    #[test]
+    fn eval_matches_train_query() {
+        let mut m = IngpModel::new(ModelConfig::tiny(), 5);
+        m.begin_batch();
+        let p = Vec3::new(0.2, 0.8, 0.6);
+        let d = Vec3::new(0.0, 1.0, 0.0);
+        let (s1, c1) = m.query(p, d);
+        let (s2, c2) = m.query_eval(p, d);
+        assert_eq!(s1, s2);
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn direction_encoding_basis() {
+        let e = direction_encoding(Vec3::new(0.0, 0.0, 1.0));
+        assert_eq!(e[0], 1.0);
+        assert_eq!(e[3], 1.0);
+        assert_eq!(e[8], 2.0); // 3z^2 - 1
+        let e2 = direction_encoding(Vec3::new(1.0, 0.0, 0.0));
+        assert_eq!(e2[7], 1.0); // x^2 - y^2
+    }
+
+    #[test]
+    fn backward_touches_all_parameter_groups() {
+        let mut m = IngpModel::new(ModelConfig::tiny(), 9);
+        m.begin_batch();
+        let p = Vec3::splat(0.5);
+        m.query(p, Vec3::new(0.0, 0.0, 1.0));
+        m.backward(0, 1.0, Vec3::ONE);
+        assert!(m.grid.gradients().iter().any(|&g| g != 0.0), "grid gradients empty");
+        let before = m.grid.parameters().to_vec();
+        m.apply_gradients();
+        let after = m.grid.parameters();
+        assert!(
+            before.iter().zip(after).any(|(a, b)| a != b),
+            "optimizer step did not move grid parameters"
+        );
+    }
+
+    #[test]
+    fn gradient_descent_fits_single_point_color() {
+        // Overfit a single point's color: loss must drop substantially.
+        let mut m = IngpModel::new(ModelConfig::tiny(), 1);
+        let p = Vec3::new(0.3, 0.4, 0.5);
+        let d = Vec3::new(0.0, 0.0, 1.0);
+        let target = Vec3::new(0.9, 0.1, 0.4);
+        let loss_of = |c: Vec3| (c - target).length_squared();
+        m.begin_batch();
+        let (_, c0) = m.query(p, d);
+        let initial = loss_of(c0);
+        for _ in 0..60 {
+            m.begin_batch();
+            let (_, c) = m.query(p, d);
+            let d_color = (c - target) * 2.0;
+            m.backward(0, 0.0, d_color);
+            m.apply_gradients();
+        }
+        let (_, c_final) = m.query_eval(p, d);
+        let fin = loss_of(c_final);
+        assert!(fin < initial * 0.1, "color loss {initial} -> {fin} did not drop 10x");
+    }
+
+    #[test]
+    fn parameter_count_consistent() {
+        let m = IngpModel::new(ModelConfig::tiny(), 2);
+        let grid_n = m.config().grid.parameter_count();
+        assert!(m.parameter_count() > grid_n);
+    }
+
+    #[test]
+    #[should_panic]
+    fn backward_out_of_range_panics() {
+        let mut m = IngpModel::new(ModelConfig::tiny(), 2);
+        m.begin_batch();
+        m.backward(0, 1.0, Vec3::ZERO);
+    }
+}
+
+#[cfg(test)]
+mod clip_tests {
+    use super::*;
+
+    #[test]
+    fn clip_scale_math() {
+        assert_eq!(clip_scale(1.0, 32.0), 1.0);
+        let s = clip_scale((64.0f64) * 64.0, 32.0);
+        assert!((s - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn huge_gradients_do_not_explode_parameters() {
+        let mut m = IngpModel::new(ModelConfig::tiny(), 4);
+        m.begin_batch();
+        let p = Vec3::splat(0.5);
+        m.query(p, Vec3::new(0.0, 0.0, 1.0));
+        // Inject a pathological loss gradient.
+        m.backward(0, 1e6, Vec3::splat(1e6));
+        m.apply_gradients();
+        let max = m.grid.parameters().iter().fold(0.0f32, |a, &v| a.max(v.abs()));
+        assert!(max < 1.0, "clipped step must stay bounded, max param {max}");
+        let (_, rgb) = m.query_eval(p, Vec3::new(0.0, 0.0, 1.0));
+        assert!(rgb.is_finite());
+    }
+}

@@ -1,0 +1,245 @@
+//! The occupancy grid: iNGP's empty-space-skipping structure.
+//!
+//! iNGP maintains a coarse binary grid marking which cells of the scene
+//! volume currently contain density; ray marching skips samples in empty
+//! cells, which concentrates the hash-table traffic on occupied space.
+//! This is the mechanism the hardware experiments' scene-conditioned traces
+//! emulate, implemented here for real: the grid is periodically refreshed
+//! from the model's own density predictions and consulted during sampling.
+
+use crate::model::TrainableField;
+use inerf_geom::{Aabb, Ray, Vec3};
+use serde::{Deserialize, Serialize};
+
+/// A coarse binary occupancy grid over `[0,1]^3` (normalized coordinates).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OccupancyGrid {
+    resolution: u32,
+    /// One bit per cell, row-major (x fastest).
+    bits: Vec<u64>,
+}
+
+impl OccupancyGrid {
+    /// Creates a fully-occupied grid (conservative start: nothing skipped
+    /// until the first refresh).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `resolution` is zero.
+    pub fn new(resolution: u32) -> Self {
+        assert!(resolution > 0, "occupancy grid resolution must be positive");
+        let cells = (resolution as usize).pow(3);
+        OccupancyGrid { resolution, bits: vec![u64::MAX; cells.div_ceil(64)] }
+    }
+
+    /// Grid resolution per axis.
+    pub fn resolution(&self) -> u32 {
+        self.resolution
+    }
+
+    /// Total cell count.
+    pub fn cell_count(&self) -> usize {
+        (self.resolution as usize).pow(3)
+    }
+
+    #[inline]
+    fn cell_index(&self, p: Vec3) -> usize {
+        let r = self.resolution as f32;
+        let clamp = |v: f32| ((v.clamp(0.0, 1.0) * r).min(r - 1e-4)).floor() as usize;
+        (clamp(p.z) * self.resolution as usize + clamp(p.y)) * self.resolution as usize
+            + clamp(p.x)
+    }
+
+    /// Whether the cell containing normalized point `p` is marked occupied.
+    #[inline]
+    pub fn is_occupied(&self, p: Vec3) -> bool {
+        let i = self.cell_index(p);
+        self.bits[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    /// Marks or clears the cell containing `p`.
+    pub fn set(&mut self, p: Vec3, occupied: bool) {
+        let i = self.cell_index(p);
+        if occupied {
+            self.bits[i / 64] |= 1 << (i % 64);
+        } else {
+            self.bits[i / 64] &= !(1 << (i % 64));
+        }
+    }
+
+    /// Fraction of cells currently marked occupied.
+    pub fn occupancy(&self) -> f64 {
+        let set: u32 = self.bits.iter().map(|w| w.count_ones()).sum();
+        // The last word may contain padding bits beyond cell_count; they are
+        // never cleared, so subtract them.
+        let pad = self.bits.len() * 64 - self.cell_count();
+        (set as usize - pad) as f64 / self.cell_count() as f64
+    }
+
+    /// Refreshes the grid from the model's density predictions: each cell is
+    /// probed at its centre (plus a body-diagonal jitter pattern of
+    /// `probes` points) and marked occupied if any probe's density exceeds
+    /// `threshold`.
+    ///
+    /// iNGP refreshes every few training iterations with an EMA; a periodic
+    /// hard refresh reproduces the skipping behaviour at our scale.
+    pub fn refresh<M: TrainableField>(&mut self, model: &M, threshold: f32, probes: u32) {
+        let res = self.resolution;
+        let dir = Vec3::new(0.0, 0.0, 1.0);
+        for iz in 0..res {
+            for iy in 0..res {
+                for ix in 0..res {
+                    let mut occupied = false;
+                    for k in 0..probes.max(1) {
+                        let f = (k as f32 + 0.5) / probes.max(1) as f32;
+                        let p = Vec3::new(
+                            (ix as f32 + f) / res as f32,
+                            (iy as f32 + f) / res as f32,
+                            (iz as f32 + f) / res as f32,
+                        );
+                        if model.query_eval(p, dir).0 > threshold {
+                            occupied = true;
+                            break;
+                        }
+                    }
+                    let center = Vec3::new(
+                        (ix as f32 + 0.5) / res as f32,
+                        (iy as f32 + 0.5) / res as f32,
+                        (iz as f32 + 0.5) / res as f32,
+                    );
+                    self.set(center, occupied);
+                }
+            }
+        }
+    }
+
+    /// Filters stratified sample distances along a ray, keeping those whose
+    /// normalized sample point lies in an occupied cell. Returns `(kept
+    /// distances, skipped count)`.
+    pub fn filter_ts(&self, ray: &Ray, bounds: &Aabb, ts: &[f32]) -> (Vec<f32>, usize) {
+        let mut kept = Vec::with_capacity(ts.len());
+        let mut skipped = 0usize;
+        for &t in ts {
+            let p = bounds.normalize(ray.at(t));
+            if self.is_occupied(p) {
+                kept.push(t);
+            } else {
+                skipped += 1;
+            }
+        }
+        (kept, skipped)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{IngpModel, ModelConfig};
+    use proptest::prelude::*;
+
+    #[test]
+    fn starts_fully_occupied() {
+        let g = OccupancyGrid::new(8);
+        assert_eq!(g.cell_count(), 512);
+        assert!((g.occupancy() - 1.0).abs() < 1e-12);
+        assert!(g.is_occupied(Vec3::splat(0.5)));
+    }
+
+    #[test]
+    fn set_and_query_roundtrip() {
+        let mut g = OccupancyGrid::new(4);
+        let p = Vec3::new(0.9, 0.1, 0.6);
+        g.set(p, false);
+        assert!(!g.is_occupied(p));
+        // A point in a different cell is unaffected.
+        assert!(g.is_occupied(Vec3::new(0.1, 0.1, 0.6)));
+        g.set(p, true);
+        assert!(g.is_occupied(p));
+    }
+
+    #[test]
+    fn occupancy_counts_exactly() {
+        let mut g = OccupancyGrid::new(4); // 64 cells
+        for iz in 0..4 {
+            for iy in 0..4 {
+                for ix in 0..4 {
+                    g.set(
+                        Vec3::new(
+                            (ix as f32 + 0.5) / 4.0,
+                            (iy as f32 + 0.5) / 4.0,
+                            (iz as f32 + 0.5) / 4.0,
+                        ),
+                        false,
+                    );
+                }
+            }
+        }
+        assert_eq!(g.occupancy(), 0.0);
+        g.set(Vec3::splat(0.1), true);
+        assert!((g.occupancy() - 1.0 / 64.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn refresh_clears_empty_space_of_untrained_model() {
+        // A freshly initialized model has near-zero density nowhere above a
+        // generous threshold, so the refresh empties the grid.
+        let model = IngpModel::new(ModelConfig::tiny(), 3);
+        let mut g = OccupancyGrid::new(8);
+        g.refresh(&model, 10.0, 2);
+        assert!(g.occupancy() < 0.05, "occupancy {}", g.occupancy());
+    }
+
+    #[test]
+    fn filter_ts_skips_cleared_cells() {
+        let mut g = OccupancyGrid::new(2);
+        // Clear the -x half (cells with x < 0.5).
+        for iz in 0..2 {
+            for iy in 0..2 {
+                g.set(
+                    Vec3::new(0.25, (iy as f32 + 0.5) / 2.0, (iz as f32 + 0.5) / 2.0),
+                    false,
+                );
+            }
+        }
+        let bounds = Aabb::new(Vec3::splat(-1.0), Vec3::splat(1.0));
+        let ray = Ray::new(Vec3::new(-2.0, 0.1, 0.1), Vec3::new(1.0, 0.0, 0.0));
+        let ts: Vec<f32> = (0..16).map(|i| 1.0 + i as f32 * 0.125).collect();
+        let (kept, skipped) = g.filter_ts(&ray, &bounds, &ts);
+        assert!(skipped > 0, "some samples cross the cleared half");
+        assert!(!kept.is_empty(), "some samples survive in the occupied half");
+        // Every kept sample is in the +x (occupied) half of the box.
+        for &t in &kept {
+            assert!(ray.at(t).x >= 0.0 - 0.0626, "kept sample at x={}", ray.at(t).x);
+        }
+        assert_eq!(kept.len() + skipped, ts.len());
+    }
+
+    proptest! {
+        #[test]
+        fn cell_index_in_bounds(
+            px in -0.5f32..1.5, py in -0.5f32..1.5, pz in -0.5f32..1.5,
+            res in 1u32..32
+        ) {
+            let g = OccupancyGrid::new(res);
+            // is_occupied must never index out of bounds (clamping).
+            let _ = g.is_occupied(Vec3::new(px, py, pz));
+        }
+
+        #[test]
+        fn occupancy_between_zero_and_one(res in 1u32..16, clears in 0usize..32) {
+            let mut g = OccupancyGrid::new(res);
+            let mut s = 0x12345u64;
+            for _ in 0..clears {
+                s ^= s << 13; s ^= s >> 7; s ^= s << 17;
+                let p = Vec3::new(
+                    (s & 0xff) as f32 / 255.0,
+                    ((s >> 8) & 0xff) as f32 / 255.0,
+                    ((s >> 16) & 0xff) as f32 / 255.0,
+                );
+                g.set(p, false);
+            }
+            let occ = g.occupancy();
+            prop_assert!((0.0..=1.0).contains(&occ));
+        }
+    }
+}

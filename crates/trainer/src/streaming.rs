@@ -1,0 +1,184 @@
+//! Point streaming orders (paper Sec. III-B).
+//!
+//! A training batch holds `R` rays × `S` sample points. The math is
+//! order-independent, but the *order* in which points stream through the
+//! memory system decides how much locality the hash-table lookups exhibit:
+//!
+//! * [`StreamingOrder::RayFirst`] — all points of ray 0, then ray 1, …
+//!   Consecutive points walk along a ray, sharing and neighbouring cubes
+//!   (the paper's proposal).
+//! * [`StreamingOrder::Random`] — a pseudo-random permutation of all points,
+//!   modelling the scattered order a GPU warp scheduler produces (the iNGP
+//!   baseline).
+
+use inerf_encoding::{HashGrid, LookupTrace};
+use inerf_geom::{Aabb, Ray, Vec3};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// The order sample points stream into the processing engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StreamingOrder {
+    /// Points along one ray complete before the next ray starts.
+    RayFirst,
+    /// Globally shuffled point order.
+    Random,
+}
+
+impl StreamingOrder {
+    /// Display label used by experiment output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            StreamingOrder::RayFirst => "ray-first",
+            StreamingOrder::Random => "random",
+        }
+    }
+}
+
+/// A batch of sample points, annotated with their `(ray, sample)` origin.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PointBatch {
+    /// Sample positions, normalized into `[0,1]^3`.
+    pub points: Vec<Vec3>,
+    /// `(ray index, sample index)` provenance, parallel to `points`.
+    pub provenance: Vec<(u32, u32)>,
+}
+
+/// Samples `samples_per_ray` stratified points along each ray's intersection
+/// with `bounds`, normalizes them into `[0,1]^3`, and arranges them in the
+/// requested streaming order.
+///
+/// Rays missing the bounds contribute no points. `seed` drives only the
+/// random permutation (ray-first order is deterministic).
+pub fn build_point_batch(
+    rays: &[Ray],
+    bounds: &Aabb,
+    samples_per_ray: usize,
+    order: StreamingOrder,
+    seed: u64,
+) -> PointBatch {
+    let mut points = Vec::with_capacity(rays.len() * samples_per_ray);
+    let mut provenance = Vec::with_capacity(rays.len() * samples_per_ray);
+    for (ri, ray) in rays.iter().enumerate() {
+        let Some(hit) = bounds.intersect(ray) else { continue };
+        if hit.t_far - hit.t_near < 1e-6 {
+            continue;
+        }
+        for (si, t) in ray
+            .stratified_ts(hit.t_near.max(1e-4), hit.t_far, samples_per_ray, None)
+            .into_iter()
+            .enumerate()
+        {
+            points.push(bounds.normalize(ray.at(t)));
+            provenance.push((ri as u32, si as u32));
+        }
+    }
+    if order == StreamingOrder::Random {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut perm: Vec<usize> = (0..points.len()).collect();
+        perm.shuffle(&mut rng);
+        let points2 = perm.iter().map(|&i| points[i]).collect();
+        let prov2 = perm.iter().map(|&i| provenance[i]).collect();
+        return PointBatch { points: points2, provenance: prov2 };
+    }
+    PointBatch { points, provenance }
+}
+
+/// Replays a point batch through the hash grid's address generation,
+/// producing the lookup trace the hardware models consume.
+pub fn trace_batch(grid: &HashGrid, batch: &PointBatch) -> LookupTrace {
+    let mut trace = LookupTrace::new();
+    for &p in &batch.points {
+        trace.push_point(&grid.cube_lookups(p));
+    }
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inerf_encoding::{requests, HashFunction, HashGridConfig};
+
+    fn test_rays(n: usize) -> Vec<Ray> {
+        (0..n)
+            .map(|i| {
+                let y = -0.8 + 1.6 * i as f32 / n.max(1) as f32;
+                Ray::new(Vec3::new(-3.0, y, 0.1), Vec3::new(1.0, 0.0, 0.0))
+            })
+            .collect()
+    }
+
+    fn bounds() -> Aabb {
+        Aabb::new(Vec3::splat(-1.0), Vec3::splat(1.0))
+    }
+
+    #[test]
+    fn ray_first_keeps_ray_points_contiguous() {
+        let batch =
+            build_point_batch(&test_rays(4), &bounds(), 8, StreamingOrder::RayFirst, 0);
+        assert_eq!(batch.points.len(), 32);
+        for (i, (ri, si)) in batch.provenance.iter().enumerate() {
+            assert_eq!(*ri as usize, i / 8);
+            assert_eq!(*si as usize, i % 8);
+        }
+    }
+
+    #[test]
+    fn random_order_is_a_permutation() {
+        let rf = build_point_batch(&test_rays(4), &bounds(), 8, StreamingOrder::RayFirst, 1);
+        let rnd = build_point_batch(&test_rays(4), &bounds(), 8, StreamingOrder::Random, 1);
+        assert_eq!(rf.points.len(), rnd.points.len());
+        let mut a = rf.provenance.clone();
+        let mut b = rnd.provenance.clone();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b, "random order must be a permutation of the same points");
+        assert_ne!(rf.provenance, rnd.provenance, "random order should differ");
+    }
+
+    #[test]
+    fn points_are_normalized() {
+        let batch = build_point_batch(&test_rays(3), &bounds(), 16, StreamingOrder::RayFirst, 0);
+        for p in &batch.points {
+            assert!((-1e-4..=1.0 + 1e-4).contains(&p.x), "{p:?}");
+            assert!((-1e-4..=1.0 + 1e-4).contains(&p.y));
+            assert!((-1e-4..=1.0 + 1e-4).contains(&p.z));
+        }
+    }
+
+    #[test]
+    fn missing_rays_are_skipped() {
+        let mut rays = test_rays(2);
+        rays.push(Ray::new(Vec3::new(0.0, 5.0, 0.0), Vec3::new(0.0, 1.0, 0.0)));
+        let batch = build_point_batch(&rays, &bounds(), 4, StreamingOrder::RayFirst, 0);
+        assert_eq!(batch.points.len(), 8, "the escaping ray must contribute nothing");
+    }
+
+    #[test]
+    fn ray_first_order_reduces_row_requests() {
+        // The paper's Sec. III-B claim, end to end: same rays, same grid,
+        // only the streaming order differs — ray-first must need fewer DRAM
+        // row requests after register-cache filtering.
+        let grid = HashGrid::new(HashGridConfig::paper(HashFunction::Morton), 5);
+        let rays = test_rays(16);
+        let rf = trace_batch(
+            &grid,
+            &build_point_batch(&rays, &bounds(), 64, StreamingOrder::RayFirst, 2),
+        );
+        let rnd = trace_batch(
+            &grid,
+            &build_point_batch(&rays, &bounds(), 64, StreamingOrder::Random, 2),
+        );
+        let levels = grid.config().levels;
+        let s_rf = requests::replay_with_register_cache(&rf, levels);
+        let s_rnd = requests::replay_with_register_cache(&rnd, levels);
+        assert!(
+            s_rf.total_row_requests() < s_rnd.total_row_requests(),
+            "ray-first {} should beat random {}",
+            s_rf.total_row_requests(),
+            s_rnd.total_row_requests()
+        );
+    }
+}

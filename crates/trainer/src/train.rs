@@ -1,0 +1,453 @@
+//! The training loop: batches, rendering, loss, backprop, evaluation.
+
+use crate::model::TrainableField;
+use crate::occupancy::OccupancyGrid;
+use crate::streaming::StreamingOrder;
+use inerf_geom::{Aabb, Camera, Ray, Vec3};
+use inerf_render::volume::{composite, composite_backward, SamplePoint};
+use inerf_render::{l2_loss};
+use inerf_scenes::{psnr_from_mse, Dataset, Image};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Training hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrainConfig {
+    /// Rays (pixels) per iteration batch — Step (a) of the pipeline.
+    pub rays_per_batch: usize,
+    /// Stratified samples per ray — Step (b).
+    pub samples_per_ray: usize,
+    /// Point streaming order (affects hardware traces, not the math).
+    pub order: StreamingOrder,
+    /// Samples per ray used when rendering evaluation images.
+    pub eval_samples_per_ray: usize,
+}
+
+impl TrainConfig {
+    /// The paper's workload shape: 256 K sampled points per iteration
+    /// (2 K rays × 128 samples), ray-first order.
+    pub fn paper() -> Self {
+        TrainConfig {
+            rays_per_batch: 2048,
+            samples_per_ray: 128,
+            order: StreamingOrder::RayFirst,
+            eval_samples_per_ray: 128,
+        }
+    }
+
+    /// A tiny configuration for unit tests.
+    pub fn tiny() -> Self {
+        TrainConfig {
+            rays_per_batch: 32,
+            samples_per_ray: 16,
+            order: StreamingOrder::RayFirst,
+            eval_samples_per_ray: 24,
+        }
+    }
+
+    /// A small configuration for examples and PSNR runs.
+    pub fn small() -> Self {
+        TrainConfig {
+            rays_per_batch: 256,
+            samples_per_ray: 32,
+            order: StreamingOrder::RayFirst,
+            eval_samples_per_ray: 48,
+        }
+    }
+
+    /// Sampled points per iteration (the paper's "batch size" unit).
+    pub fn points_per_iteration(&self) -> usize {
+        self.rays_per_batch * self.samples_per_ray
+    }
+}
+
+/// Summary of a training run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainReport {
+    /// Iterations executed.
+    pub iterations: usize,
+    /// Loss after the first iteration.
+    pub first_loss: f64,
+    /// Loss after the last iteration.
+    pub last_loss: f64,
+    /// Per-iteration losses.
+    pub losses: Vec<f64>,
+}
+
+/// Optional empty-space skipping state.
+#[derive(Debug, Clone)]
+struct OccupancyState {
+    grid: OccupancyGrid,
+    threshold: f32,
+    refresh_every: usize,
+    iteration: usize,
+}
+
+/// Drives a [`TrainableField`] through the six-step NeRF training pipeline.
+#[derive(Debug, Clone)]
+pub struct Trainer<M> {
+    model: M,
+    config: TrainConfig,
+    rng: SmallRng,
+    occupancy: Option<OccupancyState>,
+    points_queried: u64,
+}
+
+impl<M: TrainableField> Trainer<M> {
+    /// Creates a trainer. `seed` drives batch selection and jitter.
+    pub fn new(model: M, config: TrainConfig, seed: u64) -> Self {
+        Trainer {
+            model,
+            config,
+            rng: SmallRng::seed_from_u64(seed),
+            occupancy: None,
+            points_queried: 0,
+        }
+    }
+
+    /// Enables iNGP-style empty-space skipping: a `resolution`^3 occupancy
+    /// grid refreshed from the model every `refresh_every` iterations;
+    /// samples in cells whose density stays below `threshold` are skipped.
+    pub fn with_occupancy_grid(
+        mut self,
+        resolution: u32,
+        threshold: f32,
+        refresh_every: usize,
+    ) -> Self {
+        self.occupancy = Some(OccupancyState {
+            grid: OccupancyGrid::new(resolution),
+            threshold,
+            refresh_every: refresh_every.max(1),
+            iteration: 0,
+        });
+        self
+    }
+
+    /// The occupancy grid, if enabled.
+    pub fn occupancy_grid(&self) -> Option<&OccupancyGrid> {
+        self.occupancy.as_ref().map(|o| &o.grid)
+    }
+
+    /// Total model queries issued so far (the quantity empty-space skipping
+    /// reduces).
+    pub fn points_queried(&self) -> u64 {
+        self.points_queried
+    }
+
+    /// The wrapped model.
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+
+    /// Mutable access to the wrapped model.
+    pub fn model_mut(&mut self) -> &mut M {
+        &mut self.model
+    }
+
+    /// The training configuration.
+    pub fn config(&self) -> &TrainConfig {
+        &self.config
+    }
+
+    /// Consumes the trainer, returning the trained model.
+    pub fn into_model(self) -> M {
+        self.model
+    }
+
+    /// Runs one training iteration on a random pixel batch; returns the
+    /// batch loss.
+    pub fn train_step(&mut self, dataset: &Dataset) -> f64 {
+        if let Some(occ) = &mut self.occupancy {
+            if occ.iteration % occ.refresh_every == 0 {
+                occ.grid.refresh(&self.model, occ.threshold, 2);
+            }
+            occ.iteration += 1;
+        }
+        let n_pixels = dataset.train_pixel_count();
+        assert!(n_pixels > 0, "dataset has no training pixels");
+        // Step (a): random pixel batch.
+        let mut rays: Vec<Ray> = Vec::with_capacity(self.config.rays_per_batch);
+        let mut targets: Vec<Vec3> = Vec::with_capacity(self.config.rays_per_batch);
+        for _ in 0..self.config.rays_per_batch {
+            let idx = self.rng.gen_range(0..n_pixels);
+            let (vi, px, py, color) = dataset.train_pixel(idx);
+            rays.push(dataset.train_views[vi].camera.ray_for_pixel(px, py));
+            targets.push(color);
+        }
+        self.train_on_rays(&rays, &targets, &dataset.bounds)
+    }
+
+    /// Runs one iteration on explicit rays/targets (used by tests and the
+    /// hardware-trace generators).
+    pub fn train_on_rays(&mut self, rays: &[Ray], targets: &[Vec3], bounds: &Aabb) -> f64 {
+        self.model.begin_batch();
+        let s = self.config.samples_per_ray;
+        // Step (b): sample points per ray; Step (c): query the model in
+        // streaming order. Ray-first is the natural loop order; the Random
+        // order shuffles queries but backprop bookkeeping stays per-ray.
+        struct RayRecord {
+            samples: Vec<SamplePoint>,
+            dts: Vec<f32>,
+            cache_base: usize,
+            target: Vec3,
+        }
+        let mut records: Vec<RayRecord> = Vec::with_capacity(rays.len());
+        let mut cache_idx = 0usize;
+        for (ray, &target) in rays.iter().zip(targets) {
+            let Some(hit) = bounds.intersect(ray) else {
+                continue;
+            };
+            if hit.t_far - hit.t_near < 1e-5 {
+                continue;
+            }
+            let jitter: Vec<f32> = (0..s).map(|_| self.rng.gen_range(-0.5..0.5)).collect();
+            let mut ts = ray.stratified_ts(hit.t_near.max(1e-4), hit.t_far, s, Some(&jitter));
+            let dt = (hit.t_far - hit.t_near.max(1e-4)) / s as f32;
+            if let Some(occ) = &self.occupancy {
+                let (kept, _) = occ.grid.filter_ts(ray, bounds, &ts);
+                ts = kept;
+            }
+            if ts.is_empty() {
+                continue;
+            }
+            let mut samples = Vec::with_capacity(ts.len());
+            for &t in &ts {
+                let p = bounds.normalize(ray.at(t));
+                let (sigma, rgb) = self.model.query(p, ray.direction);
+                samples.push(SamplePoint { sigma, color: rgb });
+            }
+            self.points_queried += samples.len() as u64;
+            let n = samples.len();
+            records.push(RayRecord {
+                samples,
+                dts: vec![dt; n],
+                cache_base: cache_idx,
+                target,
+            });
+            cache_idx += n;
+        }
+        if records.is_empty() {
+            return 0.0;
+        }
+        // Step (d): volume rendering.
+        let outputs: Vec<_> =
+            records.iter().map(|r| composite(&r.samples, &r.dts)).collect();
+        // Step (e): loss.
+        let predictions: Vec<Vec3> = outputs.iter().map(|o| o.color).collect();
+        let target_colors: Vec<Vec3> = records.iter().map(|r| r.target).collect();
+        let loss = l2_loss(&predictions, &target_colors);
+        // Step (f): backward through rendering, MLPs and the hash table.
+        for ((record, out), d_pred) in
+            records.iter().zip(&outputs).zip(&loss.d_predictions)
+        {
+            let grads = composite_backward(&record.samples, &record.dts, out, *d_pred);
+            for i in 0..record.samples.len() {
+                self.model.backward(record.cache_base + i, grads.d_sigma[i], grads.d_color[i]);
+            }
+        }
+        self.model.apply_gradients();
+        loss.value
+    }
+
+    /// Trains for `iterations` steps, returning the loss trajectory.
+    pub fn train(&mut self, dataset: &Dataset, iterations: usize) -> TrainReport {
+        let mut losses = Vec::with_capacity(iterations);
+        for _ in 0..iterations {
+            losses.push(self.train_step(dataset));
+        }
+        TrainReport {
+            iterations,
+            first_loss: losses.first().copied().unwrap_or(0.0),
+            last_loss: losses.last().copied().unwrap_or(0.0),
+            losses,
+        }
+    }
+
+    /// Renders an image from the trained model (no gradient tracking).
+    pub fn render_view(&self, camera: &Camera, bounds: &Aabb) -> Image {
+        render_view(&self.model, camera, bounds, self.config.eval_samples_per_ray)
+    }
+
+    /// Mean PSNR over the dataset's held-out test views.
+    pub fn eval_psnr(&self, dataset: &Dataset) -> f64 {
+        eval_psnr(&self.model, dataset, self.config.eval_samples_per_ray)
+    }
+}
+
+/// Renders `camera`'s image from any trained field.
+pub fn render_view<M: TrainableField>(
+    model: &M,
+    camera: &Camera,
+    bounds: &Aabb,
+    samples_per_ray: usize,
+) -> Image {
+    let mut img = Image::new(camera.width, camera.height);
+    for py in 0..camera.height {
+        for px in 0..camera.width {
+            let ray = camera.ray_for_pixel(px, py);
+            let Some(hit) = bounds.intersect(&ray) else {
+                continue;
+            };
+            if hit.t_far - hit.t_near < 1e-5 {
+                continue;
+            }
+            let ts =
+                ray.stratified_ts(hit.t_near.max(1e-4), hit.t_far, samples_per_ray, None);
+            let dt = (hit.t_far - hit.t_near.max(1e-4)) / samples_per_ray as f32;
+            let samples: Vec<SamplePoint> = ts
+                .iter()
+                .map(|&t| {
+                    let p = bounds.normalize(ray.at(t));
+                    let (sigma, color) = model.query_eval(p, ray.direction);
+                    SamplePoint { sigma, color }
+                })
+                .collect();
+            let out = composite(&samples, &vec![dt; samples_per_ray]);
+            img.set(px, py, out.color);
+        }
+    }
+    img
+}
+
+/// Mean PSNR of a model over a dataset's held-out test views.
+pub fn eval_psnr<M: TrainableField>(model: &M, dataset: &Dataset, samples_per_ray: usize) -> f64 {
+    assert!(!dataset.test_views.is_empty(), "dataset has no test views");
+    let mut total_mse = 0.0f64;
+    for view in &dataset.test_views {
+        let rendered = render_view(model, &view.camera, &dataset.bounds, samples_per_ray);
+        total_mse += inerf_scenes::mse(&rendered, &view.image);
+    }
+    psnr_from_mse(total_mse / dataset.test_views.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{IngpModel, ModelConfig};
+    use inerf_scenes::{zoo, DatasetConfig};
+
+    fn tiny_setup() -> (Dataset, Trainer<IngpModel>) {
+        let scene = zoo::scene(zoo::SceneKind::Mic);
+        let dataset = DatasetConfig::tiny().generate(&scene);
+        let model = IngpModel::new(ModelConfig::tiny(), 11);
+        (dataset, Trainer::new(model, TrainConfig::tiny(), 4))
+    }
+
+    #[test]
+    fn paper_config_points_per_iteration() {
+        assert_eq!(TrainConfig::paper().points_per_iteration(), 256 * 1024);
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let (dataset, mut trainer) = tiny_setup();
+        let report = trainer.train(&dataset, 40);
+        assert_eq!(report.iterations, 40);
+        // Average the first and last few losses to smooth batch noise.
+        let early: f64 = report.losses[..5].iter().sum::<f64>() / 5.0;
+        let late: f64 = report.losses[35..].iter().sum::<f64>() / 5.0;
+        assert!(
+            late < early * 0.8,
+            "training loss should drop: early {early:.5} vs late {late:.5}"
+        );
+    }
+
+    #[test]
+    fn training_improves_psnr_over_untrained() {
+        let scene = zoo::scene(zoo::SceneKind::Hotdog);
+        let dataset = DatasetConfig::tiny().generate(&scene);
+        let model = IngpModel::new(ModelConfig::tiny(), 11);
+        let mut trainer = Trainer::new(model, TrainConfig::tiny(), 4);
+        let before = trainer.eval_psnr(&dataset);
+        trainer.train(&dataset, 60);
+        let after = trainer.eval_psnr(&dataset);
+        assert!(
+            after > before + 1.0,
+            "PSNR should improve by >1 dB: {before:.2} -> {after:.2}"
+        );
+    }
+
+    #[test]
+    fn render_view_dimensions_and_range() {
+        let (dataset, trainer) = tiny_setup();
+        let cam = &dataset.test_views[0].camera;
+        let img = trainer.render_view(cam, &dataset.bounds);
+        assert_eq!(img.width(), cam.width);
+        assert_eq!(img.height(), cam.height);
+        for p in img.pixels() {
+            assert!(p.is_finite());
+            assert!(p.x >= 0.0 && p.x <= 1.0 + 1e-5);
+        }
+    }
+
+    #[test]
+    fn rays_missing_bounds_yield_zero_loss() {
+        let (_, mut trainer) = tiny_setup();
+        let rays = vec![Ray::new(Vec3::new(0.0, 10.0, 0.0), Vec3::new(0.0, 1.0, 0.0))];
+        let loss = trainer.train_on_rays(
+            &rays,
+            &[Vec3::ZERO],
+            &Aabb::new(Vec3::splat(-1.0), Vec3::splat(1.0)),
+        );
+        assert_eq!(loss, 0.0);
+    }
+
+    #[test]
+    fn train_report_records_trajectory() {
+        let (dataset, mut trainer) = tiny_setup();
+        let report = trainer.train(&dataset, 5);
+        assert_eq!(report.losses.len(), 5);
+        assert_eq!(report.first_loss, report.losses[0]);
+        assert_eq!(report.last_loss, report.losses[4]);
+    }
+}
+
+#[cfg(test)]
+mod occupancy_tests {
+    use super::*;
+    use crate::model::{IngpModel, ModelConfig};
+    use inerf_scenes::{zoo, DatasetConfig};
+
+    #[test]
+    fn occupancy_grid_cuts_queries_without_hurting_quality() {
+        let scene = zoo::scene(zoo::SceneKind::Mic); // sparse scene: big skips
+        let dataset = DatasetConfig::tiny().generate(&scene);
+        let iterations = 50;
+
+        let mut dense = Trainer::new(IngpModel::new(ModelConfig::tiny(), 5), TrainConfig::tiny(), 9);
+        dense.train(&dataset, iterations);
+        let dense_queries = dense.points_queried();
+        let dense_psnr = dense.eval_psnr(&dataset);
+
+        // Warm up briefly so the grid refresh sees real densities, matching
+        // iNGP's schedule of enabling skipping after early iterations.
+        let mut skipping = Trainer::new(IngpModel::new(ModelConfig::tiny(), 5), TrainConfig::tiny(), 9);
+        skipping.train(&dataset, 20);
+        let mut skipping = {
+            // Rebuild with the grid enabled, keeping the warmed model.
+            let model = skipping.into_model();
+            Trainer::new(model, TrainConfig::tiny(), 9).with_occupancy_grid(16, 0.05, 10)
+        };
+        skipping.train(&dataset, iterations - 20);
+        let skip_queries = skipping.points_queried();
+        let skip_psnr = skipping.eval_psnr(&dataset);
+
+        assert!(
+            (skip_queries as f64) < 0.9 * dense_queries as f64,
+            "skipping should cut queries: {skip_queries} vs {dense_queries}"
+        );
+        assert!(
+            skip_psnr > dense_psnr - 3.0,
+            "quality must not collapse: {skip_psnr:.2} vs {dense_psnr:.2} dB"
+        );
+    }
+
+    #[test]
+    fn occupancy_grid_accessor() {
+        let t = Trainer::new(IngpModel::new(ModelConfig::tiny(), 1), TrainConfig::tiny(), 1);
+        assert!(t.occupancy_grid().is_none());
+        let t = t.with_occupancy_grid(8, 0.1, 5);
+        assert!(t.occupancy_grid().is_some());
+    }
+}

@@ -1,0 +1,94 @@
+//! Deep-dive into the accelerator's per-iteration timing: where the cycles
+//! go, what each co-design element buys, and the resulting Fig. 11 speedup.
+//!
+//! ```text
+//! cargo run --release --example nmp_speedup [scene]
+//! ```
+
+use instant_nerf::accel::mapping::{HashTableMapping, MappingScheme};
+use instant_nerf::accel::parallel::ParallelismPlan;
+use instant_nerf::accel::PipelineModel;
+use instant_nerf::experiments::traces::{gpu_scene_factor, scene_trace};
+use instant_nerf::prelude::*;
+use instant_nerf::scenes::zoo;
+use std::error::Error;
+
+const BATCH: u64 = 256 * 1024;
+const ITERS: u64 = 35_000;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let scene_name = std::env::args().nth(1).unwrap_or_else(|| "Lego".to_string());
+    let kind = SceneKind::ALL
+        .into_iter()
+        .find(|k| k.name().eq_ignore_ascii_case(&scene_name))
+        .ok_or_else(|| format!("unknown scene {scene_name}"))?;
+
+    let model = ModelConfig::paper(HashFunction::Morton);
+    let grid = HashGrid::new(model.grid, 7);
+    let scene = zoo::scene(kind);
+    println!("Sampling the '{kind}' access trace...");
+    let st = scene_trace(&scene, &grid, 4096, 128, 7);
+    println!("  {} points, occupancy {:.1}%, fine-spread {:.2}", st.points, 100.0 * st.occupancy, st.fine_spread);
+
+    let pipeline = PipelineModel::paper(model.clone());
+    let est = pipeline.estimate_iteration(&st.trace, st.points, BATCH);
+    println!("\nPer-iteration breakdown (batch = 256K points):");
+    for s in &est.steps {
+        println!(
+            "  {:7}  dram {:7.3} ms   compute {:7.3} ms",
+            format!("{:?}", s.step),
+            s.dram_seconds * 1e3,
+            s.compute_seconds * 1e3
+        );
+    }
+    println!("  inter-bank bus: {:.3} ms", est.bus_seconds * 1e3);
+    println!(
+        "  pipelined: {:.3} ms/iter   (serial would be {:.3} ms)",
+        est.pipelined_seconds * 1e3,
+        est.serial_seconds * 1e3
+    );
+
+    let accel_scene = pipeline.scene_estimate(&est, ITERS);
+    println!(
+        "\nFull scene ({} iters): {:.0} s, {:.0} J",
+        ITERS, accel_scene.training_seconds, accel_scene.training_joules
+    );
+
+    let factor = gpu_scene_factor(&st);
+    let gpu_model = ModelConfig::paper(HashFunction::Original);
+    for spec in [GpuSpec::xnx(), GpuSpec::tx2()] {
+        let cost = TrainingCost::estimate(&spec, &gpu_model, BATCH, ITERS, factor);
+        println!(
+            "  vs {:5}: {:6.0} s  -> {:5.1}x speedup, {:5.1}x energy gain",
+            spec.name,
+            cost.total_seconds,
+            cost.total_seconds / accel_scene.training_seconds,
+            cost.total_joules / accel_scene.training_joules
+        );
+    }
+
+    println!("\nAblations (pipelined ms/iter):");
+    let base = est.pipelined_seconds * 1e3;
+    println!("  paper design point            : {base:.3}");
+    let no_spread = PipelineModel::paper(model.clone())
+        .with_mapping(HashTableMapping::paper(MappingScheme::ClusteredNoSpread, 32), 32)
+        .estimate_iteration(&st.trace, st.points, BATCH)
+        .pipelined_seconds
+        * 1e3;
+    println!("  - subarray spreading          : {no_spread:.3}");
+    let one_level = PipelineModel::paper(model.clone())
+        .with_mapping(HashTableMapping::paper(MappingScheme::OneLevelPerBank, 32), 32)
+        .estimate_iteration(&st.trace, st.points, BATCH)
+        .pipelined_seconds
+        * 1e3;
+    println!("  - inter-level clustering      : {one_level:.3}");
+    let all_data = PipelineModel::paper(model.clone())
+        .with_plan(ParallelismPlan::all_data())
+        .estimate_iteration(&st.trace, st.points, BATCH)
+        .pipelined_seconds
+        * 1e3;
+    println!("  - heterogeneous parallelism   : {all_data:.3} (all data-parallel)");
+    let serial = est.serial_seconds * 1e3;
+    println!("  - stage pipelining            : {serial:.3}");
+    Ok(())
+}

@@ -1,0 +1,95 @@
+//! Regenerates the paper's characterization figures and tables.
+//!
+//! ```text
+//! cargo run --release --example paper_figures [fig1|fig4|fig6|fig7|fig9|fig11|tab1|tab2|tab3|ext|all] [--json DIR]
+//! ```
+//!
+//! With `--json DIR`, machine-readable result dumps are written alongside
+//! the printed tables (one file per experiment).
+
+use instant_nerf::experiments::{extension, fig1, fig11, fig4, fig6, fig7, fig9, tables};
+use instant_nerf::prelude::SceneKind;
+use std::error::Error;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let which = args.first().cloned().unwrap_or_else(|| "all".to_string());
+    let all = which == "all";
+    let json_dir = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    if let Some(dir) = &json_dir {
+        std::fs::create_dir_all(dir)?;
+    }
+    let dump = |name: &str, value: &dyn erased::Dump| -> Result<(), Box<dyn Error>> {
+        if let Some(dir) = &json_dir {
+            std::fs::write(format!("{dir}/{name}.json"), value.to_json()?)?;
+        }
+        Ok(())
+    };
+
+    if all || which == "tab1" {
+        println!("{}", tables::tab1());
+    }
+    if all || which == "tab2" {
+        println!("{}", tables::tab2());
+    }
+    if all || which == "tab3" {
+        println!("{}", tables::tab3());
+    }
+    if all || which == "fig1" {
+        println!("{}", fig1::render(&fig1::run()));
+    }
+    if all || which == "fig4" {
+        println!("{}", fig4::render(&fig4::run()));
+    }
+    if all || which == "fig6" {
+        println!("{}", fig6::render(&fig6::run(2048, 7)));
+    }
+    if all || which == "fig7" {
+        println!("{}", fig7::render(&fig7::run(64, 128, 7)));
+    }
+    if all || which == "fig9" {
+        println!("{}", fig9::render(&fig9::run(16, 96, 7)));
+    }
+    if all || which == "ext" {
+        // Average-scene accelerator cost from a quick Fig. 11 run.
+        let rows = fig11::run(&[SceneKind::Mic, SceneKind::Lego], 1024, 128, 7);
+        let accel_s = rows.iter().map(|r| r.accel_seconds).sum::<f64>() / rows.len() as f64;
+        // Energy: scale from the speedup/energy ratios of the first row.
+        let accel_j = rows[0].accel_seconds * 10.0; // ~10 W NMP power envelope
+        println!("{}", extension::render(&extension::predict(accel_s, accel_j)));
+    }
+    if all || which == "fig11" {
+        println!("Running Fig. 11 over all eight scenes (a minute or two)...");
+        let rows = fig11::run(&SceneKind::ALL, 2048, 128, 7);
+        dump("fig11", &rows)?;
+        println!("{}", fig11::render(&rows));
+        let min = rows.iter().map(|r| r.speedup_xnx).fold(f64::MAX, f64::min);
+        let max = rows.iter().map(|r| r.speedup_xnx).fold(0.0f64, f64::max);
+        println!("XNX speedup range: {min:.1}x - {max:.1}x (paper: 22.0x - 49.3x)");
+        let min = rows.iter().map(|r| r.speedup_tx2).fold(f64::MAX, f64::min);
+        let max = rows.iter().map(|r| r.speedup_tx2).fold(0.0f64, f64::max);
+        println!("TX2 speedup range: {min:.1}x - {max:.1}x (paper: 109.5x - 266.1x)");
+    }
+    Ok(())
+}
+
+/// Minimal object-safe serialization shim so heterogeneous experiment
+/// results share one dump path.
+mod erased {
+    use serde::Serialize;
+    use std::error::Error;
+
+    pub trait Dump {
+        fn to_json(&self) -> Result<String, Box<dyn Error>>;
+    }
+
+    impl<T: Serialize> Dump for T {
+        fn to_json(&self) -> Result<String, Box<dyn Error>> {
+            Ok(serde_json::to_string_pretty(self)?)
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! Quickstart: train an Instant-NeRF on a procedural scene and render a
+//! held-out view.
+//!
+//! ```text
+//! cargo run --release --example quickstart [scene] [iterations]
+//! ```
+
+use instant_nerf::prelude::*;
+use instant_nerf::scenes::zoo;
+use std::error::Error;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let args: Vec<String> = std::env::args().collect();
+    let scene_name = args.get(1).map(String::as_str).unwrap_or("Lego");
+    let iterations: usize = args.get(2).map_or(Ok(200), |s| s.parse())?;
+
+    let kind = SceneKind::ALL
+        .into_iter()
+        .find(|k| k.name().eq_ignore_ascii_case(scene_name))
+        .ok_or_else(|| format!("unknown scene {scene_name}; try one of {:?}", SceneKind::ALL))?;
+
+    println!("Generating the '{kind}' dataset (oracle renders)...");
+    let scene = zoo::scene(kind);
+    let dataset = DatasetConfig::small().generate(&scene);
+    println!(
+        "  {} train views, {} test views, {} training pixels",
+        dataset.train_views.len(),
+        dataset.test_views.len(),
+        dataset.train_pixel_count()
+    );
+
+    let model = IngpModel::new(ModelConfig::small(HashFunction::Morton), 42);
+    println!("Model: {} parameters (Morton locality-sensitive hash)", model.parameter_count());
+    let mut trainer = Trainer::new(model, TrainConfig::small(), 7);
+
+    println!("Training for {iterations} iterations...");
+    let start = std::time::Instant::now();
+    let before = trainer.eval_psnr(&dataset);
+    for chunk in 0..iterations.div_ceil(50) {
+        let n = 50.min(iterations - chunk * 50);
+        let report = trainer.train(&dataset, n);
+        println!(
+            "  iter {:4}: loss {:.5}",
+            (chunk * 50 + n),
+            report.last_loss
+        );
+    }
+    let after = trainer.eval_psnr(&dataset);
+    println!(
+        "PSNR: {before:.2} dB -> {after:.2} dB in {:.1} s",
+        start.elapsed().as_secs_f64()
+    );
+
+    // Render a held-out view and save it next to the ground truth.
+    let view = &dataset.test_views[0];
+    let rendered = trainer.render_view(&view.camera, &dataset.bounds);
+    std::fs::write("quickstart_rendered.ppm", rendered.to_ppm())?;
+    std::fs::write("quickstart_truth.ppm", view.image.to_ppm())?;
+    println!("Wrote quickstart_rendered.ppm and quickstart_truth.ppm");
+    Ok(())
+}

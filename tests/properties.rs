@@ -1,0 +1,146 @@
+//! Cross-crate property tests: invariants that must hold across the
+//! algorithm/hardware boundary for arbitrary inputs.
+
+use instant_nerf::accel::{AccelConfig, HashTableMapping, MappingScheme};
+use instant_nerf::dram::{DramSim, Request};
+use instant_nerf::encoding::{HashFunction, HashGrid, HashGridConfig, LookupTrace};
+use instant_nerf::geom::Vec3;
+use instant_nerf::mlp::fp16::quantize_f16;
+use instant_nerf::render::volume::{composite, composite_backward, SamplePoint};
+use instant_nerf::trainer::workload::{step_sizes, Step};
+use instant_nerf::trainer::ModelConfig;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every hash-table coordinate maps to a legal physical address, for
+    /// every mapping scheme and subarray count.
+    #[test]
+    fn mapping_addresses_always_legal(
+        level in 0u32..16,
+        entry in 0u32..(1 << 19),
+        sa_log2 in 0u32..7,
+        scheme_idx in 0usize..3
+    ) {
+        let sa = 1u32 << sa_log2;
+        let scheme = [
+            MappingScheme::Clustered,
+            MappingScheme::OneLevelPerBank,
+            MappingScheme::ClusteredNoSpread,
+        ][scheme_idx];
+        let mapping = HashTableMapping::paper(scheme, sa);
+        let dram = AccelConfig::paper().nmp_dram(sa);
+        let addr = mapping.map_entry(level, entry, &dram);
+        prop_assert!(addr.channel < dram.channels);
+        prop_assert!(addr.bank < dram.banks_per_channel);
+        prop_assert!(addr.subarray < dram.subarrays_per_bank);
+        prop_assert!(addr.row < dram.rows_per_subarray);
+        prop_assert!(addr.col < dram.row_bytes);
+    }
+
+    /// The request stream never exceeds the un-filtered bound of eight rows
+    /// per cube (reads) plus one drain write per touched row.
+    #[test]
+    fn request_stream_bounded(seed in 0u64..100, points in 1usize..64) {
+        let grid = HashGrid::new(HashGridConfig::paper(HashFunction::Morton), seed);
+        let mut trace = LookupTrace::new();
+        let mut s = seed.wrapping_mul(0x9E37_79B9_97F4_A7C5) | 1;
+        for _ in 0..points {
+            s ^= s << 13; s ^= s >> 7; s ^= s << 17;
+            let p = Vec3::new(
+                (s & 0xffff) as f32 / 65535.0,
+                ((s >> 16) & 0xffff) as f32 / 65535.0,
+                ((s >> 32) & 0xffff) as f32 / 65535.0,
+            );
+            trace.push_point(&grid.cube_lookups(p));
+        }
+        let mapping = HashTableMapping::paper(MappingScheme::Clustered, 8);
+        let dram = AccelConfig::paper().nmp_dram(8);
+        let reads = mapping.requests_for_trace(&trace, &dram, false);
+        let rw = mapping.requests_for_trace(&trace, &dram, true);
+        let bound = trace.cubes().len() * 8;
+        prop_assert!(reads.len() <= bound);
+        prop_assert!(rw.len() <= 2 * bound);
+        prop_assert!(rw.len() >= reads.len());
+    }
+
+    /// A prefix of a request stream never takes longer than the whole
+    /// stream (simulator monotonicity).
+    #[test]
+    fn dram_makespan_monotone_in_prefix(seed in 0u64..50) {
+        let grid = HashGrid::new(HashGridConfig::paper(HashFunction::Morton), seed);
+        let mut trace = LookupTrace::new();
+        for i in 0..48u32 {
+            let x = (i as f32 + 0.5) / 48.0;
+            trace.push_point(&grid.cube_lookups(Vec3::new(x, 0.4, 0.6)));
+        }
+        let mapping = HashTableMapping::paper(MappingScheme::Clustered, 8);
+        let dram = AccelConfig::paper().nmp_dram(8);
+        let reqs: Vec<Request> = mapping.requests_for_trace(&trace, &dram, false);
+        prop_assume!(reqs.len() >= 4);
+        let half = DramSim::new(dram).run(&reqs[..reqs.len() / 2]).total_cycles;
+        let full = DramSim::new(dram).run(&reqs).total_cycles;
+        prop_assert!(full >= half, "prefix {half} vs full {full}");
+    }
+
+    /// Rendering backward is finite for any bounded inputs, including
+    /// degenerate densities.
+    #[test]
+    fn composite_backward_always_finite(
+        sigmas in proptest::collection::vec(-5.0f32..100.0, 1..16),
+        gx in -10.0f32..10.0
+    ) {
+        let samples: Vec<SamplePoint> = sigmas
+            .iter()
+            .map(|&s| SamplePoint { sigma: s, color: Vec3::new(0.3, 0.6, 0.9) })
+            .collect();
+        let dts = vec![0.05f32; samples.len()];
+        let out = composite(&samples, &dts);
+        let grads = composite_backward(&samples, &dts, &out, Vec3::new(gx, -gx, 0.5));
+        for g in &grads.d_sigma {
+            prop_assert!(g.is_finite());
+        }
+        for g in &grads.d_color {
+            prop_assert!(g.is_finite());
+        }
+    }
+
+    /// The FP16 storage path the accelerator uses never increases the
+    /// magnitude of an embedding (no energy injection through quantization).
+    #[test]
+    fn fp16_storage_never_amplifies(x in -1.0f32..1.0) {
+        let q = quantize_f16(x);
+        prop_assert!(q.abs() <= x.abs() * (1.0 + 1.0 / 1024.0) + 1e-7);
+    }
+
+    /// Tab. II operand sizes scale linearly with the batch size (the
+    /// assumption behind trace-sample scaling in the pipeline model).
+    #[test]
+    fn workload_sizes_linear_in_batch(points in 1u64..1_000_000) {
+        let model = ModelConfig::paper(HashFunction::Morton);
+        for step in Step::ALL {
+            let one = step_sizes(&model, step, points);
+            let two = step_sizes(&model, step, 2 * points);
+            prop_assert_eq!(two.input_bytes, 2 * one.input_bytes);
+            prop_assert_eq!(two.output_bytes, 2 * one.output_bytes);
+            // Parameters are batch-independent.
+            prop_assert_eq!(two.param_bytes, one.param_bytes);
+        }
+    }
+}
+
+/// Failure injection: a model poisoned with a non-finite embedding must not
+/// crash the renderer (the composite clamps negative densities and the rest
+/// flows through IEEE semantics).
+#[test]
+fn renderer_survives_degenerate_samples() {
+    let samples = [
+        SamplePoint { sigma: f32::INFINITY, color: Vec3::new(0.5, 0.5, 0.5) },
+        SamplePoint { sigma: 1.0, color: Vec3::new(1.0, 0.0, 0.0) },
+    ];
+    let out = composite(&samples, &[0.1, 0.1]);
+    // Infinite density saturates alpha to 1 — a fully opaque first sample.
+    assert!((out.weights[0] - 1.0).abs() < 1e-6);
+    assert!(out.color.is_finite());
+}
