@@ -57,7 +57,10 @@ impl AccelConfig {
             channels: 1,
             use_channel_bus: false,
             burst_cycles: 2,
-            timing: Timing { ccd: 2, ..base.timing },
+            timing: Timing {
+                ccd: 2,
+                ..base.timing
+            },
             ..base
         }
     }

@@ -130,9 +130,10 @@ fn occupancy(instr: &Instruction, accel: &AccelConfig, hash: HashFunction) -> (U
             let macs = rows as u64 * cols as u64;
             (Unit::Fp, macs.div_ceil(accel.fp_pes as u64).max(1))
         }
-        Instruction::ScatterAdd { entries } => {
-            (Unit::Fp, (entries as u64).div_ceil(accel.fp_pes as u64).max(1))
-        }
+        Instruction::ScatterAdd { entries } => (
+            Unit::Fp,
+            (entries as u64).div_ceil(accel.fp_pes as u64).max(1),
+        ),
         Instruction::Sync => (Unit::None, 0),
     }
 }
@@ -190,14 +191,21 @@ pub fn ht_program(
     let rows_per_point_int = rows_total.div_ceil(points.max(1));
     for _ in 0..points {
         // Index calculation for all co-resident levels' cubes.
-        prog.push(Instruction::HashIndex { vertices: 8 * levels_on_bank });
+        prog.push(Instruction::HashIndex {
+            vertices: 8 * levels_on_bank,
+        });
         for _ in 0..rows_per_point_int {
             // Fresh row: stream only the needed entries' beats (8 entries
             // of 4 B ≈ 2 beats, padded for alignment).
             prog.push(Instruction::LoadRow { cols: 2 });
         }
-        prog.push(Instruction::Gather { entries: 8 * levels_on_bank });
-        prog.push(Instruction::Interpolate { points: 1, features: features * levels_on_bank });
+        prog.push(Instruction::Gather {
+            entries: 8 * levels_on_bank,
+        });
+        prog.push(Instruction::Interpolate {
+            points: 1,
+            features: features * levels_on_bank,
+        });
     }
     prog.push(Instruction::Sync);
     prog
@@ -213,9 +221,13 @@ pub fn htb_program(
     let mut prog = Vec::new();
     let rows_total = ((points as f32 * rows_per_point).ceil() as u32).max(1);
     for _ in 0..points {
-        prog.push(Instruction::HashIndex { vertices: 8 * levels_on_bank });
+        prog.push(Instruction::HashIndex {
+            vertices: 8 * levels_on_bank,
+        });
         prog.push(Instruction::LoadRow { cols: 2 });
-        prog.push(Instruction::ScatterAdd { entries: 8 * levels_on_bank * features });
+        prog.push(Instruction::ScatterAdd {
+            entries: 8 * levels_on_bank * features,
+        });
     }
     // Batched drain: one store per touched row.
     for _ in 0..rows_total {
@@ -266,7 +278,7 @@ mod tests {
         ];
         let s = execute(&prog, &a, HashFunction::Morton);
         // HashIndex cannot start before the 64-cycle load completes.
-        assert!(s.cycles >= 64 + 1);
+        assert!(s.cycles > 64);
     }
 
     #[test]
@@ -292,7 +304,12 @@ mod tests {
         // The paper's rationale for the dedicated INT32 PE group.
         let prog = ht_program(64, 1, 2, 1.6);
         let s = execute(&prog, &accel(), HashFunction::Morton);
-        assert!(s.int_busy >= s.fp_busy, "int {} vs fp {}", s.int_busy, s.fp_busy);
+        assert!(
+            s.int_busy >= s.fp_busy,
+            "int {} vs fp {}",
+            s.int_busy,
+            s.fp_busy
+        );
     }
 
     #[test]
@@ -336,7 +353,11 @@ mod tests {
         let s = execute(&prog, &accel(), HashFunction::Morton);
         assert_eq!(s.int_busy, 0);
         assert!(s.fp_busy > 0);
-        assert!(s.fp_utilization() > 0.5, "fp util {:.2}", s.fp_utilization());
+        assert!(
+            s.fp_utilization() > 0.5,
+            "fp util {:.2}",
+            s.fp_utilization()
+        );
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! simulator:
 //!
 //! * [`config`] — Tab. III microarchitecture parameters (200 MHz, 256 INT32
-//!   + 256 FP32 PEs and 2 KB scratchpad per bank, 3.6 mm² / 596.3 mW from
+//!   and 256 FP32 PEs and 2 KB scratchpad per bank, 3.6 mm² / 596.3 mW from
 //!   the paper's post-layout results, taken as calibrated constants — see
 //!   DESIGN.md).
 //! * [`mapping`] — the hash-table mapping scheme: intra-level spreading of

@@ -56,7 +56,10 @@ impl HashTableMapping {
     ///
     /// Panics if any parameter is zero.
     pub fn new(scheme: MappingScheme, levels: u32, banks: u32, subarrays: u32) -> Self {
-        assert!(levels > 0 && banks > 0 && subarrays > 0, "mapping parameters must be positive");
+        assert!(
+            levels > 0 && banks > 0 && subarrays > 0,
+            "mapping parameters must be positive"
+        );
         let assignment = match scheme {
             MappingScheme::OneLevelPerBank => (0..levels).map(|l| l % banks).collect(),
             MappingScheme::Clustered | MappingScheme::ClusteredNoSpread => {
@@ -74,7 +77,11 @@ impl HashTableMapping {
                     .collect()
             }
         };
-        HashTableMapping { scheme, assignment, subarrays }
+        HashTableMapping {
+            scheme,
+            assignment,
+            subarrays,
+        }
     }
 
     /// The active scheme.
@@ -108,8 +115,7 @@ impl HashTableMapping {
     /// subarrays; the no-spread ablation packs them sequentially instead.
     pub fn map_entry(&self, level: u32, entry: u32, dram: &DramConfig) -> PhysAddr {
         let bank = self.bank_of_level(level);
-        let co_resident =
-            self.assignment.iter().filter(|&&b| b == bank).count() as u32;
+        let co_resident = self.assignment.iter().filter(|&&b| b == bank).count() as u32;
         let stack_index = self.assignment[..level as usize]
             .iter()
             .filter(|&&b| b == bank)
@@ -202,7 +208,11 @@ impl HashTableMapping {
             // row-major so consecutive writes round-robin the subarrays and
             // the drain itself is conflict-light.
             touched.sort_unstable_by_key(|a| (a.bank, a.row, a.subarray));
-            out.extend(touched.into_iter().map(|a| Request::new(a, AccessKind::Write)));
+            out.extend(
+                touched
+                    .into_iter()
+                    .map(|a| Request::new(a, AccessKind::Write)),
+            );
         }
         out
     }
@@ -233,7 +243,11 @@ mod tests {
         let mut dedup = fine.clone();
         dedup.sort_unstable();
         dedup.dedup();
-        assert_eq!(dedup.len(), 5, "fine levels must use distinct banks: {fine:?}");
+        assert_eq!(
+            dedup.len(),
+            5,
+            "fine levels must use distinct banks: {fine:?}"
+        );
         // 3 groups + 5 singles = 8 banks.
         assert_eq!(m.banks_used(), 8);
     }
@@ -332,14 +346,18 @@ mod tests {
         assert_eq!(rw.len() - writes.len(), rd.len());
         assert!(!writes.is_empty());
         assert!(writes.len() <= rd.len(), "drain must be deduplicated");
-        let mut keys: Vec<_> =
-            writes.iter().map(|r| (r.addr.bank, r.addr.subarray, r.addr.row)).collect();
+        let mut keys: Vec<_> = writes
+            .iter()
+            .map(|r| (r.addr.bank, r.addr.subarray, r.addr.row))
+            .collect();
         keys.sort_unstable();
         keys.dedup();
         assert_eq!(keys.len(), writes.len(), "each row written once");
         // All writes come after all reads (scratchpad-accumulated drain).
         let first_write = rw.iter().position(|r| r.kind == AccessKind::Write).unwrap();
-        assert!(rw[first_write..].iter().all(|r| r.kind == AccessKind::Write));
+        assert!(rw[first_write..]
+            .iter()
+            .all(|r| r.kind == AccessKind::Write));
     }
 
     #[test]

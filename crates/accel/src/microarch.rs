@@ -31,12 +31,7 @@ pub fn bank_compute_cycles(
 /// Extra cycles spent re-streaming MLP weight tiles that exceed the
 /// scratchpad. HT steps keep their working set (hash registers + one cube)
 /// on chip and pay nothing.
-fn weight_reload_cycles(
-    accel: &AccelConfig,
-    model: &ModelConfig,
-    step: Step,
-    points: u64,
-) -> u64 {
+fn weight_reload_cycles(accel: &AccelConfig, model: &ModelConfig, step: Step, points: u64) -> u64 {
     let weight_bytes = match step {
         Step::MlpD | Step::MlpDB | Step::MlpC | Step::MlpCB => {
             inerf_trainer::workload::mlp_param_bytes(model) / 2
@@ -65,7 +60,10 @@ mod tests {
     use inerf_encoding::HashFunction;
 
     fn setup() -> (AccelConfig, ModelConfig) {
-        (AccelConfig::paper(), ModelConfig::paper(HashFunction::Morton))
+        (
+            AccelConfig::paper(),
+            ModelConfig::paper(HashFunction::Morton),
+        )
     }
 
     #[test]
@@ -93,7 +91,10 @@ mod tests {
         let mlp_ops = step_ops(&m, Step::MlpD);
         let raw = (mlp_ops.fp_ops * 1000).div_ceil(2 * a.fp_pes as u64);
         let with_reload = bank_compute_cycles(&a, &m, Step::MlpD, 1000);
-        assert!(with_reload > raw, "weights (~14 KB) exceed the 2 KB scratchpad");
+        assert!(
+            with_reload > raw,
+            "weights (~14 KB) exceed the 2 KB scratchpad"
+        );
     }
 
     #[test]

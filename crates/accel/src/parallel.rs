@@ -159,12 +159,7 @@ pub fn movement_bytes(
 /// crossing the die's shared I/O once per transfer: a broadcast reaches all
 /// banks in one bus pass, while a gradient all-reduce collects one partial
 /// per bank.
-pub fn bus_bytes(
-    model: &ModelConfig,
-    plan: &ParallelismPlan,
-    points: u64,
-    banks: u64,
-) -> u64 {
+pub fn bus_bytes(model: &ModelConfig, plan: &ParallelismPlan, points: u64, banks: u64) -> u64 {
     let ht = step_sizes(model, Step::Ht, points);
     let mlp = mlp_combined_sizes(model, points);
     let ht_b = step_sizes(model, Step::HtB, points);
@@ -222,7 +217,10 @@ mod tests {
         // gradients only for the small MLPs.
         assert!(m.cat1_duplication > 0);
         assert!(m.cat2_sequential > 0);
-        assert_eq!(m.cat3_intermediate, 0, "paper plan has no Category-3 traffic");
+        assert_eq!(
+            m.cat3_intermediate, 0,
+            "paper plan has no Category-3 traffic"
+        );
         assert!(m.cat4_gradients > 0);
         // Category 4 covers only the tiny MLP weights, not the 25 MB table.
         let mlp_params = mlp_combined_sizes(&model(), POINTS).param_bytes;
@@ -233,7 +231,8 @@ mod tests {
     fn paper_plan_beats_both_homogeneous_plans() {
         // The central Sec. IV-C claim.
         let paper = movement_bytes(&model(), &ParallelismPlan::paper(), POINTS, BANKS).total();
-        let all_data = movement_bytes(&model(), &ParallelismPlan::all_data(), POINTS, BANKS).total();
+        let all_data =
+            movement_bytes(&model(), &ParallelismPlan::all_data(), POINTS, BANKS).total();
         let all_param =
             movement_bytes(&model(), &ParallelismPlan::all_parameter(), POINTS, BANKS).total();
         assert!(
@@ -257,7 +256,10 @@ mod tests {
     fn all_parameter_moves_intermediates() {
         let m = movement_bytes(&model(), &ParallelismPlan::all_parameter(), POINTS, BANKS);
         assert!(m.cat3_intermediate > 0);
-        assert_eq!(m.cat4_gradients, 0, "parameter-parallel backward needs no all-reduce");
+        assert_eq!(
+            m.cat4_gradients, 0,
+            "parameter-parallel backward needs no all-reduce"
+        );
     }
 
     #[test]
@@ -274,7 +276,10 @@ mod tests {
         let plan = ParallelismPlan::paper();
         let bus = bus_bytes(&model(), &plan, POINTS, BANKS);
         let footprint = movement_bytes(&model(), &plan, POINTS, BANKS).total();
-        assert!(bus < footprint, "broadcast counting must shrink traffic: {bus} vs {footprint}");
+        assert!(
+            bus < footprint,
+            "broadcast counting must shrink traffic: {bus} vs {footprint}"
+        );
     }
 
     #[test]
@@ -282,6 +287,9 @@ mod tests {
         let accel = AccelConfig::paper();
         let m = movement_bytes(&model(), &ParallelismPlan::paper(), POINTS, BANKS);
         assert!(m.seconds(&accel) > 0.0);
-        assert_eq!(m.total(), m.cat1_duplication + m.cat2_sequential + m.cat4_gradients);
+        assert_eq!(
+            m.total(),
+            m.cat1_duplication + m.cat2_sequential + m.cat4_gradients
+        );
     }
 }

@@ -58,7 +58,10 @@ pub struct IterationEstimate {
 impl IterationEstimate {
     /// Time of a named step.
     pub fn step_seconds(&self, step: Step) -> f64 {
-        self.steps.iter().find(|s| s.step == step).map_or(0.0, |s| s.seconds())
+        self.steps
+            .iter()
+            .find(|s| s.step == step)
+            .map_or(0.0, |s| s.seconds())
     }
 }
 
@@ -164,9 +167,11 @@ impl PipelineModel {
             + 2 * mlp_sizes.intermediate_bytes) as f64
             / banks as f64;
         let mlp_dram = mlp_local_bytes / internal_bw;
-        let mut steps = vec![
-            StepTime { step: Step::Ht, dram_seconds: ht_dram, compute_seconds: ht_compute },
-        ];
+        let mut steps = vec![StepTime {
+            step: Step::Ht,
+            dram_seconds: ht_dram,
+            compute_seconds: ht_compute,
+        }];
         for step in [Step::MlpD, Step::MlpC, Step::MlpCB, Step::MlpDB] {
             let compute = cycles_to_seconds(
                 &self.accel,
@@ -178,7 +183,11 @@ impl PipelineModel {
                 compute_seconds: compute,
             });
         }
-        steps.push(StepTime { step: Step::HtB, dram_seconds: htb_dram, compute_seconds: htb_compute });
+        steps.push(StepTime {
+            step: Step::HtB,
+            dram_seconds: htb_dram,
+            compute_seconds: htb_compute,
+        });
 
         let bus_seconds = bus_bytes(&self.model, &self.plan, batch_points, banks) as f64
             / self.accel.interbank_bw_bytes_per_s;
@@ -212,7 +221,10 @@ impl PipelineModel {
         let seconds = iter.pipelined_seconds * iterations as f64;
         let accel_joules = self.accel.total_power_w() * seconds;
         let dram_joules = iter.dram_energy_pj * 1e-12 * iterations as f64;
-        SceneEstimate { training_seconds: seconds, training_joules: accel_joules + dram_joules }
+        SceneEstimate {
+            training_seconds: seconds,
+            training_joules: accel_joules + dram_joules,
+        }
     }
 }
 
@@ -303,16 +315,18 @@ mod tests {
         let model = ModelConfig::paper(HashFunction::Morton);
         let grid = HashGrid::new(model.grid, 7);
         let (trace, n) = ray_trace(&grid, 4, 128);
-        let spread = PipelineModel::paper(model.clone()).with_mapping(
-            HashTableMapping::paper(MappingScheme::Clustered, 8),
-            8,
-        );
+        let spread = PipelineModel::paper(model)
+            .with_mapping(HashTableMapping::paper(MappingScheme::Clustered, 8), 8);
         let no_spread = PipelineModel::paper(model).with_mapping(
             HashTableMapping::paper(MappingScheme::ClusteredNoSpread, 8),
             8,
         );
-        let cs = spread.estimate_iteration(&trace, n, 64 * 1024).ht_bank_conflicts;
-        let cn = no_spread.estimate_iteration(&trace, n, 64 * 1024).ht_bank_conflicts;
+        let cs = spread
+            .estimate_iteration(&trace, n, 64 * 1024)
+            .ht_bank_conflicts;
+        let cn = no_spread
+            .estimate_iteration(&trace, n, 64 * 1024)
+            .ht_bank_conflicts;
         assert!(
             cs <= cn,
             "intra-level spreading should not increase conflicts: {cs} vs {cn}"
@@ -332,7 +346,10 @@ mod tests {
     #[test]
     fn heterogeneous_plan_minimizes_bus_time() {
         let (pm, trace, n) = paper_setup();
-        let paper = pm.clone().estimate_iteration(&trace, n, 256 * 1024).bus_seconds;
+        let paper = pm
+            .clone()
+            .estimate_iteration(&trace, n, 256 * 1024)
+            .bus_seconds;
         let all_data = pm
             .clone()
             .with_plan(ParallelismPlan::all_data())

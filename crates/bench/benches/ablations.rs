@@ -21,29 +21,52 @@ fn bench(c: &mut Criterion) {
     let (trace_org, n_org) = ray_first_trace(&grid_org, 8, 128);
 
     println!("\nAblation table (pipelined ms/iteration, 256K-point batch):");
-    let base = PipelineModel::paper(model.clone()).estimate_iteration(&trace, n, BATCH);
-    println!("  full design point             {:8.3}", base.pipelined_seconds * 1e3);
-    let no_morton =
-        PipelineModel::paper(model_org).estimate_iteration(&trace_org, n_org, BATCH);
-    println!("  - Morton hash                 {:8.3}", no_morton.pipelined_seconds * 1e3);
-    let no_spread = PipelineModel::paper(model.clone())
-        .with_mapping(HashTableMapping::paper(MappingScheme::ClusteredNoSpread, 32), 32)
+    let base = PipelineModel::paper(model).estimate_iteration(&trace, n, BATCH);
+    println!(
+        "  full design point             {:8.3}",
+        base.pipelined_seconds * 1e3
+    );
+    let no_morton = PipelineModel::paper(model_org).estimate_iteration(&trace_org, n_org, BATCH);
+    println!(
+        "  - Morton hash                 {:8.3}",
+        no_morton.pipelined_seconds * 1e3
+    );
+    let no_spread = PipelineModel::paper(model)
+        .with_mapping(
+            HashTableMapping::paper(MappingScheme::ClusteredNoSpread, 32),
+            32,
+        )
         .estimate_iteration(&trace, n, BATCH);
-    println!("  - subarray spreading          {:8.3}", no_spread.pipelined_seconds * 1e3);
-    let no_cluster = PipelineModel::paper(model.clone())
-        .with_mapping(HashTableMapping::paper(MappingScheme::OneLevelPerBank, 32), 32)
+    println!(
+        "  - subarray spreading          {:8.3}",
+        no_spread.pipelined_seconds * 1e3
+    );
+    let no_cluster = PipelineModel::paper(model)
+        .with_mapping(
+            HashTableMapping::paper(MappingScheme::OneLevelPerBank, 32),
+            32,
+        )
         .estimate_iteration(&trace, n, BATCH);
-    println!("  - inter-level clustering      {:8.3}", no_cluster.pipelined_seconds * 1e3);
-    let all_data = PipelineModel::paper(model.clone())
+    println!(
+        "  - inter-level clustering      {:8.3}",
+        no_cluster.pipelined_seconds * 1e3
+    );
+    let all_data = PipelineModel::paper(model)
         .with_plan(ParallelismPlan::all_data())
         .estimate_iteration(&trace, n, BATCH);
-    println!("  - heterogeneous parallelism   {:8.3}", all_data.pipelined_seconds * 1e3);
-    println!("  - stage pipelining            {:8.3}\n", base.serial_seconds * 1e3);
+    println!(
+        "  - heterogeneous parallelism   {:8.3}",
+        all_data.pipelined_seconds * 1e3
+    );
+    println!(
+        "  - stage pipelining            {:8.3}\n",
+        base.serial_seconds * 1e3
+    );
 
     let mut group = c.benchmark_group("ablations/subarray_sweep");
     group.sample_size(10);
     for sa in [1u32, 8, 32, 64] {
-        let pm = PipelineModel::paper(model.clone())
+        let pm = PipelineModel::paper(model)
             .with_mapping(HashTableMapping::paper(MappingScheme::Clustered, sa), sa);
         group.bench_function(format!("{sa}_subarrays"), |b| {
             b.iter(|| pm.estimate_iteration(black_box(&trace), n, BATCH))

@@ -16,8 +16,14 @@ fn bench(c: &mut Criterion) {
     let lo = rows.iter().map(|r| r.speedup_xnx).fold(f64::MAX, f64::min);
     let hi = rows.iter().map(|r| r.speedup_xnx).fold(0.0f64, f64::max);
     println!("XNX speedup range {lo:.1}x-{hi:.1}x (paper 22.0x-49.3x)");
-    let lo = rows.iter().map(|r| r.energy_gain_xnx).fold(f64::MAX, f64::min);
-    let hi = rows.iter().map(|r| r.energy_gain_xnx).fold(0.0f64, f64::max);
+    let lo = rows
+        .iter()
+        .map(|r| r.energy_gain_xnx)
+        .fold(f64::MAX, f64::min);
+    let hi = rows
+        .iter()
+        .map(|r| r.energy_gain_xnx)
+        .fold(0.0f64, f64::max);
     println!("XNX energy-gain range {lo:.1}x-{hi:.1}x (paper 46.4x-103.7x)\n");
 
     let model = ModelConfig::paper(HashFunction::Morton);

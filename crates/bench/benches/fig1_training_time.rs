@@ -15,13 +15,7 @@ fn bench(c: &mut Criterion) {
     let spec = GpuSpec::xnx();
     c.bench_function("fig1/gpu_cost_model", |b| {
         b.iter(|| {
-            TrainingCost::estimate(
-                black_box(&spec),
-                black_box(&model),
-                256 * 1024,
-                35_000,
-                1.0,
-            )
+            TrainingCost::estimate(black_box(&spec), black_box(&model), 256 * 1024, 35_000, 1.0)
         })
     });
 }

@@ -6,7 +6,9 @@ use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
     println!("\n{}", fig4::render(&fig4::run()));
-    c.bench_function("fig4/utilization_model", |b| b.iter(|| black_box(fig4::run())));
+    c.bench_function("fig4/utilization_model", |b| {
+        b.iter(|| black_box(fig4::run()))
+    });
 }
 
 criterion_group! {

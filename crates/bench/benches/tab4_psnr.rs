@@ -18,14 +18,20 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("tab4/train_iteration");
     group.sample_size(10);
 
-    fn iter_time<M: TrainableField + Clone>(model: M) -> impl FnMut(&mut criterion::Bencher<'_>, &inerf_scenes::Dataset) {
+    fn iter_time<M: TrainableField + Clone>(
+        model: M,
+    ) -> impl FnMut(&mut criterion::Bencher<'_>, &inerf_scenes::Dataset) {
         move |b, ds| {
             let mut trainer = Trainer::new(model.clone(), TrainConfig::tiny(), 7);
             b.iter(|| trainer.train_step(ds));
         }
     }
 
-    group.bench_with_input("ingp_morton", &dataset, iter_time(IngpModel::new(ModelConfig::tiny(), 1)));
+    group.bench_with_input(
+        "ingp_morton",
+        &dataset,
+        iter_time(IngpModel::new(ModelConfig::tiny(), 1)),
+    );
     group.bench_with_input(
         "ingp_original",
         &dataset,
@@ -39,8 +45,16 @@ fn bench(c: &mut Criterion) {
         )),
     );
     group.bench_with_input("nerf_lite", &dataset, iter_time(NerfLite::new(4, 16, 1)));
-    group.bench_with_input("tensorf_lite", &dataset, iter_time(TensorfLite::new(16, 4, 16, 1)));
-    group.bench_with_input("fastnerf_lite", &dataset, iter_time(FastNerfLite::new(4, 16, 4, 1)));
+    group.bench_with_input(
+        "tensorf_lite",
+        &dataset,
+        iter_time(TensorfLite::new(16, 4, 16, 1)),
+    );
+    group.bench_with_input(
+        "fastnerf_lite",
+        &dataset,
+        iter_time(FastNerfLite::new(4, 16, 4, 1)),
+    );
     group.finish();
 }
 

@@ -58,9 +58,8 @@ pub fn predict(accel_seconds: f64, accel_joules: f64) -> QuestProPrediction {
 
 /// Pretty-prints the prediction.
 pub fn render(p: &QuestProPrediction) -> String {
-    let mut out = String::from(
-        "Extension: filling in Tab. I's N/A — iNGP training on the Meta Quest Pro\n",
-    );
+    let mut out =
+        String::from("Extension: filling in Tab. I's N/A — iNGP training on the Meta Quest Pro\n");
     let rows = vec![
         vec![
             "Quest Pro GPU (predicted)".to_string(),
@@ -75,7 +74,10 @@ pub fn render(p: &QuestProPrediction) -> String {
             format!("{:.1}%", 100.0 * p.accel_battery_fraction),
         ],
     ];
-    out.push_str(&report::table(&["platform", "time (s)", "energy (kJ)", "battery"], &rows));
+    out.push_str(&report::table(
+        &["platform", "time (s)", "energy (kJ)", "battery"],
+        &rows,
+    ));
     out
 }
 
@@ -88,8 +90,16 @@ mod tests {
         // The motivating gap: hours of training and a large battery bite on
         // the headset GPU.
         let p = predict(300.0, 3000.0);
-        assert!(p.gpu_seconds > 3600.0, "predicted {:.0} s should exceed an hour", p.gpu_seconds);
-        assert!(p.gpu_battery_fraction > 0.2, "battery share {:.2}", p.gpu_battery_fraction);
+        assert!(
+            p.gpu_seconds > 3600.0,
+            "predicted {:.0} s should exceed an hour",
+            p.gpu_seconds
+        );
+        assert!(
+            p.gpu_battery_fraction > 0.2,
+            "battery share {:.2}",
+            p.gpu_battery_fraction
+        );
     }
 
     #[test]

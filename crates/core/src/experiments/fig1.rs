@@ -4,6 +4,7 @@ use crate::report;
 use inerf_encoding::HashFunction;
 use inerf_gpu::{GpuSpec, TrainingCost};
 use inerf_trainer::ModelConfig;
+use serde::{Deserialize, Serialize};
 
 /// The paper's training workload: 35 000 iterations of 256 K points.
 pub const PAPER_ITERATIONS: u64 = 35_000;
@@ -11,7 +12,7 @@ pub const PAPER_ITERATIONS: u64 = 35_000;
 pub const PAPER_BATCH: u64 = 256 * 1024;
 
 /// One Fig. 1(a) bar plus its Fig. 1(b) breakdown.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Fig1Row {
     /// Device name.
     pub device: String,
@@ -53,7 +54,10 @@ pub fn render(rows: &[Fig1Row]) -> String {
             ]
         })
         .collect();
-    out.push_str(&report::table(&["device", "model (s)", "paper (s)"], &table_rows));
+    out.push_str(&report::table(
+        &["device", "model (s)", "paper (s)"],
+        &table_rows,
+    ));
     out.push_str("\nFig. 1(b): training-time breakdown (%)\n");
     for r in rows {
         out.push_str(&format!("{}: ", r.device));

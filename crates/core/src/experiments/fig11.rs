@@ -48,8 +48,10 @@ pub fn run(scenes: &[SceneKind], target_points: usize, samples: usize, seed: u64
             let iter = pipeline.estimate_iteration(&st.trace, st.points.max(1), batch);
             let accel = pipeline.scene_estimate(&iter, iterations);
             let factor = gpu_scene_factor(&st);
-            let xnx = TrainingCost::estimate(&GpuSpec::xnx(), &gpu_model, batch, iterations, factor);
-            let tx2 = TrainingCost::estimate(&GpuSpec::tx2(), &gpu_model, batch, iterations, factor);
+            let xnx =
+                TrainingCost::estimate(&GpuSpec::xnx(), &gpu_model, batch, iterations, factor);
+            let tx2 =
+                TrainingCost::estimate(&GpuSpec::tx2(), &gpu_model, batch, iterations, factor);
             Fig11Row {
                 scene: kind.name().to_string(),
                 accel_seconds: accel.training_seconds,
@@ -66,9 +68,8 @@ pub fn run(scenes: &[SceneKind], target_points: usize, samples: usize, seed: u64
 
 /// Pretty-prints the figure.
 pub fn render(rows: &[Fig11Row]) -> String {
-    let mut out = String::from(
-        "Fig. 11: Instant-NeRF accelerator vs edge GPUs (speedup / energy gain)\n",
-    );
+    let mut out =
+        String::from("Fig. 11: Instant-NeRF accelerator vs edge GPUs (speedup / energy gain)\n");
     let table_rows: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
@@ -83,7 +84,14 @@ pub fn render(rows: &[Fig11Row]) -> String {
         })
         .collect();
     out.push_str(&report::table(
-        &["scene", "accel (s)", "vs XNX", "vs TX2", "energy vs XNX", "energy vs TX2"],
+        &[
+            "scene",
+            "accel (s)",
+            "vs XNX",
+            "vs TX2",
+            "energy vs XNX",
+            "energy vs TX2",
+        ],
         &table_rows,
     ));
     out
@@ -113,7 +121,10 @@ mod tests {
                 r.scene,
                 r.speedup_tx2
             );
-            assert!(r.speedup_tx2 > 3.0 * r.speedup_xnx, "TX2 gain must exceed XNX gain");
+            assert!(
+                r.speedup_tx2 > 3.0 * r.speedup_xnx,
+                "TX2 gain must exceed XNX gain"
+            );
         }
     }
 

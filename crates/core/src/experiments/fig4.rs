@@ -5,9 +5,10 @@ use inerf_encoding::HashFunction;
 use inerf_gpu::{GpuSpec, TrainingCost};
 use inerf_trainer::workload::Step;
 use inerf_trainer::ModelConfig;
+use serde::{Deserialize, Serialize};
 
 /// One kernel bar group of Fig. 4.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Fig4Row {
     /// Step label.
     pub step: String,
@@ -88,7 +89,11 @@ mod tests {
     fn throughput_below_peak_and_substantial() {
         for r in run() {
             let total = r.read_gbs + r.write_gbs;
-            assert!(total <= 59.7 + 1e-6, "{}: {total} GB/s exceeds XNX peak", r.step);
+            assert!(
+                total <= 59.7 + 1e-6,
+                "{}: {total} GB/s exceeds XNX peak",
+                r.step
+            );
             assert!(total > 5.0, "{}: {total} GB/s suspiciously idle", r.step);
         }
     }
@@ -97,8 +102,18 @@ mod tests {
     fn alu_utilization_is_low_everywhere() {
         // The memory-bound observation: ALU stays in single digits.
         for r in run() {
-            assert!(r.fp16_util < 0.30, "{}: FP16 util {:.3}", r.step, r.fp16_util);
-            assert!(r.int32_util < 0.30, "{}: INT32 util {:.3}", r.step, r.int32_util);
+            assert!(
+                r.fp16_util < 0.30,
+                "{}: FP16 util {:.3}",
+                r.step,
+                r.fp16_util
+            );
+            assert!(
+                r.int32_util < 0.30,
+                "{}: INT32 util {:.3}",
+                r.step,
+                r.int32_util
+            );
         }
     }
 

@@ -8,9 +8,10 @@ use inerf_encoding::{HashFunction, HashGrid, HashGridConfig, LookupTrace};
 use inerf_geom::Vec3;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
 
 /// One hash function's Fig. 6 result.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Fig6Row {
     /// "Ours" (Morton) or "Org." (original iNGP hash).
     pub label: String,
@@ -84,7 +85,10 @@ mod tests {
         let close_ours = ours.histogram[0] + ours.histogram[1];
         let close_org = org.histogram[0] + org.histogram[1];
         assert!(close_ours > 60.0, "ours close share {close_ours:.1}%");
-        assert!(close_ours > close_org + 15.0, "{close_ours:.1} vs {close_org:.1}");
+        assert!(
+            close_ours > close_org + 15.0,
+            "{close_ours:.1} vs {close_org:.1}"
+        );
     }
 
     #[test]
@@ -92,8 +96,16 @@ mod tests {
         // Paper: none of the Morton distances exceed 5000; 22.7% of the
         // original's do.
         let rows = rows();
-        assert!(rows[0].histogram[4] < 5.0, "ours >5000 bucket: {:.1}%", rows[0].histogram[4]);
-        assert!(rows[1].histogram[4] > 10.0, "org >5000 bucket: {:.1}%", rows[1].histogram[4]);
+        assert!(
+            rows[0].histogram[4] < 5.0,
+            "ours >5000 bucket: {:.1}%",
+            rows[0].histogram[4]
+        );
+        assert!(
+            rows[1].histogram[4] > 10.0,
+            "org >5000 bucket: {:.1}%",
+            rows[1].histogram[4]
+        );
     }
 
     #[test]

@@ -9,9 +9,10 @@ use inerf_geom::{Aabb, Ray, Vec3};
 use inerf_trainer::streaming::{build_point_batch, trace_batch, StreamingOrder};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
 
 /// The Fig. 7 results.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Fig7 {
     /// (a) mean number of consecutive points sharing one cube, per level.
     pub sharing_per_level: Vec<f64>,
@@ -25,8 +26,15 @@ fn orbit_rays(n: usize, seed: u64) -> Vec<Ray> {
     (0..n)
         .map(|_| {
             let theta: f32 = rng.gen_range(0.0..std::f32::consts::TAU);
-            let origin = Vec3::new(3.0 * theta.cos(), rng.gen_range(-0.5..0.5), 3.0 * theta.sin());
-            Ray::new(origin, -origin + Vec3::new(rng.gen_range(-0.3..0.3), 0.0, 0.0))
+            let origin = Vec3::new(
+                3.0 * theta.cos(),
+                rng.gen_range(-0.5..0.5),
+                3.0 * theta.sin(),
+            );
+            Ray::new(
+                origin,
+                -origin + Vec3::new(rng.gen_range(-0.3..0.3), 0.0, 0.0),
+            )
         })
         .collect()
 }
@@ -39,8 +47,7 @@ pub fn run(rays: usize, samples: usize, seed: u64) -> Fig7 {
     let original = HashGrid::new(HashGridConfig::paper(HashFunction::Original), seed);
     let levels = morton.config().levels;
 
-    let ours_batch =
-        build_point_batch(&ray_set, &bounds, samples, StreamingOrder::RayFirst, seed);
+    let ours_batch = build_point_batch(&ray_set, &bounds, samples, StreamingOrder::RayFirst, seed);
     let base_batch = build_point_batch(&ray_set, &bounds, samples, StreamingOrder::Random, seed);
     let ours_trace = trace_batch(&morton, &ours_batch);
     let base_trace = trace_batch(&original, &base_batch);
@@ -63,7 +70,11 @@ pub fn render(fig: &Fig7) -> String {
         .zip(&fig.bandwidth_improvement)
         .enumerate()
         .map(|(l, (s, b))| {
-            vec![l.to_string(), report::f(*s, 2), format!("{}x", report::f(*b, 2))]
+            vec![
+                l.to_string(),
+                report::f(*s, 2),
+                format!("{}x", report::f(*b, 2)),
+            ]
         })
         .collect();
     out.push_str(&report::table(&["level", "sharing", "eff. BW gain"], &rows));
@@ -83,7 +94,11 @@ mod tests {
         // Fig. 7(a): ~12 points share a cube at level 0, ~none at level 15.
         let f = fig();
         assert_eq!(f.sharing_per_level.len(), 16);
-        assert!(f.sharing_per_level[0] > 4.0, "coarse sharing {}", f.sharing_per_level[0]);
+        assert!(
+            f.sharing_per_level[0] > 4.0,
+            "coarse sharing {}",
+            f.sharing_per_level[0]
+        );
         assert!(
             f.sharing_per_level[15] < 2.0,
             "fine sharing {}",
@@ -99,10 +114,21 @@ mod tests {
         let f = fig();
         for (l, &x) in f.bandwidth_improvement.iter().enumerate() {
             assert!(x > 1.5, "level {l}: improvement {x:.2}x too small");
-            assert!(x < 300.0, "level {l}: improvement {x:.2}x implausibly large");
+            assert!(
+                x < 300.0,
+                "level {l}: improvement {x:.2}x implausibly large"
+            );
         }
-        let max = f.bandwidth_improvement.iter().cloned().fold(0.0f64, f64::max);
-        let min = f.bandwidth_improvement.iter().cloned().fold(f64::MAX, f64::min);
+        let max = f
+            .bandwidth_improvement
+            .iter()
+            .cloned()
+            .fold(0.0f64, f64::max);
+        let min = f
+            .bandwidth_improvement
+            .iter()
+            .cloned()
+            .fold(f64::MAX, f64::min);
         assert!(max > 5.0, "peak improvement {max:.1}x");
         assert!(max / min > 2.0, "improvement should vary across levels");
     }

@@ -8,12 +8,13 @@ use inerf_encoding::{HashFunction, HashGrid, HashGridConfig, LookupTrace};
 use inerf_geom::Vec3;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
 
 /// The subarray counts swept in Tab. III / Fig. 9.
 pub const SUBARRAY_SWEEP: [u32; 7] = [1, 2, 4, 8, 16, 32, 64];
 
 /// The Fig. 9 surface.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Fig9 {
     /// `conflicts[s][l]` = normalized bank conflicts at `SUBARRAY_SWEEP[s]`
     /// subarrays for level `l` (normalized to the global maximum = 1.0).
@@ -74,9 +75,14 @@ pub fn run(rays: usize, samples: usize, seed: u64) -> Fig9 {
         raw.push(per_level);
     }
     let max = raw.iter().flatten().copied().max().unwrap_or(1).max(1) as f64;
-    let normalized =
-        raw.iter().map(|row| row.iter().map(|&c| c as f64 / max).collect()).collect();
-    Fig9 { normalized_conflicts: normalized, raw_conflicts: raw }
+    let normalized = raw
+        .iter()
+        .map(|row| row.iter().map(|&c| c as f64 / max).collect())
+        .collect();
+    Fig9 {
+        normalized_conflicts: normalized,
+        raw_conflicts: raw,
+    }
 }
 
 /// Pretty-prints the figure.

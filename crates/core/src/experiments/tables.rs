@@ -103,8 +103,14 @@ pub fn tab3() -> String {
     let rows = vec![
         vec!["technology".into(), "28 nm".into()],
         vec!["frequency".into(), format!("{} MHz", a.frequency_mhz)],
-        vec!["scratchpad".into(), format!("{} KB", a.scratchpad_bytes / 1024)],
-        vec!["compute".into(), format!("{}x INT32 + {}x FP32 PEs", a.int_pes, a.fp_pes)],
+        vec![
+            "scratchpad".into(),
+            format!("{} KB", a.scratchpad_bytes / 1024),
+        ],
+        vec![
+            "compute".into(),
+            format!("{}x INT32 + {}x FP32 PEs", a.int_pes, a.fp_pes),
+        ],
         vec!["banks".into(), format!("{}", a.banks)],
         vec!["DRAM".into(), "LPDDR4-2400, 16 GB, 1 KB rows".into()],
         vec![
@@ -117,7 +123,11 @@ pub fn tab3() -> String {
         vec!["subarrays/bank".into(), "1-2-4-8-16-32-64 (swept)".into()],
         vec![
             "area".into(),
-            format!("{:.1} mm²/bank ({:.1} mm² total)", a.area_mm2_per_bank, a.total_area_mm2()),
+            format!(
+                "{:.1} mm²/bank ({:.1} mm² total)",
+                a.area_mm2_per_bank,
+                a.total_area_mm2()
+            ),
         ],
         vec![
             "power".into(),
@@ -142,14 +152,21 @@ mod tests {
         for d in ["XNX", "TX2", "2080Ti", "Quest Pro"] {
             assert!(s.contains(d), "missing {d}");
         }
-        assert!(s.contains("N/A"), "Quest Pro training time is N/A in the paper");
+        assert!(
+            s.contains("N/A"),
+            "Quest Pro training time is N/A in the paper"
+        );
     }
 
     #[test]
     fn tab2_matches_paper_values() {
         let rows = tab2_rows();
         let ht = &rows[0];
-        assert!((ht.param_mb - 25.0).abs() < 5.0, "HT params {:.1} MB", ht.param_mb);
+        assert!(
+            (ht.param_mb - 25.0).abs() < 5.0,
+            "HT params {:.1} MB",
+            ht.param_mb
+        );
         assert!((ht.input_mb - 3.0).abs() < 0.1);
         assert!((ht.output_mb - 16.0).abs() < 0.1);
         let mlp = &rows[1];
@@ -163,7 +180,14 @@ mod tests {
     #[test]
     fn tab3_mentions_key_parameters() {
         let s = tab3();
-        for needle in ["200 MHz", "2 KB", "256x INT32", "LPDDR4", "3.6 mm²", "596.3 mW"] {
+        for needle in [
+            "200 MHz",
+            "2 KB",
+            "256x INT32",
+            "LPDDR4",
+            "3.6 mm²",
+            "596.3 mW",
+        ] {
             assert!(s.contains(needle), "missing {needle} in:\n{s}");
         }
     }

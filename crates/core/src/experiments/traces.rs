@@ -63,7 +63,9 @@ pub fn scene_trace(
         let cam = Camera::new(pose, 64, 64, 0.7);
         let ray = cam.ray_for_pixel(rng.gen_range(0..64), rng.gen_range(0..64));
         r += 1;
-        let Some(hit) = scene.bounds.intersect(&ray) else { continue };
+        let Some(hit) = scene.bounds.intersect(&ray) else {
+            continue;
+        };
         for t in ray.stratified_ts(hit.t_near.max(1e-4), hit.t_far, samples, None) {
             total += 1;
             let p = ray.at(t);
@@ -87,9 +89,21 @@ pub fn scene_trace(
     SceneTrace {
         trace,
         points: kept,
-        occupancy: if total == 0 { 0.0 } else { occupied as f64 / total as f64 },
-        fine_spread: if kept == 0 { 0.0 } else { fine_changes as f64 / kept as f64 },
-        unique_fine_ratio: if kept == 0 { 0.0 } else { fine_set.len() as f64 / kept as f64 },
+        occupancy: if total == 0 {
+            0.0
+        } else {
+            occupied as f64 / total as f64
+        },
+        fine_spread: if kept == 0 {
+            0.0
+        } else {
+            fine_changes as f64 / kept as f64
+        },
+        unique_fine_ratio: if kept == 0 {
+            0.0
+        } else {
+            fine_set.len() as f64 / kept as f64
+        },
     }
 }
 

@@ -63,7 +63,7 @@ mod tests {
 
     #[test]
     fn float_formatting() {
-        assert_eq!(f(3.14159, 2), "3.14");
+        assert_eq!(f(std::f64::consts::PI, 2), "3.14");
         assert_eq!(f(10.0, 0), "10");
     }
 }

@@ -35,9 +35,21 @@ mod tests {
 
     #[test]
     fn global_bank_flattening() {
-        let a = PhysAddr { channel: 2, bank: 5, subarray: 0, row: 0, col: 0 };
+        let a = PhysAddr {
+            channel: 2,
+            bank: 5,
+            subarray: 0,
+            row: 0,
+            col: 0,
+        };
         assert_eq!(a.global_bank(16), 37);
-        let b = PhysAddr { channel: 0, bank: 0, subarray: 0, row: 0, col: 0 };
+        let b = PhysAddr {
+            channel: 0,
+            bank: 0,
+            subarray: 0,
+            row: 0,
+            col: 0,
+        };
         assert_eq!(b.global_bank(16), 0);
     }
 }

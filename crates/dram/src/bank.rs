@@ -151,7 +151,14 @@ impl BankTimeline {
         } else {
             col_at + timing.cl + config.burst_cycles
         };
-        ServedRequest { outcome, stalled, pre_at, act_at, col_at, data_done }
+        ServedRequest {
+            outcome,
+            stalled,
+            pre_at,
+            act_at,
+            col_at,
+            data_done,
+        }
     }
 }
 

@@ -35,7 +35,18 @@ pub struct Timing {
 impl Timing {
     /// Tab. III LPDDR4-2400 timing set.
     pub const fn lpddr4_2400() -> Self {
-        Timing { cl: 4, rcd: 4, rp: 6, ras: 9, ccd: 8, rrd: 2, faw: 9, wr: 6, ra: 2, wa: 7 }
+        Timing {
+            cl: 4,
+            rcd: 4,
+            rp: 6,
+            ras: 9,
+            ccd: 8,
+            rrd: 2,
+            faw: 9,
+            wr: 6,
+            ra: 2,
+            wa: 7,
+        }
     }
 }
 
@@ -72,7 +83,10 @@ impl DramConfig {
     ///
     /// Panics if `subarrays` is 0 or not a power of two.
     pub fn paper(subarrays: u32) -> Self {
-        assert!(subarrays > 0 && subarrays.is_power_of_two(), "subarrays must be a power of two");
+        assert!(
+            subarrays > 0 && subarrays.is_power_of_two(),
+            "subarrays must be a power of two"
+        );
         DramConfig {
             channels: 8,
             banks_per_channel: 16,
@@ -89,7 +103,10 @@ impl DramConfig {
 
     /// A host-style configuration where data crosses the channel bus.
     pub fn paper_host(subarrays: u32) -> Self {
-        DramConfig { use_channel_bus: true, ..Self::paper(subarrays) }
+        DramConfig {
+            use_channel_bus: true,
+            ..Self::paper(subarrays)
+        }
     }
 
     /// Total banks across all channels.
@@ -110,10 +127,19 @@ impl DramConfig {
     pub fn address(&self, channel: u32, bank: u32, subarray: u32, row: u32, col: u32) -> PhysAddr {
         assert!(channel < self.channels, "channel {channel} out of range");
         assert!(bank < self.banks_per_channel, "bank {bank} out of range");
-        assert!(subarray < self.subarrays_per_bank, "subarray {subarray} out of range");
+        assert!(
+            subarray < self.subarrays_per_bank,
+            "subarray {subarray} out of range"
+        );
         assert!(row < self.rows_per_subarray, "row {row} out of range");
         assert!(col < self.row_bytes, "column {col} out of range");
-        PhysAddr { channel, bank, subarray, row, col }
+        PhysAddr {
+            channel,
+            bank,
+            subarray,
+            row,
+            col,
+        }
     }
 
     /// Seconds per command-clock cycle.
@@ -146,7 +172,11 @@ mod tests {
     fn bank_capacity_independent_of_subarrays() {
         for s in [1u32, 2, 4, 8, 16, 32, 64] {
             let c = DramConfig::paper(s);
-            assert_eq!(c.bank_bytes(), 128 * 1024 * 1024, "128 MB per bank at {s} subarrays");
+            assert_eq!(
+                c.bank_bytes(),
+                128 * 1024 * 1024,
+                "128 MB per bank at {s} subarrays"
+            );
         }
     }
 

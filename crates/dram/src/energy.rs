@@ -69,8 +69,18 @@ mod tests {
     #[test]
     fn dynamic_energy_scales_with_commands() {
         let e = EnergyModel::lpddr4();
-        let s1 = SimStats { acts: 10, pres: 10, reads: 100, ..Default::default() };
-        let s2 = SimStats { acts: 20, pres: 20, reads: 200, ..Default::default() };
+        let s1 = SimStats {
+            acts: 10,
+            pres: 10,
+            reads: 100,
+            ..Default::default()
+        };
+        let s2 = SimStats {
+            acts: 20,
+            pres: 20,
+            reads: 200,
+            ..Default::default()
+        };
         let e1 = e.total_pj(&s1, 0, 1, 0.0);
         let e2 = e.total_pj(&s2, 0, 1, 0.0);
         assert!((e2 - 2.0 * e1).abs() < 1e-6);
@@ -79,7 +89,10 @@ mod tests {
     #[test]
     fn io_crossing_costs_extra() {
         let e = EnergyModel::lpddr4();
-        let s = SimStats { reads: 100, ..Default::default() };
+        let s = SimStats {
+            reads: 100,
+            ..Default::default()
+        };
         let local = e.total_pj(&s, 0, 1, 0.0);
         let host = e.total_pj(&s, 100, 1, 0.0);
         assert!(host > local);
@@ -89,7 +102,10 @@ mod tests {
     #[test]
     fn background_scales_with_time_and_banks() {
         let e = EnergyModel::lpddr4();
-        let s = SimStats { total_cycles: 1_000_000, ..Default::default() };
+        let s = SimStats {
+            total_cycles: 1_000_000,
+            ..Default::default()
+        };
         let one = e.total_pj(&s, 0, 1, 1e-9);
         let many = e.total_pj(&s, 0, 128, 1e-9);
         assert!((many / one - 128.0).abs() < 1e-9);

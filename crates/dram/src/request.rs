@@ -26,12 +26,20 @@ pub struct Request {
 impl Request {
     /// Creates a request that may issue immediately.
     pub fn new(addr: PhysAddr, kind: AccessKind) -> Self {
-        Request { addr, kind, arrival: 0 }
+        Request {
+            addr,
+            kind,
+            arrival: 0,
+        }
     }
 
     /// Creates a request arriving at `cycle`.
     pub fn at(addr: PhysAddr, kind: AccessKind, cycle: u64) -> Self {
-        Request { addr, kind, arrival: cycle }
+        Request {
+            addr,
+            kind,
+            arrival: cycle,
+        }
     }
 }
 
@@ -41,7 +49,13 @@ mod tests {
 
     #[test]
     fn constructors() {
-        let a = PhysAddr { channel: 0, bank: 1, subarray: 2, row: 3, col: 4 };
+        let a = PhysAddr {
+            channel: 0,
+            bank: 1,
+            subarray: 2,
+            row: 3,
+            col: 4,
+        };
         assert_eq!(Request::new(a, AccessKind::Read).arrival, 0);
         assert_eq!(Request::at(a, AccessKind::Write, 99).arrival, 99);
     }

@@ -32,7 +32,9 @@ impl DramSim {
             banks: (0..config.total_banks())
                 .map(|_| BankTimeline::new(config.subarrays_per_bank))
                 .collect(),
-            rank_acts: (0..config.channels).map(|_| RankActTracker::new()).collect(),
+            rank_acts: (0..config.channels)
+                .map(|_| RankActTracker::new())
+                .collect(),
             channel_bus_free: vec![0; config.channels as usize],
             energy: EnergyModel::lpddr4(),
             config,
@@ -72,14 +74,26 @@ impl DramSim {
     ///
     /// Panics if any address lies outside the configured organization.
     pub fn run(&mut self, requests: &[Request]) -> SimStats {
-        let mut stats = SimStats { requests: requests.len() as u64, ..Default::default() };
+        let mut stats = SimStats {
+            requests: requests.len() as u64,
+            ..Default::default()
+        };
         let mut makespan = 0u64;
         let mut io_bursts = 0u64;
         for req in requests {
             let a = req.addr;
-            assert!(a.channel < self.config.channels, "address channel out of range");
-            assert!(a.bank < self.config.banks_per_channel, "address bank out of range");
-            assert!(a.subarray < self.config.subarrays_per_bank, "address subarray out of range");
+            assert!(
+                a.channel < self.config.channels,
+                "address channel out of range"
+            );
+            assert!(
+                a.bank < self.config.banks_per_channel,
+                "address bank out of range"
+            );
+            assert!(
+                a.subarray < self.config.subarrays_per_bank,
+                "address subarray out of range"
+            );
             let gb = a.global_bank(self.config.banks_per_channel) as usize;
             let rank_ok = self.rank_acts[a.channel as usize].earliest(&self.config.timing);
             let is_write = req.kind == AccessKind::Write;
@@ -111,10 +125,22 @@ impl DramSim {
             }
             if is_write {
                 stats.writes += 1;
-                self.record(served.col_at, CommandKind::Write, gb as u32, a.subarray, a.row);
+                self.record(
+                    served.col_at,
+                    CommandKind::Write,
+                    gb as u32,
+                    a.subarray,
+                    a.row,
+                );
             } else {
                 stats.reads += 1;
-                self.record(served.col_at, CommandKind::Read, gb as u32, a.subarray, a.row);
+                self.record(
+                    served.col_at,
+                    CommandKind::Read,
+                    gb as u32,
+                    a.subarray,
+                    a.row,
+                );
             }
             let mut done = served.data_done;
             if self.config.use_channel_bus {
@@ -139,7 +165,13 @@ impl DramSim {
 
     fn record(&mut self, cycle: u64, kind: CommandKind, bank: u32, subarray: u32, row: u32) {
         if self.keep_log {
-            self.log.push(CommandRecord { cycle, kind, bank, subarray, row });
+            self.log.push(CommandRecord {
+                cycle,
+                kind,
+                bank,
+                subarray,
+                row,
+            });
         }
     }
 }
@@ -213,7 +245,10 @@ mod tests {
         let t_near = DramSim::new(near).run(&reqs).total_cycles;
         let reqs_host: Vec<Request> = (0..64).map(|i| req(&host, 0, i % 16, 0, 3)).collect();
         let t_host = DramSim::new(host).run(&reqs_host).total_cycles;
-        assert!(t_host > t_near, "host bus contention must slow things: {t_host} vs {t_near}");
+        assert!(
+            t_host > t_near,
+            "host bus contention must slow things: {t_host} vs {t_near}"
+        );
     }
 
     #[test]
@@ -225,7 +260,10 @@ mod tests {
         sim.reset();
         let conflicts: Vec<Request> = (0..32).map(|i| req(&cfg, 0, 0, 0, i % 2)).collect();
         let e_conf = sim.run(&conflicts).energy_pj;
-        assert!(e_conf > e_hits, "conflicts burn ACT/PRE energy: {e_conf} vs {e_hits}");
+        assert!(
+            e_conf > e_hits,
+            "conflicts burn ACT/PRE energy: {e_conf} vs {e_hits}"
+        );
     }
 
     /// Protocol legality on random workloads, checked from the command log.

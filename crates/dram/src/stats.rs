@@ -69,7 +69,12 @@ mod tests {
 
     #[test]
     fn rates() {
-        let s = SimStats { requests: 10, row_hits: 6, bank_conflicts: 2, ..Default::default() };
+        let s = SimStats {
+            requests: 10,
+            row_hits: 6,
+            bank_conflicts: 2,
+            ..Default::default()
+        };
         assert!((s.hit_rate() - 0.6).abs() < 1e-12);
         assert!((s.conflict_rate() - 0.2).abs() < 1e-12);
         assert_eq!(SimStats::default().hit_rate(), 0.0);
@@ -77,7 +82,10 @@ mod tests {
 
     #[test]
     fn bandwidth_math() {
-        let s = SimStats { total_cycles: 1000, ..Default::default() };
+        let s = SimStats {
+            total_cycles: 1000,
+            ..Default::default()
+        };
         // 1000 cycles at 1 ns = 1 us; 1024 bytes → ~1 GB/s.
         let bw = s.bandwidth(1024, 1e-9);
         assert!((bw - 1.024e9).abs() < 1.0);

@@ -59,12 +59,7 @@ impl HashFunction {
 /// neighbouring vertices land in neighbouring entries (Fig. 6's 82%-within-16
 /// statistic covers all levels).
 #[inline]
-pub fn level_index(
-    hash: HashFunction,
-    level: &GridLevel,
-    v: GridCoord,
-    table_size: u32,
-) -> u32 {
+pub fn level_index(hash: HashFunction, level: &GridLevel, v: GridCoord, table_size: u32) -> u32 {
     match hash {
         HashFunction::Morton => hash.index(v, table_size),
         HashFunction::Original => {
@@ -178,6 +173,29 @@ mod tests {
             let v = GridCoord::new(x, y, z);
             prop_assert!(HashFunction::Original.index(v, t) < t);
             prop_assert!(HashFunction::Morton.index(v, t) < t);
+        }
+
+        #[test]
+        fn eq2_neighbouring_vertices_map_to_nearby_codes(
+            x in 0u32..(1 << 20), y in 0u32..(1 << 20), z in 0u32..(1 << 20),
+            log2 in 10u32..20
+        ) {
+            // Eq. 2's locality property: within any aligned 2x2x2 block the
+            // eight vertices take eight *consecutive* Morton codes, so
+            // their table indices sit within a circular distance of 7 of
+            // each other for every power-of-two table size.
+            let t = 1u32 << log2;
+            let base = GridCoord::new(x & !1, y & !1, z & !1);
+            let ib = HashFunction::Morton.index(base, t);
+            for c in 1..8u8 {
+                let ic = HashFunction::Morton.index(base.corner(c), t);
+                let fwd = ic.wrapping_sub(ib) % t;
+                let bwd = ib.wrapping_sub(ic) % t;
+                prop_assert!(
+                    fwd.min(bwd) <= 7,
+                    "corner {c}: {ib} vs {ic} (T = 2^{log2})"
+                );
+            }
         }
 
         #[test]

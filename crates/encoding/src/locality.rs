@@ -12,16 +12,23 @@ const DISTANCE_BUCKET_BOUNDS: [u32; 4] = [4, 16, 256, 5000];
 /// Buckets a single index distance per Fig. 6.
 #[inline]
 pub fn distance_bucket(dist: u32) -> usize {
-    DISTANCE_BUCKET_BOUNDS.iter().position(|&b| dist <= b).unwrap_or(4)
+    DISTANCE_BUCKET_BOUNDS
+        .iter()
+        .position(|&b| dist <= b)
+        .unwrap_or(4)
 }
 
 /// The 12 edges of a cube expressed as corner-index pairs (corners that
 /// differ in exactly one coordinate bit).
 pub fn cube_edges() -> impl Iterator<Item = (usize, usize)> {
     (0..8usize).flat_map(|c| {
-        [1usize, 2, 4]
-            .into_iter()
-            .filter_map(move |bit| if c & bit == 0 { Some((c, c | bit)) } else { None })
+        [1usize, 2, 4].into_iter().filter_map(move |bit| {
+            if c & bit == 0 {
+                Some((c, c | bit))
+            } else {
+                None
+            }
+        })
     })
 }
 
@@ -166,7 +173,11 @@ mod tests {
         let grid = HashGrid::new(HashGridConfig::paper(HashFunction::Morton), 1);
         let t = ray_first_trace(&grid, 4, 128);
         let sharing = points_sharing_cube_per_level(&t, grid.config().levels);
-        assert!(sharing[0] > 4.0, "coarsest level sharing {} too low", sharing[0]);
+        assert!(
+            sharing[0] > 4.0,
+            "coarsest level sharing {} too low",
+            sharing[0]
+        );
         assert!(
             *sharing.last().unwrap() < 2.0,
             "finest level sharing {} too high",
@@ -180,7 +191,11 @@ mod tests {
     fn sharing_counts_runs_not_global_matches() {
         // Construct a synthetic trace: ids A A B A — the final A is a new
         // run, so mean run length is 4 points / 3 runs.
-        let mk = |id: u64| CubeLookup { level: 0, entries: [0; 8], cube_id: id };
+        let mk = |id: u64| CubeLookup {
+            level: 0,
+            entries: [0; 8],
+            cube_id: id,
+        };
         let mut t = LookupTrace::new();
         for id in [7u64, 7, 9, 7] {
             t.push_point(&[mk(id)]);

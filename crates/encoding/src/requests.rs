@@ -46,7 +46,11 @@ pub fn mean_requests_per_cube(trace: &LookupTrace) -> f64 {
     if trace.cubes().is_empty() {
         return 0.0;
     }
-    let total: u64 = trace.cubes().iter().map(|c| cube_row_requests(c) as u64).sum();
+    let total: u64 = trace
+        .cubes()
+        .iter()
+        .map(|c| cube_row_requests(c) as u64)
+        .sum();
     total as f64 / trace.cubes().len() as f64
 }
 
@@ -98,7 +102,12 @@ impl StreamStats {
 /// granularity).
 pub fn replay_with_register_cache(trace: &LookupTrace, levels: u32) -> StreamStats {
     let mut stats: Vec<LevelStreamStats> = (0..levels)
-        .map(|level| LevelStreamStats { level, cubes: 0, register_hits: 0, row_requests: 0 })
+        .map(|level| LevelStreamStats {
+            level,
+            cubes: 0,
+            register_hits: 0,
+            row_requests: 0,
+        })
         .collect();
     let mut last_id: Vec<Option<u64>> = vec![None; levels as usize];
     for cube in trace.cubes() {
@@ -126,7 +135,11 @@ pub fn replay_with_register_cache(trace: &LookupTrace, levels: u32) -> StreamSta
 ///
 /// Panics if the two stats cover different level counts.
 pub fn effective_bandwidth_improvement(baseline: &StreamStats, ours: &StreamStats) -> Vec<f64> {
-    assert_eq!(baseline.levels.len(), ours.levels.len(), "level count mismatch");
+    assert_eq!(
+        baseline.levels.len(),
+        ours.levels.len(),
+        "level count mismatch"
+    );
     baseline
         .levels
         .iter()
@@ -156,7 +169,11 @@ mod tests {
     use rand::{Rng, SeedableRng};
 
     fn cube_with_entries(entries: [u32; 8], id: u64) -> CubeLookup {
-        CubeLookup { level: 0, entries, cube_id: id }
+        CubeLookup {
+            level: 0,
+            entries,
+            cube_id: id,
+        }
     }
 
     #[test]
@@ -171,10 +188,7 @@ mod tests {
     fn cube_requests_counts_distinct_rows() {
         let one_row = cube_with_entries([0, 1, 2, 3, 4, 5, 6, 7], 0);
         assert_eq!(cube_row_requests(&one_row), 1);
-        let eight_rows = cube_with_entries(
-            [0, 256, 512, 768, 1024, 1280, 1536, 1792],
-            1,
-        );
+        let eight_rows = cube_with_entries([0, 256, 512, 768, 1024, 1280, 1536, 1792], 1);
         assert_eq!(cube_row_requests(&eight_rows), 8);
         let two_rows = cube_with_entries([0, 0, 0, 0, 300, 300, 300, 300], 2);
         assert_eq!(cube_row_requests(&two_rows), 2);
@@ -260,13 +274,21 @@ mod tests {
             assert!(x > 1.2, "level {l}: improvement {x:.2} should exceed 1.2x");
         }
         let max = imp.iter().cloned().fold(0.0f64, f64::max);
-        assert!(max > 4.0, "peak improvement {max:.1}x should be substantial");
+        assert!(
+            max > 4.0,
+            "peak improvement {max:.1}x should be substantial"
+        );
     }
 
     #[test]
     fn improvement_handles_zero_requests() {
         let a = StreamStats {
-            levels: vec![LevelStreamStats { level: 0, cubes: 1, register_hits: 1, row_requests: 0 }],
+            levels: vec![LevelStreamStats {
+                level: 0,
+                cubes: 1,
+                register_hits: 1,
+                row_requests: 0,
+            }],
         };
         let imp = effective_bandwidth_improvement(&a, &a);
         assert_eq!(imp, vec![1.0]);

@@ -45,7 +45,12 @@ impl HashGrid {
         let mut rng = SmallRng::seed_from_u64(seed);
         let n = config.parameter_count();
         let embeddings = (0..n).map(|_| rng.gen_range(-1e-4f32..1e-4)).collect();
-        HashGrid { config, levels: config.build_levels(), embeddings, gradients: vec![0.0; n] }
+        HashGrid {
+            config,
+            levels: config.build_levels(),
+            embeddings,
+            gradients: vec![0.0; n],
+        }
     }
 
     /// The configuration this grid was built with.
@@ -104,7 +109,11 @@ impl HashGrid {
     ///
     /// Panics if `out.len() != feature_dim()`.
     pub fn encode_into(&self, p: Vec3, out: &mut [f32]) {
-        assert_eq!(out.len(), self.config.feature_dim(), "output buffer size mismatch");
+        assert_eq!(
+            out.len(),
+            self.config.feature_dim(),
+            "output buffer size mismatch"
+        );
         let f = self.config.features as usize;
         let t = self.config.table_size();
         for (li, level) in self.levels.iter().enumerate() {
@@ -147,8 +156,7 @@ impl HashGrid {
                 CubeLookup {
                     level: level.index,
                     entries,
-                    cube_id: morton_encode(base.x, base.y, base.z)
-                        | ((level.index as u64) << 58),
+                    cube_id: morton_encode(base.x, base.y, base.z) | ((level.index as u64) << 58),
                 }
             })
             .collect()
@@ -161,7 +169,11 @@ impl HashGrid {
     ///
     /// Panics if `d_features.len() != feature_dim()`.
     pub fn backward(&mut self, p: Vec3, d_features: &[f32]) {
-        assert_eq!(d_features.len(), self.config.feature_dim(), "gradient size mismatch");
+        assert_eq!(
+            d_features.len(),
+            self.config.feature_dim(),
+            "gradient size mismatch"
+        );
         let f = self.config.features as usize;
         let t = self.config.table_size();
         for (li, level) in self.levels.iter().enumerate() {
@@ -240,7 +252,10 @@ mod tests {
         // collisions which still conserve the sum).
         let total: f32 = g.gradients().iter().sum();
         let expected = dim as f32; // L levels * F features * weight-sum 1
-        assert!((total - expected).abs() < 1e-4, "total {total} vs {expected}");
+        assert!(
+            (total - expected).abs() < 1e-4,
+            "total {total} vs {expected}"
+        );
         g.zero_grad();
         assert!(g.gradients().iter().all(|&x| x == 0.0));
     }
@@ -259,7 +274,11 @@ mod tests {
         g.zero_grad();
         g.backward(p, &dout);
         // Pick the first nonzero-gradient parameter and check numerically.
-        let j = g.gradients().iter().position(|&v| v.abs() > 1e-6).expect("some gradient");
+        let j = g
+            .gradients()
+            .iter()
+            .position(|&v| v.abs() > 1e-6)
+            .expect("some gradient");
         let analytic = g.gradients()[j];
         let eps = 1e-3f32;
         let orig = g.embeddings[j];

@@ -79,7 +79,11 @@ mod tests {
         for (i, e) in entries.iter_mut().enumerate() {
             *e = base + i as u32;
         }
-        CubeLookup { level, entries, cube_id: base as u64 }
+        CubeLookup {
+            level,
+            entries,
+            cube_id: base as u64,
+        }
     }
 
     #[test]

@@ -49,7 +49,10 @@ impl Aabb {
 
     /// The unit cube `[0,1]^3`.
     pub fn unit() -> Self {
-        Aabb { min: Vec3::ZERO, max: Vec3::ONE }
+        Aabb {
+            min: Vec3::ZERO,
+            max: Vec3::ONE,
+        }
     }
 
     /// Edge lengths of the box.
@@ -79,7 +82,11 @@ impl Aabb {
     #[inline]
     pub fn normalize(&self, p: Vec3) -> Vec3 {
         let e = self.extent();
-        Vec3::new((p.x - self.min.x) / e.x, (p.y - self.min.y) / e.y, (p.z - self.min.z) / e.z)
+        Vec3::new(
+            (p.x - self.min.x) / e.x,
+            (p.y - self.min.y) / e.y,
+            (p.z - self.min.z) / e.z,
+        )
     }
 
     /// Inverse of [`Aabb::normalize`].
@@ -117,7 +124,10 @@ impl Aabb {
                 return None;
             }
         }
-        Some(RayHit { t_near: t0, t_far: t1 })
+        Some(RayHit {
+            t_near: t0,
+            t_far: t1,
+        })
     }
 }
 

@@ -28,7 +28,12 @@ impl Pose {
         let forward = (target - eye).normalized();
         let right = forward.cross(up_hint).normalized();
         let up = right.cross(forward);
-        Pose { position: eye, right, up, forward }
+        Pose {
+            position: eye,
+            right,
+            up,
+            forward,
+        }
     }
 
     /// A pose on a circular orbit of `radius` around `center`, at azimuth
@@ -77,8 +82,16 @@ impl Camera {
     /// Panics if `width` or `height` is zero, or `fov_y` is not in `(0, π)`.
     pub fn new(pose: Pose, width: u32, height: u32, fov_y: f32) -> Self {
         assert!(width > 0 && height > 0, "image dimensions must be positive");
-        assert!(fov_y > 0.0 && fov_y < std::f32::consts::PI, "fov_y out of range");
-        Camera { pose, width, height, fov_y }
+        assert!(
+            fov_y > 0.0 && fov_y < std::f32::consts::PI,
+            "fov_y out of range"
+        );
+        Camera {
+            pose,
+            width,
+            height,
+            fov_y,
+        }
     }
 
     /// Total pixel count.
@@ -124,7 +137,11 @@ mod tests {
     use super::*;
 
     fn test_pose() -> Pose {
-        Pose::look_at(Vec3::new(0.0, 0.0, -4.0), Vec3::ZERO, Vec3::new(0.0, 1.0, 0.0))
+        Pose::look_at(
+            Vec3::new(0.0, 0.0, -4.0),
+            Vec3::ZERO,
+            Vec3::new(0.0, 1.0, 0.0),
+        )
     }
 
     #[test]

@@ -99,8 +99,16 @@ impl GridLevel {
     #[inline]
     pub fn corner_weight(frac: Vec3, c: u8) -> f32 {
         let wx = if c & 1 == 0 { 1.0 - frac.x } else { frac.x };
-        let wy = if (c >> 1) & 1 == 0 { 1.0 - frac.y } else { frac.y };
-        let wz = if (c >> 2) & 1 == 0 { 1.0 - frac.z } else { frac.z };
+        let wy = if (c >> 1) & 1 == 0 {
+            1.0 - frac.y
+        } else {
+            frac.y
+        };
+        let wz = if (c >> 2) & 1 == 0 {
+            1.0 - frac.z
+        } else {
+            frac.z
+        };
         wx * wy * wz
     }
 }

@@ -68,7 +68,11 @@ pub const fn morton_encode(x: u32, y: u32, z: u32) -> u64 {
 /// Decodes a 3D Morton code back into `(x, y, z)`.
 #[inline]
 pub const fn morton_decode(code: u64) -> (u32, u32, u32) {
-    (compact_bits(code), compact_bits(code >> 1), compact_bits(code >> 2))
+    (
+        compact_bits(code),
+        compact_bits(code >> 1),
+        compact_bits(code >> 2),
+    )
 }
 
 #[cfg(test)]
@@ -113,6 +117,21 @@ mod tests {
         for (i, c) in codes.iter().enumerate() {
             assert_eq!(*c, base + i as u64);
         }
+    }
+
+    #[test]
+    fn spread_compact_roundtrip_exhaustive_21_bits() {
+        // The magic-mask chain is easy to get subtly wrong (a transposed
+        // mask passes most spot checks); verify the whole 21-bit domain.
+        const LANE_MASK: u64 = 0x1249_2492_4924_9249; // bits 0, 3, 6, ...
+        for v in 0..(1u32 << 21) {
+            let s = spread_bits(v);
+            assert_eq!(s & !LANE_MASK, 0, "v={v:#x}: spread bits left lane 0");
+            assert_eq!(compact_bits(s), v, "v={v:#x}: round-trip");
+        }
+        // Inputs above 21 bits are explicitly truncated, not smeared.
+        assert_eq!(spread_bits(1 << 21), 0);
+        assert_eq!(spread_bits(u32::MAX), spread_bits(0x1f_ffff));
     }
 
     proptest! {

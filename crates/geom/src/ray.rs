@@ -29,7 +29,10 @@ impl Ray {
     ///
     /// Panics in debug builds if `direction` has zero length.
     pub fn new(origin: Vec3, direction: Vec3) -> Self {
-        Ray { origin, direction: direction.normalized() }
+        Ray {
+            origin,
+            direction: direction.normalized(),
+        }
     }
 
     /// The point at parameter `t` along the ray.
@@ -48,8 +51,17 @@ impl Ray {
     /// # Panics
     ///
     /// Panics if `t_far <= t_near` or `n == 0`.
-    pub fn stratified_ts(&self, t_near: f32, t_far: f32, n: usize, jitter: Option<&[f32]>) -> Vec<f32> {
-        assert!(t_far > t_near, "t_far ({t_far}) must exceed t_near ({t_near})");
+    pub fn stratified_ts(
+        &self,
+        t_near: f32,
+        t_far: f32,
+        n: usize,
+        jitter: Option<&[f32]>,
+    ) -> Vec<f32> {
+        assert!(
+            t_far > t_near,
+            "t_far ({t_far}) must exceed t_near ({t_near})"
+        );
         assert!(n > 0, "need at least one sample");
         let bin = (t_far - t_near) / n as f32;
         (0..n)

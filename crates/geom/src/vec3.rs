@@ -25,9 +25,17 @@ pub struct Vec3 {
 
 impl Vec3 {
     /// The zero vector.
-    pub const ZERO: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 0.0 };
+    pub const ZERO: Vec3 = Vec3 {
+        x: 0.0,
+        y: 0.0,
+        z: 0.0,
+    };
     /// The all-ones vector.
-    pub const ONE: Vec3 = Vec3 { x: 1.0, y: 1.0, z: 1.0 };
+    pub const ONE: Vec3 = Vec3 {
+        x: 1.0,
+        y: 1.0,
+        z: 1.0,
+    };
 
     /// Creates a vector from components.
     #[inline]
@@ -102,7 +110,11 @@ impl Vec3 {
     /// Component-wise clamp of every component into `[lo, hi]`.
     #[inline]
     pub fn clamp_scalar(self, lo: f32, hi: f32) -> Vec3 {
-        Vec3::new(self.x.clamp(lo, hi), self.y.clamp(lo, hi), self.z.clamp(lo, hi))
+        Vec3::new(
+            self.x.clamp(lo, hi),
+            self.y.clamp(lo, hi),
+            self.z.clamp(lo, hi),
+        )
     }
 
     /// The smallest component.

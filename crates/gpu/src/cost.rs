@@ -162,7 +162,12 @@ impl TrainingCost {
         let mut out: Vec<(String, f64)> = self
             .steps
             .iter()
-            .map(|s| (s.step.label().to_string(), 100.0 * s.seconds / self.iteration_seconds))
+            .map(|s| {
+                (
+                    s.step.label().to_string(),
+                    100.0 * s.seconds / self.iteration_seconds,
+                )
+            })
             .collect();
         let covered: f64 = out.iter().map(|(_, p)| p).sum();
         out.push(("Other".to_string(), 100.0 - covered));
@@ -171,7 +176,10 @@ impl TrainingCost {
 
     /// The cost entry of a given step.
     pub fn step(&self, step: Step) -> &StepCost {
-        self.steps.iter().find(|s| s.step == step).expect("all steps are estimated")
+        self.steps
+            .iter()
+            .find(|s| s.step == step)
+            .expect("all steps are estimated")
     }
 }
 
@@ -225,14 +233,21 @@ mod tests {
         // Fig. 1(b) on XNX: HT 34.1%, HT_b 30.5%, MLPc 6.5%, MLPd 2.8%,
         // MLPc_b 1.6%, MLPd_b 0.8%. Check ordering and coarse magnitudes.
         let c = xnx_cost();
-        let pct =
-            |s: Step| 100.0 * c.step(s).seconds / c.iteration_seconds;
+        let pct = |s: Step| 100.0 * c.step(s).seconds / c.iteration_seconds;
         assert!(pct(Step::Ht) > pct(Step::HtB), "HT leads the breakdown");
         assert!(pct(Step::HtB) > pct(Step::MlpC));
         assert!(pct(Step::MlpC) > pct(Step::MlpD));
         assert!(pct(Step::MlpD) > pct(Step::MlpDB));
-        assert!((20.0..48.0).contains(&pct(Step::Ht)), "HT share {:.1}%", pct(Step::Ht));
-        assert!((18.0..42.0).contains(&pct(Step::HtB)), "HT_b share {:.1}%", pct(Step::HtB));
+        assert!(
+            (20.0..48.0).contains(&pct(Step::Ht)),
+            "HT share {:.1}%",
+            pct(Step::Ht)
+        );
+        assert!(
+            (18.0..42.0).contains(&pct(Step::HtB)),
+            "HT_b share {:.1}%",
+            pct(Step::HtB)
+        );
         let total: f64 = c.breakdown_percent().iter().map(|(_, p)| p).sum();
         assert!((total - 100.0).abs() < 1e-6);
     }

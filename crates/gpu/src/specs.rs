@@ -90,7 +90,12 @@ impl GpuSpec {
 
     /// All Tab. I devices.
     pub fn all() -> Vec<GpuSpec> {
-        vec![Self::xnx(), Self::tx2(), Self::rtx2080ti(), Self::quest_pro()]
+        vec![
+            Self::xnx(),
+            Self::tx2(),
+            Self::rtx2080ti(),
+            Self::quest_pro(),
+        ]
     }
 }
 

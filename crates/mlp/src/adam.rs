@@ -111,7 +111,10 @@ mod tests {
             let g = vec![2.0 * p[0], 2.0 * p[1]];
             adam.step(&mut p, &g);
         }
-        assert!(p[0].abs() < 0.05 && p[1].abs() < 0.05, "did not converge: {p:?}");
+        assert!(
+            p[0].abs() < 0.05 && p[1].abs() < 0.05,
+            "did not converge: {p:?}"
+        );
         assert_eq!(adam.steps(), 500);
     }
 

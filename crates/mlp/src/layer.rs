@@ -80,10 +80,15 @@ impl DenseLayer {
     ///
     /// Panics if either dimension is zero.
     pub fn new(in_dim: usize, out_dim: usize, activation: Activation, seed: u64) -> Self {
-        assert!(in_dim > 0 && out_dim > 0, "layer dimensions must be positive");
+        assert!(
+            in_dim > 0 && out_dim > 0,
+            "layer dimensions must be positive"
+        );
         let mut rng = SmallRng::seed_from_u64(seed);
         let bound = (6.0 / (in_dim + out_dim) as f32).sqrt();
-        let weights = (0..in_dim * out_dim).map(|_| rng.gen_range(-bound..bound)).collect();
+        let weights = (0..in_dim * out_dim)
+            .map(|_| rng.gen_range(-bound..bound))
+            .collect();
         DenseLayer {
             in_dim,
             out_dim,

@@ -47,12 +47,19 @@ impl Mlp {
     ///
     /// Panics if fewer than two widths are given.
     pub fn new(widths: &[usize], hidden: Activation, output: Activation, seed: u64) -> Self {
-        assert!(widths.len() >= 2, "an MLP needs at least input and output widths");
+        assert!(
+            widths.len() >= 2,
+            "an MLP needs at least input and output widths"
+        );
         let layers = widths
             .windows(2)
             .enumerate()
             .map(|(i, w)| {
-                let act = if i + 2 == widths.len() { output } else { hidden };
+                let act = if i + 2 == widths.len() {
+                    output
+                } else {
+                    hidden
+                };
                 DenseLayer::new(w[0], w[1], act, seed.wrapping_add(i as u64 * 0x9E37))
             })
             .collect();
@@ -109,11 +116,21 @@ impl Mlp {
     /// Panics if `d_out.len() != out_dim()` or `acts` came from a different
     /// architecture.
     pub fn backward(&mut self, acts: &MlpActivations, d_out: &[f32]) -> Vec<f32> {
-        assert_eq!(acts.outs.len(), self.layers.len(), "activation cache mismatch");
+        assert_eq!(
+            acts.outs.len(),
+            self.layers.len(),
+            "activation cache mismatch"
+        );
         let mut grad = d_out.to_vec();
         for (l, layer) in self.layers.iter_mut().enumerate().rev() {
             let mut d_input = vec![0.0; layer.in_dim()];
-            layer.backward_into(&acts.inputs[l], &acts.pres[l], &acts.outs[l], &grad, &mut d_input);
+            layer.backward_into(
+                &acts.inputs[l],
+                &acts.pres[l],
+                &acts.outs[l],
+                &grad,
+                &mut d_input,
+            );
             grad = d_input;
         }
         grad
@@ -144,7 +161,10 @@ mod tests {
         let net = Mlp::new(&[3, 8, 8, 2], Activation::Relu, Activation::Identity, 1);
         assert_eq!(net.in_dim(), 3);
         assert_eq!(net.out_dim(), 2);
-        assert_eq!(net.parameter_count(), (3 * 8 + 8) + (8 * 8 + 8) + (8 * 2 + 2));
+        assert_eq!(
+            net.parameter_count(),
+            (3 * 8 + 8) + (8 * 8 + 8) + (8 * 2 + 2)
+        );
         let acts = net.forward(&[1.0, 2.0, 3.0]);
         assert_eq!(acts.output().len(), 2);
     }
@@ -159,7 +179,11 @@ mod tests {
         let d_in = net.backward(&acts, &d_out);
         let loss = |x: &[f32]| {
             let a = net.forward(x);
-            d_out.iter().zip(a.output()).map(|(g, y)| g * y).sum::<f32>()
+            d_out
+                .iter()
+                .zip(a.output())
+                .map(|(g, y)| g * y)
+                .sum::<f32>()
         };
         let eps = 1e-3;
         for i in 0..4 {
@@ -208,18 +232,27 @@ mod tests {
             net.for_each_param_mut(|p, g| *p -= 0.5 * g);
         }
         let after = eval(&net);
-        assert!(after < before * 0.25, "loss {before} -> {after} did not drop enough");
+        assert!(
+            after < before * 0.25,
+            "loss {before} -> {after} did not drop enough"
+        );
     }
 
     #[test]
     fn zero_grad_then_step_is_noop() {
         let mut net = Mlp::new(&[2, 4, 1], Activation::Relu, Activation::Identity, 8);
-        let before: Vec<f32> =
-            net.layers().iter().flat_map(|l| l.parameters().copied().collect::<Vec<_>>()).collect();
+        let before: Vec<f32> = net
+            .layers()
+            .iter()
+            .flat_map(|l| l.parameters().copied().collect::<Vec<_>>())
+            .collect();
         net.zero_grad();
         net.for_each_param_mut(|p, g| *p -= 0.1 * g);
-        let after: Vec<f32> =
-            net.layers().iter().flat_map(|l| l.parameters().copied().collect::<Vec<_>>()).collect();
+        let after: Vec<f32> = net
+            .layers()
+            .iter()
+            .flat_map(|l| l.parameters().copied().collect::<Vec<_>>())
+            .collect();
         assert_eq!(before, after);
     }
 

@@ -50,7 +50,12 @@ pub fn composite(samples: &[SamplePoint], dts: &[f32]) -> CompositeOutput {
         weights.push(w);
         trans_after.push(transmittance);
     }
-    CompositeOutput { color, weights, transmittance_after: trans_after, background_weight: transmittance }
+    CompositeOutput {
+        color,
+        weights,
+        transmittance_after: trans_after,
+        background_weight: transmittance,
+    }
 }
 
 /// Per-sample gradients of the composite.
@@ -86,7 +91,11 @@ pub fn composite_backward(
 ) -> CompositeGradients {
     let n = samples.len();
     assert_eq!(dts.len(), n, "samples/dts length mismatch");
-    assert_eq!(out.weights.len(), n, "composite output does not match samples");
+    assert_eq!(
+        out.weights.len(),
+        n,
+        "composite output does not match samples"
+    );
     let mut d_sigma = vec![0.0f32; n];
     let mut d_color = vec![Vec3::ZERO; n];
     // Suffix sum of w_j * c_j for j > i, per channel.
@@ -97,7 +106,11 @@ pub fn composite_backward(
         let t_after = out.transmittance_after[i];
         let g = samples[i].color * t_after - suffix;
         // The clamp σ ← max(σ, 0) has zero slope for negative inputs.
-        d_sigma[i] = if samples[i].sigma < 0.0 { 0.0 } else { dts[i] * d_color_out.dot(g) };
+        d_sigma[i] = if samples[i].sigma < 0.0 {
+            0.0
+        } else {
+            dts[i] * d_color_out.dot(g)
+        };
         suffix += samples[i].color * w;
     }
     CompositeGradients { d_sigma, d_color }
@@ -111,7 +124,10 @@ mod tests {
     use rand::{Rng, SeedableRng};
 
     fn sp(sigma: f32, r: f32, g: f32, b: f32) -> SamplePoint {
-        SamplePoint { sigma, color: Vec3::new(r, g, b) }
+        SamplePoint {
+            sigma,
+            color: Vec3::new(r, g, b),
+        }
     }
 
     #[test]
@@ -156,7 +172,11 @@ mod tests {
 
     #[test]
     fn weights_sum_with_background_to_one() {
-        let samples = [sp(0.5, 1.0, 0.0, 0.0), sp(3.0, 0.0, 1.0, 0.0), sp(1.0, 0.0, 0.0, 1.0)];
+        let samples = [
+            sp(0.5, 1.0, 0.0, 0.0),
+            sp(3.0, 0.0, 1.0, 0.0),
+            sp(1.0, 0.0, 0.0, 1.0),
+        ];
         let out = composite(&samples, &[0.3, 0.5, 0.2]);
         let total: f32 = out.weights.iter().sum::<f32>() + out.background_weight;
         assert!((total - 1.0).abs() < 1e-6);
@@ -165,8 +185,9 @@ mod tests {
     #[test]
     fn transmittance_is_monotone_nonincreasing() {
         let mut rng = SmallRng::seed_from_u64(4);
-        let samples: Vec<SamplePoint> =
-            (0..32).map(|_| sp(rng.gen_range(0.0..5.0), 0.5, 0.5, 0.5)).collect();
+        let samples: Vec<SamplePoint> = (0..32)
+            .map(|_| sp(rng.gen_range(0.0..5.0), 0.5, 0.5, 0.5))
+            .collect();
         let dts = vec![0.05f32; 32];
         let out = composite(&samples, &dts);
         let mut prev = 1.0f32;

@@ -79,7 +79,8 @@ impl DatasetConfig {
             let image = oracle::render_image(scene, &camera, self.oracle_samples);
             let view = View { camera, image };
             // Interleave: every (train+test)/test-th view is held out.
-            let is_test = self.test_views > 0 && (i + 1) % (total / self.test_views.max(1)).max(1) == 0
+            let is_test = self.test_views > 0
+                && (i + 1) % (total / self.test_views.max(1)).max(1) == 0
                 && test.len() < self.test_views;
             if is_test {
                 test.push(view);
@@ -120,7 +121,10 @@ impl Dataset {
     /// Total number of training pixels (the pool Step (a) of the pipeline
     /// randomly draws batches from).
     pub fn train_pixel_count(&self) -> usize {
-        self.train_views.iter().map(|v| v.camera.pixel_count()).sum()
+        self.train_views
+            .iter()
+            .map(|v| v.camera.pixel_count())
+            .sum()
     }
 
     /// Returns the `(view, pixel x, pixel y, ground-truth color)` tuple for a
@@ -162,7 +166,10 @@ mod tests {
     fn views_are_not_black() {
         let ds = DatasetConfig::tiny().generate(&scene(SceneKind::Hotdog));
         for v in ds.train_views.iter().chain(&ds.test_views) {
-            assert!(v.image.mean() > 0.005, "a view of Hotdog should see the scene");
+            assert!(
+                v.image.mean() > 0.005,
+                "a view of Hotdog should see the scene"
+            );
         }
     }
 

@@ -19,7 +19,10 @@ pub struct RadianceSample {
 
 impl RadianceSample {
     /// A fully transparent sample.
-    pub const EMPTY: RadianceSample = RadianceSample { sigma: 0.0, color: Vec3::ZERO };
+    pub const EMPTY: RadianceSample = RadianceSample {
+        sigma: 0.0,
+        color: Vec3::ZERO,
+    };
 }
 
 /// A continuous density + color field over 3D space.
@@ -94,7 +97,10 @@ impl SoftBox {
         }
         let t = outside / self.softness;
         let sigma = self.peak * (-t * t).exp();
-        RadianceSample { sigma, color: self.color }
+        RadianceSample {
+            sigma,
+            color: self.color,
+        }
     }
 }
 
@@ -121,7 +127,10 @@ impl SoftTorus {
         if d2 > 9.0 {
             return RadianceSample::EMPTY;
         }
-        RadianceSample { sigma: self.peak * (-d2).exp(), color: self.color }
+        RadianceSample {
+            sigma: self.peak * (-d2).exp(),
+            color: self.color,
+        }
     }
 }
 
@@ -167,8 +176,15 @@ impl Scene {
     ///
     /// Panics if `primitives` is empty.
     pub fn new(name: impl Into<String>, bounds: Aabb, primitives: Vec<Primitive>) -> Self {
-        assert!(!primitives.is_empty(), "a scene needs at least one primitive");
-        Scene { name: name.into(), bounds, primitives }
+        assert!(
+            !primitives.is_empty(),
+            "a scene needs at least one primitive"
+        );
+        Scene {
+            name: name.into(),
+            bounds,
+            primitives,
+        }
     }
 
     /// The primitives composing the scene.
@@ -189,7 +205,10 @@ impl RadianceField for Scene {
         if sigma <= 1e-9 {
             return RadianceSample::EMPTY;
         }
-        RadianceSample { sigma, color: color_acc / sigma }
+        RadianceSample {
+            sigma,
+            color: color_acc / sigma,
+        }
     }
 }
 
@@ -199,7 +218,13 @@ mod tests {
 
     #[test]
     fn blob_peaks_at_center_and_decays() {
-        let b = Blob { center: Vec3::ZERO, radius: 0.5, peak: 4.0, color: Vec3::ONE, sheen: 0.0 };
+        let b = Blob {
+            center: Vec3::ZERO,
+            radius: 0.5,
+            peak: 4.0,
+            color: Vec3::ONE,
+            sheen: 0.0,
+        };
         let at_center = b.eval(Vec3::ZERO, Vec3::new(0.0, 0.0, 1.0));
         let off = b.eval(Vec3::new(0.5, 0.0, 0.0), Vec3::new(0.0, 0.0, 1.0));
         assert!((at_center.sigma - 4.0).abs() < 1e-5);

@@ -30,7 +30,11 @@ impl Image {
     /// Panics if either dimension is zero.
     pub fn new(width: u32, height: u32) -> Self {
         assert!(width > 0 && height > 0, "image dimensions must be positive");
-        Image { width, height, pixels: vec![Vec3::ZERO; (width * height) as usize] }
+        Image {
+            width,
+            height,
+            pixels: vec![Vec3::ZERO; (width * height) as usize],
+        }
     }
 
     /// Image width in pixels.
@@ -64,7 +68,10 @@ impl Image {
     ///
     /// Panics if the coordinates are out of bounds.
     pub fn get(&self, x: u32, y: u32) -> Vec3 {
-        assert!(x < self.width && y < self.height, "pixel ({x},{y}) out of bounds");
+        assert!(
+            x < self.width && y < self.height,
+            "pixel ({x},{y}) out of bounds"
+        );
         self.pixels[(y * self.width + x) as usize]
     }
 
@@ -74,7 +81,10 @@ impl Image {
     ///
     /// Panics if the coordinates are out of bounds.
     pub fn set(&mut self, x: u32, y: u32, c: Vec3) {
-        assert!(x < self.width && y < self.height, "pixel ({x},{y}) out of bounds");
+        assert!(
+            x < self.width && y < self.height,
+            "pixel ({x},{y}) out of bounds"
+        );
         self.pixels[(y * self.width + x) as usize] = c;
     }
 
@@ -113,7 +123,8 @@ pub fn mse(a: &Image, b: &Image) -> f64 {
     let mut acc = 0.0f64;
     for (pa, pb) in a.pixels.iter().zip(&b.pixels) {
         let d = *pa - *pb;
-        acc += (d.x as f64) * (d.x as f64) + (d.y as f64) * (d.y as f64) + (d.z as f64) * (d.z as f64);
+        acc +=
+            (d.x as f64) * (d.x as f64) + (d.y as f64) * (d.y as f64) + (d.z as f64) * (d.z as f64);
     }
     acc / (3.0 * a.pixels.len() as f64)
 }
@@ -276,7 +287,10 @@ mod ssim_tests {
         let img = gradient_image();
         let small = ssim(&img, &noisy(&img, 0.05));
         let large = ssim(&img, &noisy(&img, 0.3));
-        assert!(small > large, "more noise must lower SSIM: {small} vs {large}");
+        assert!(
+            small > large,
+            "more noise must lower SSIM: {small} vs {large}"
+        );
         assert!(small < 1.0);
     }
 

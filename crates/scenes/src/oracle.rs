@@ -83,7 +83,10 @@ mod tests {
         let s = single_blob_scene();
         let ray = Ray::new(Vec3::new(0.0, 0.0, -3.0), Vec3::new(0.0, 0.0, 1.0));
         let c = render_ray(&s, &ray, 256);
-        assert!(c.x > 0.8, "dense blob should be nearly opaque red, got {c:?}");
+        assert!(
+            c.x > 0.8,
+            "dense blob should be nearly opaque red, got {c:?}"
+        );
         assert!(c.y < 1e-3 && c.z < 1e-3);
     }
 

@@ -71,7 +71,13 @@ fn bounds() -> Aabb {
 }
 
 fn blob(c: [f32; 3], r: f32, peak: f32, col: [f32; 3], sheen: f32) -> Primitive {
-    Primitive::Blob(Blob { center: c.into(), radius: r, peak, color: col.into(), sheen })
+    Primitive::Blob(Blob {
+        center: c.into(),
+        radius: r,
+        peak,
+        color: col.into(),
+        sheen,
+    })
 }
 
 fn bx(c: [f32; 3], h: [f32; 3], peak: f32, col: [f32; 3]) -> Primitive {
@@ -85,7 +91,13 @@ fn bx(c: [f32; 3], h: [f32; 3], peak: f32, col: [f32; 3]) -> Primitive {
 }
 
 fn torus(c: [f32; 3], major: f32, minor: f32, peak: f32, col: [f32; 3]) -> Primitive {
-    Primitive::Torus(SoftTorus { center: c.into(), major, minor, peak, color: col.into() })
+    Primitive::Torus(SoftTorus {
+        center: c.into(),
+        major,
+        minor,
+        peak,
+        color: col.into(),
+    })
 }
 
 /// Builds the named procedural scene.
@@ -102,20 +114,50 @@ pub fn scene(kind: SceneKind) -> Scene {
         SceneKind::Chair => vec![
             bx([0.0, -0.1, 0.0], [0.35, 0.06, 0.35], 8.0, [0.7, 0.45, 0.2]), // seat
             bx([0.0, 0.35, -0.3], [0.35, 0.35, 0.05], 8.0, [0.7, 0.45, 0.2]), // back
-            bx([-0.3, -0.5, -0.3], [0.05, 0.35, 0.05], 8.0, [0.45, 0.3, 0.15]),
-            bx([0.3, -0.5, -0.3], [0.05, 0.35, 0.05], 8.0, [0.45, 0.3, 0.15]),
-            bx([-0.3, -0.5, 0.3], [0.05, 0.35, 0.05], 8.0, [0.45, 0.3, 0.15]),
+            bx(
+                [-0.3, -0.5, -0.3],
+                [0.05, 0.35, 0.05],
+                8.0,
+                [0.45, 0.3, 0.15],
+            ),
+            bx(
+                [0.3, -0.5, -0.3],
+                [0.05, 0.35, 0.05],
+                8.0,
+                [0.45, 0.3, 0.15],
+            ),
+            bx(
+                [-0.3, -0.5, 0.3],
+                [0.05, 0.35, 0.05],
+                8.0,
+                [0.45, 0.3, 0.15],
+            ),
             bx([0.3, -0.5, 0.3], [0.05, 0.35, 0.05], 8.0, [0.45, 0.3, 0.15]),
         ],
         SceneKind::Drums => vec![
             bx([-0.3, -0.3, 0.0], [0.22, 0.18, 0.22], 7.0, [0.85, 0.2, 0.2]), // kick
-            bx([0.25, -0.15, 0.25], [0.15, 0.08, 0.15], 7.0, [0.9, 0.9, 0.85]), // snare
-            bx([0.3, -0.15, -0.3], [0.13, 0.07, 0.13], 7.0, [0.9, 0.9, 0.85]), // tom
+            bx(
+                [0.25, -0.15, 0.25],
+                [0.15, 0.08, 0.15],
+                7.0,
+                [0.9, 0.9, 0.85],
+            ), // snare
+            bx(
+                [0.3, -0.15, -0.3],
+                [0.13, 0.07, 0.13],
+                7.0,
+                [0.9, 0.9, 0.85],
+            ), // tom
             torus([0.0, 0.35, 0.0], 0.35, 0.035, 6.0, [0.9, 0.8, 0.3]),       // cymbal ring
             torus([-0.35, 0.5, -0.2], 0.2, 0.03, 6.0, [0.9, 0.8, 0.3]),       // hi-hat
         ],
         SceneKind::Ficus => {
-            let mut prims = vec![bx([0.0, -0.45, 0.0], [0.05, 0.4, 0.05], 7.0, [0.4, 0.25, 0.1])];
+            let mut prims = vec![bx(
+                [0.0, -0.45, 0.0],
+                [0.05, 0.4, 0.05],
+                7.0,
+                [0.4, 0.25, 0.1],
+            )];
             // Deterministic leaf spray around the trunk top.
             let golden = 2.399_963_2_f32; // golden angle, radians
             for i in 0..24 {
@@ -143,7 +185,12 @@ pub fn scene(kind: SceneKind) -> Scene {
         ],
         SceneKind::Lego => {
             let mut prims = Vec::new();
-            let colors = [[0.9, 0.1, 0.1], [0.95, 0.8, 0.1], [0.1, 0.3, 0.85], [0.1, 0.7, 0.2]];
+            let colors = [
+                [0.9, 0.1, 0.1],
+                [0.95, 0.8, 0.1],
+                [0.1, 0.3, 0.85],
+                [0.1, 0.7, 0.2],
+            ];
             for ix in 0..3 {
                 for iz in 0..3 {
                     for iy in 0..2 {
@@ -169,21 +216,41 @@ pub fn scene(kind: SceneKind) -> Scene {
             blob([0.5, -0.2, -0.25], 0.2, 6.0, [0.2, 0.2, 0.9], 0.7),
             blob([-0.25, -0.2, 0.25], 0.2, 6.0, [0.9, 0.9, 0.2], 0.5),
             blob([0.25, -0.2, 0.25], 0.2, 6.0, [0.9, 0.3, 0.9], 0.5),
-            bx([0.0, -0.48, 0.0], [0.8, 0.04, 0.55], 7.0, [0.35, 0.35, 0.38]),
+            bx(
+                [0.0, -0.48, 0.0],
+                [0.8, 0.04, 0.55],
+                7.0,
+                [0.35, 0.35, 0.38],
+            ),
         ],
         SceneKind::Mic => vec![
-            bx([0.0, -0.55, 0.0], [0.25, 0.04, 0.25], 7.0, [0.25, 0.25, 0.28]), // base
-            bx([0.0, -0.1, 0.0], [0.03, 0.45, 0.03], 7.0, [0.5, 0.5, 0.55]),    // stand
-            blob([0.0, 0.45, 0.0], 0.18, 6.0, [0.75, 0.75, 0.8], 0.4),          // head
-            torus([0.0, 0.45, 0.0], 0.2, 0.03, 5.0, [0.3, 0.3, 0.33]),          // grille ring
+            bx(
+                [0.0, -0.55, 0.0],
+                [0.25, 0.04, 0.25],
+                7.0,
+                [0.25, 0.25, 0.28],
+            ), // base
+            bx([0.0, -0.1, 0.0], [0.03, 0.45, 0.03], 7.0, [0.5, 0.5, 0.55]), // stand
+            blob([0.0, 0.45, 0.0], 0.18, 6.0, [0.75, 0.75, 0.8], 0.4),       // head
+            torus([0.0, 0.45, 0.0], 0.2, 0.03, 5.0, [0.3, 0.3, 0.33]),       // grille ring
         ],
         SceneKind::Ship => vec![
             bx([0.0, -0.45, 0.0], [0.9, 0.05, 0.9], 4.0, [0.1, 0.25, 0.4]), // water
             bx([0.0, -0.25, 0.0], [0.5, 0.12, 0.2], 7.0, [0.5, 0.32, 0.15]), // hull
-            bx([-0.15, 0.15, 0.0], [0.025, 0.35, 0.025], 7.0, [0.4, 0.28, 0.14]), // mast 1
+            bx(
+                [-0.15, 0.15, 0.0],
+                [0.025, 0.35, 0.025],
+                7.0,
+                [0.4, 0.28, 0.14],
+            ), // mast 1
             bx([0.2, 0.05, 0.0], [0.02, 0.25, 0.02], 7.0, [0.4, 0.28, 0.14]), // mast 2
-            bx([-0.15, 0.25, 0.0], [0.18, 0.14, 0.015], 5.0, [0.9, 0.88, 0.8]), // sail 1
-            bx([0.2, 0.1, 0.0], [0.13, 0.1, 0.015], 5.0, [0.9, 0.88, 0.8]),  // sail 2
+            bx(
+                [-0.15, 0.25, 0.0],
+                [0.18, 0.14, 0.015],
+                5.0,
+                [0.9, 0.88, 0.8],
+            ), // sail 1
+            bx([0.2, 0.1, 0.0], [0.13, 0.1, 0.015], 5.0, [0.9, 0.88, 0.8]), // sail 2
         ],
     };
     Scene::new(kind.name(), bounds(), prims)
@@ -206,7 +273,16 @@ mod tests {
         let names: Vec<&str> = scenes.iter().map(|s| s.name.as_str()).collect();
         assert_eq!(
             names,
-            ["Chair", "Drums", "Ficus", "Hotdog", "Lego", "Materials", "Mic", "Ship"]
+            [
+                "Chair",
+                "Drums",
+                "Ficus",
+                "Hotdog",
+                "Lego",
+                "Materials",
+                "Mic",
+                "Ship"
+            ]
         );
     }
 
@@ -229,7 +305,11 @@ mod tests {
                     }
                 }
             }
-            assert!(total > 1.0, "scene {} is nearly empty (total density {total})", s.name);
+            assert!(
+                total > 1.0,
+                "scene {} is nearly empty (total density {total})",
+                s.name
+            );
         }
     }
 
@@ -254,7 +334,11 @@ mod tests {
                     let b = scenes[j].sample(p, Vec3::new(0.0, 0.0, 1.0));
                     (a.sigma - b.sigma).abs() > 1e-3 || (a.color - b.color).length() > 1e-3
                 });
-                assert!(differs, "{} and {} look identical", scenes[i].name, scenes[j].name);
+                assert!(
+                    differs,
+                    "{} and {} look identical",
+                    scenes[i].name, scenes[j].name
+                );
             }
         }
     }
@@ -265,7 +349,10 @@ mod tests {
         let p = Vec3::new(-0.5 + 0.15, -0.2, -0.25);
         let a = s.sample(p, Vec3::new(-1.0, 0.0, 0.0));
         let b = s.sample(p, Vec3::new(0.0, 1.0, 0.0));
-        assert!((a.color - b.color).length() > 1e-3, "expected sheen to vary with view");
+        assert!(
+            (a.color - b.color).length() > 1e-3,
+            "expected sheen to vary with view"
+        );
     }
 
     #[test]

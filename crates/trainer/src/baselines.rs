@@ -50,7 +50,11 @@ impl Heads {
             Activation::Sigmoid,
             seed ^ 0xBB,
         );
-        Heads { density_mlp, color_mlp, density_out }
+        Heads {
+            density_mlp,
+            color_mlp,
+            density_out,
+        }
     }
 
     fn forward(&self, feats: &[f32], d: Vec3) -> (HeadsCache, f32, Vec3) {
@@ -63,13 +67,22 @@ impl Heads {
         let color_acts = self.color_mlp.forward(&color_in);
         let o = color_acts.output();
         let rgb = Vec3::new(o[0], o[1], o[2]);
-        (HeadsCache { density_acts, color_acts, sigma }, sigma, rgb)
+        (
+            HeadsCache {
+                density_acts,
+                color_acts,
+                sigma,
+            },
+            sigma,
+            rgb,
+        )
     }
 
     /// Returns the gradient w.r.t. the input features.
     fn backward(&mut self, cache: &HeadsCache, d_sigma: f32, d_color: Vec3) -> Vec<f32> {
-        let d_color_in =
-            self.color_mlp.backward(&cache.color_acts, &[d_color.x, d_color.y, d_color.z]);
+        let d_color_in = self
+            .color_mlp
+            .backward(&cache.color_acts, &[d_color.x, d_color.y, d_color.z]);
         let mut d_raw = vec![0.0f32; self.density_out];
         d_raw[0] = d_sigma * cache.sigma;
         d_raw[1..].copy_from_slice(&d_color_in[..self.density_out - 1]);
@@ -131,7 +144,13 @@ impl NerfLite {
         let heads = Heads::new(feat_dim, hidden, 8, seed);
         let density_adam = AdamState::new(heads.density_mlp.parameter_count(), 5e-3);
         let color_adam = AdamState::new(heads.color_mlp.parameter_count(), 5e-3);
-        NerfLite { bands, heads, density_adam, color_adam, cache: Vec::new() }
+        NerfLite {
+            bands,
+            heads,
+            density_adam,
+            color_adam,
+            cache: Vec::new(),
+        }
     }
 }
 
@@ -155,7 +174,8 @@ impl TrainableField for NerfLite {
     }
 
     fn apply_gradients(&mut self) {
-        self.heads.step(&mut self.density_adam, &mut self.color_adam);
+        self.heads
+            .step(&mut self.density_adam, &mut self.color_adam);
     }
 
     fn query_eval(&self, p: Vec3, d: Vec3) -> (f32, Vec3) {
@@ -298,7 +318,8 @@ impl TrainableField for TensorfLite {
                 idx += 1;
             }
         }
-        self.heads.step(&mut self.density_adam, &mut self.color_adam);
+        self.heads
+            .step(&mut self.density_adam, &mut self.color_adam);
     }
 
     fn query_eval(&self, p: Vec3, d: Vec3) -> (f32, Vec3) {
@@ -317,8 +338,8 @@ impl TrainableField for TensorfLite {
 #[derive(Debug, Clone)]
 pub struct FastNerfLite {
     components: usize,
-    pos_mlp: Mlp,   // PE(p) -> [raw_sigma, K*3 uvw]
-    dir_mlp: Mlp,   // dir-enc(d) -> K betas
+    pos_mlp: Mlp, // PE(p) -> [raw_sigma, K*3 uvw]
+    dir_mlp: Mlp, // dir-enc(d) -> K betas
     bands: usize,
     pos_adam: AdamState,
     dir_adam: AdamState,
@@ -343,8 +364,12 @@ impl FastNerfLite {
             Activation::Identity,
             seed ^ 0x11,
         );
-        let dir_mlp =
-            Mlp::new(&[9, hidden / 2, components], Activation::Relu, Activation::Identity, seed ^ 0x22);
+        let dir_mlp = Mlp::new(
+            &[9, hidden / 2, components],
+            Activation::Relu,
+            Activation::Identity,
+            seed ^ 0x22,
+        );
         FastNerfLite {
             components,
             pos_adam: AdamState::new(pos_mlp.parameter_count(), 5e-3),
@@ -389,7 +414,12 @@ impl TrainableField for FastNerfLite {
 
     fn query(&mut self, p: Vec3, d: Vec3) -> (f32, Vec3) {
         let (pos_acts, dir_acts, sigma, pre, rgb) = self.forward_parts(p, d);
-        self.cache.push(FastCache { pos_acts, dir_acts, sigma, rgb_pre: pre });
+        self.cache.push(FastCache {
+            pos_acts,
+            dir_acts,
+            sigma,
+            rgb_pre: pre,
+        });
         (sigma, rgb)
     }
 
@@ -409,7 +439,11 @@ impl TrainableField for FastNerfLite {
         d_pos[0] = d_sigma * cache.sigma;
         let mut d_betas = vec![0.0f32; self.components];
         for k in 0..self.components {
-            let uvw = Vec3::new(pos_out[1 + 3 * k], pos_out[1 + 3 * k + 1], pos_out[1 + 3 * k + 2]);
+            let uvw = Vec3::new(
+                pos_out[1 + 3 * k],
+                pos_out[1 + 3 * k + 1],
+                pos_out[1 + 3 * k + 2],
+            );
             d_pos[1 + 3 * k] = betas[k] * d_pre.x;
             d_pos[1 + 3 * k + 1] = betas[k] * d_pre.y;
             d_pos[1 + 3 * k + 2] = betas[k] * d_pre.z;

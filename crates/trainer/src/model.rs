@@ -243,7 +243,12 @@ impl TrainableField for IngpModel {
 
     fn query(&mut self, p: Vec3, d: Vec3) -> (f32, Vec3) {
         let (density_acts, color_acts, sigma, rgb) = self.forward_parts(p, d);
-        self.cache.push(PointCache { p, density_acts, color_acts, sigma });
+        self.cache.push(PointCache {
+            p,
+            density_acts,
+            color_acts,
+            sigma,
+        });
         (sigma, rgb)
     }
 
@@ -339,7 +344,10 @@ mod tests {
         let p = Vec3::splat(0.5);
         m.query(p, Vec3::new(0.0, 0.0, 1.0));
         m.backward(0, 1.0, Vec3::ONE);
-        assert!(m.grid.gradients().iter().any(|&g| g != 0.0), "grid gradients empty");
+        assert!(
+            m.grid.gradients().iter().any(|&g| g != 0.0),
+            "grid gradients empty"
+        );
         let before = m.grid.parameters().to_vec();
         m.apply_gradients();
         let after = m.grid.parameters();
@@ -369,7 +377,10 @@ mod tests {
         }
         let (_, c_final) = m.query_eval(p, d);
         let fin = loss_of(c_final);
-        assert!(fin < initial * 0.1, "color loss {initial} -> {fin} did not drop 10x");
+        assert!(
+            fin < initial * 0.1,
+            "color loss {initial} -> {fin} did not drop 10x"
+        );
     }
 
     #[test]
@@ -408,7 +419,11 @@ mod clip_tests {
         // Inject a pathological loss gradient.
         m.backward(0, 1e6, Vec3::splat(1e6));
         m.apply_gradients();
-        let max = m.grid.parameters().iter().fold(0.0f32, |a, &v| a.max(v.abs()));
+        let max = m
+            .grid
+            .parameters()
+            .iter()
+            .fold(0.0f32, |a, &v| a.max(v.abs()));
         assert!(max < 1.0, "clipped step must stay bounded, max param {max}");
         let (_, rgb) = m.query_eval(p, Vec3::new(0.0, 0.0, 1.0));
         assert!(rgb.is_finite());

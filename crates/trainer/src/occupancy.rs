@@ -29,7 +29,10 @@ impl OccupancyGrid {
     pub fn new(resolution: u32) -> Self {
         assert!(resolution > 0, "occupancy grid resolution must be positive");
         let cells = (resolution as usize).pow(3);
-        OccupancyGrid { resolution, bits: vec![u64::MAX; cells.div_ceil(64)] }
+        OccupancyGrid {
+            resolution,
+            bits: vec![u64::MAX; cells.div_ceil(64)],
+        }
     }
 
     /// Grid resolution per axis.
@@ -46,8 +49,7 @@ impl OccupancyGrid {
     fn cell_index(&self, p: Vec3) -> usize {
         let r = self.resolution as f32;
         let clamp = |v: f32| ((v.clamp(0.0, 1.0) * r).min(r - 1e-4)).floor() as usize;
-        (clamp(p.z) * self.resolution as usize + clamp(p.y)) * self.resolution as usize
-            + clamp(p.x)
+        (clamp(p.z) * self.resolution as usize + clamp(p.y)) * self.resolution as usize + clamp(p.x)
     }
 
     /// Whether the cell containing normalized point `p` is marked occupied.
@@ -206,10 +208,17 @@ mod tests {
         let ts: Vec<f32> = (0..16).map(|i| 1.0 + i as f32 * 0.125).collect();
         let (kept, skipped) = g.filter_ts(&ray, &bounds, &ts);
         assert!(skipped > 0, "some samples cross the cleared half");
-        assert!(!kept.is_empty(), "some samples survive in the occupied half");
+        assert!(
+            !kept.is_empty(),
+            "some samples survive in the occupied half"
+        );
         // Every kept sample is in the +x (occupied) half of the box.
         for &t in &kept {
-            assert!(ray.at(t).x >= 0.0 - 0.0626, "kept sample at x={}", ray.at(t).x);
+            assert!(
+                ray.at(t).x >= 0.0 - 0.0626,
+                "kept sample at x={}",
+                ray.at(t).x
+            );
         }
         assert_eq!(kept.len() + skipped, ts.len());
     }

@@ -62,7 +62,9 @@ pub fn build_point_batch(
     let mut points = Vec::with_capacity(rays.len() * samples_per_ray);
     let mut provenance = Vec::with_capacity(rays.len() * samples_per_ray);
     for (ri, ray) in rays.iter().enumerate() {
-        let Some(hit) = bounds.intersect(ray) else { continue };
+        let Some(hit) = bounds.intersect(ray) else {
+            continue;
+        };
         if hit.t_far - hit.t_near < 1e-6 {
             continue;
         }
@@ -81,7 +83,10 @@ pub fn build_point_batch(
         perm.shuffle(&mut rng);
         let points2 = perm.iter().map(|&i| points[i]).collect();
         let prov2 = perm.iter().map(|&i| provenance[i]).collect();
-        return PointBatch { points: points2, provenance: prov2 };
+        return PointBatch {
+            points: points2,
+            provenance: prov2,
+        };
     }
     PointBatch { points, provenance }
 }
@@ -116,8 +121,7 @@ mod tests {
 
     #[test]
     fn ray_first_keeps_ray_points_contiguous() {
-        let batch =
-            build_point_batch(&test_rays(4), &bounds(), 8, StreamingOrder::RayFirst, 0);
+        let batch = build_point_batch(&test_rays(4), &bounds(), 8, StreamingOrder::RayFirst, 0);
         assert_eq!(batch.points.len(), 32);
         for (i, (ri, si)) in batch.provenance.iter().enumerate() {
             assert_eq!(*ri as usize, i / 8);
@@ -134,7 +138,10 @@ mod tests {
         let mut b = rnd.provenance.clone();
         a.sort_unstable();
         b.sort_unstable();
-        assert_eq!(a, b, "random order must be a permutation of the same points");
+        assert_eq!(
+            a, b,
+            "random order must be a permutation of the same points"
+        );
         assert_ne!(rf.provenance, rnd.provenance, "random order should differ");
     }
 
@@ -153,7 +160,11 @@ mod tests {
         let mut rays = test_rays(2);
         rays.push(Ray::new(Vec3::new(0.0, 5.0, 0.0), Vec3::new(0.0, 1.0, 0.0)));
         let batch = build_point_batch(&rays, &bounds(), 4, StreamingOrder::RayFirst, 0);
-        assert_eq!(batch.points.len(), 8, "the escaping ray must contribute nothing");
+        assert_eq!(
+            batch.points.len(),
+            8,
+            "the escaping ray must contribute nothing"
+        );
     }
 
     #[test]

@@ -4,8 +4,8 @@ use crate::model::TrainableField;
 use crate::occupancy::OccupancyGrid;
 use crate::streaming::StreamingOrder;
 use inerf_geom::{Aabb, Camera, Ray, Vec3};
+use inerf_render::l2_loss;
 use inerf_render::volume::{composite, composite_backward, SamplePoint};
-use inerf_render::{l2_loss};
 use inerf_scenes::{psnr_from_mse, Dataset, Image};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -231,19 +231,20 @@ impl<M: TrainableField> Trainer<M> {
             return 0.0;
         }
         // Step (d): volume rendering.
-        let outputs: Vec<_> =
-            records.iter().map(|r| composite(&r.samples, &r.dts)).collect();
+        let outputs: Vec<_> = records
+            .iter()
+            .map(|r| composite(&r.samples, &r.dts))
+            .collect();
         // Step (e): loss.
         let predictions: Vec<Vec3> = outputs.iter().map(|o| o.color).collect();
         let target_colors: Vec<Vec3> = records.iter().map(|r| r.target).collect();
         let loss = l2_loss(&predictions, &target_colors);
         // Step (f): backward through rendering, MLPs and the hash table.
-        for ((record, out), d_pred) in
-            records.iter().zip(&outputs).zip(&loss.d_predictions)
-        {
+        for ((record, out), d_pred) in records.iter().zip(&outputs).zip(&loss.d_predictions) {
             let grads = composite_backward(&record.samples, &record.dts, out, *d_pred);
             for i in 0..record.samples.len() {
-                self.model.backward(record.cache_base + i, grads.d_sigma[i], grads.d_color[i]);
+                self.model
+                    .backward(record.cache_base + i, grads.d_sigma[i], grads.d_color[i]);
             }
         }
         self.model.apply_gradients();
@@ -266,7 +267,12 @@ impl<M: TrainableField> Trainer<M> {
 
     /// Renders an image from the trained model (no gradient tracking).
     pub fn render_view(&self, camera: &Camera, bounds: &Aabb) -> Image {
-        render_view(&self.model, camera, bounds, self.config.eval_samples_per_ray)
+        render_view(
+            &self.model,
+            camera,
+            bounds,
+            self.config.eval_samples_per_ray,
+        )
     }
 
     /// Mean PSNR over the dataset's held-out test views.
@@ -292,8 +298,7 @@ pub fn render_view<M: TrainableField>(
             if hit.t_far - hit.t_near < 1e-5 {
                 continue;
             }
-            let ts =
-                ray.stratified_ts(hit.t_near.max(1e-4), hit.t_far, samples_per_ray, None);
+            let ts = ray.stratified_ts(hit.t_near.max(1e-4), hit.t_far, samples_per_ray, None);
             let dt = (hit.t_far - hit.t_near.max(1e-4)) / samples_per_ray as f32;
             let samples: Vec<SamplePoint> = ts
                 .iter()
@@ -384,7 +389,10 @@ mod tests {
     #[test]
     fn rays_missing_bounds_yield_zero_loss() {
         let (_, mut trainer) = tiny_setup();
-        let rays = vec![Ray::new(Vec3::new(0.0, 10.0, 0.0), Vec3::new(0.0, 1.0, 0.0))];
+        let rays = vec![Ray::new(
+            Vec3::new(0.0, 10.0, 0.0),
+            Vec3::new(0.0, 1.0, 0.0),
+        )];
         let loss = trainer.train_on_rays(
             &rays,
             &[Vec3::ZERO],
@@ -415,14 +423,22 @@ mod occupancy_tests {
         let dataset = DatasetConfig::tiny().generate(&scene);
         let iterations = 50;
 
-        let mut dense = Trainer::new(IngpModel::new(ModelConfig::tiny(), 5), TrainConfig::tiny(), 9);
+        let mut dense = Trainer::new(
+            IngpModel::new(ModelConfig::tiny(), 5),
+            TrainConfig::tiny(),
+            9,
+        );
         dense.train(&dataset, iterations);
         let dense_queries = dense.points_queried();
         let dense_psnr = dense.eval_psnr(&dataset);
 
         // Warm up briefly so the grid refresh sees real densities, matching
         // iNGP's schedule of enabling skipping after early iterations.
-        let mut skipping = Trainer::new(IngpModel::new(ModelConfig::tiny(), 5), TrainConfig::tiny(), 9);
+        let mut skipping = Trainer::new(
+            IngpModel::new(ModelConfig::tiny(), 5),
+            TrainConfig::tiny(),
+            9,
+        );
         skipping.train(&dataset, 20);
         let mut skipping = {
             // Rebuild with the grid enabled, keeping the warmed model.
@@ -445,7 +461,11 @@ mod occupancy_tests {
 
     #[test]
     fn occupancy_grid_accessor() {
-        let t = Trainer::new(IngpModel::new(ModelConfig::tiny(), 1), TrainConfig::tiny(), 1);
+        let t = Trainer::new(
+            IngpModel::new(ModelConfig::tiny(), 1),
+            TrainConfig::tiny(),
+            1,
+        );
         assert!(t.occupancy_grid().is_none());
         let t = t.with_occupancy_grid(8, 0.1, 5);
         assert!(t.occupancy_grid().is_some());

@@ -27,7 +27,14 @@ pub enum Step {
 
 impl Step {
     /// All steps in forward-then-backward pipeline order.
-    pub const ALL: [Step; 6] = [Step::Ht, Step::MlpD, Step::MlpC, Step::MlpCB, Step::MlpDB, Step::HtB];
+    pub const ALL: [Step; 6] = [
+        Step::Ht,
+        Step::MlpD,
+        Step::MlpC,
+        Step::MlpCB,
+        Step::MlpDB,
+        Step::HtB,
+    ];
 
     /// The paper's label for this step.
     pub fn label(&self) -> &'static str {
@@ -210,9 +217,21 @@ mod tests {
     fn tab2_ht_row() {
         let s = step_sizes(&paper_cfg(), Step::Ht, PAPER_BATCH);
         // Paper: 25 MB params, 3 MB input, 16 MB output, 0 intermediate.
-        assert!((20.0..30.0).contains(&to_mb(s.param_bytes)), "param {:.1}", to_mb(s.param_bytes));
-        assert!((to_mb(s.input_bytes) - 3.0).abs() < 0.1, "input {:.2}", to_mb(s.input_bytes));
-        assert!((to_mb(s.output_bytes) - 16.0).abs() < 0.1, "output {:.2}", to_mb(s.output_bytes));
+        assert!(
+            (20.0..30.0).contains(&to_mb(s.param_bytes)),
+            "param {:.1}",
+            to_mb(s.param_bytes)
+        );
+        assert!(
+            (to_mb(s.input_bytes) - 3.0).abs() < 0.1,
+            "input {:.2}",
+            to_mb(s.input_bytes)
+        );
+        assert!(
+            (to_mb(s.output_bytes) - 16.0).abs() < 0.1,
+            "output {:.2}",
+            to_mb(s.output_bytes)
+        );
         assert_eq!(s.intermediate_bytes, 0);
     }
 

@@ -17,7 +17,9 @@ const BATCH: u64 = 256 * 1024;
 const ITERS: u64 = 35_000;
 
 fn main() -> Result<(), Box<dyn Error>> {
-    let scene_name = std::env::args().nth(1).unwrap_or_else(|| "Lego".to_string());
+    let scene_name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "Lego".to_string());
     let kind = SceneKind::ALL
         .into_iter()
         .find(|k| k.name().eq_ignore_ascii_case(&scene_name))
@@ -28,9 +30,14 @@ fn main() -> Result<(), Box<dyn Error>> {
     let scene = zoo::scene(kind);
     println!("Sampling the '{kind}' access trace...");
     let st = scene_trace(&scene, &grid, 4096, 128, 7);
-    println!("  {} points, occupancy {:.1}%, fine-spread {:.2}", st.points, 100.0 * st.occupancy, st.fine_spread);
+    println!(
+        "  {} points, occupancy {:.1}%, fine-spread {:.2}",
+        st.points,
+        100.0 * st.occupancy,
+        st.fine_spread
+    );
 
-    let pipeline = PipelineModel::paper(model.clone());
+    let pipeline = PipelineModel::paper(model);
     let est = pipeline.estimate_iteration(&st.trace, st.points, BATCH);
     println!("\nPer-iteration breakdown (batch = 256K points):");
     for s in &est.steps {
@@ -70,19 +77,25 @@ fn main() -> Result<(), Box<dyn Error>> {
     println!("\nAblations (pipelined ms/iter):");
     let base = est.pipelined_seconds * 1e3;
     println!("  paper design point            : {base:.3}");
-    let no_spread = PipelineModel::paper(model.clone())
-        .with_mapping(HashTableMapping::paper(MappingScheme::ClusteredNoSpread, 32), 32)
+    let no_spread = PipelineModel::paper(model)
+        .with_mapping(
+            HashTableMapping::paper(MappingScheme::ClusteredNoSpread, 32),
+            32,
+        )
         .estimate_iteration(&st.trace, st.points, BATCH)
         .pipelined_seconds
         * 1e3;
     println!("  - subarray spreading          : {no_spread:.3}");
-    let one_level = PipelineModel::paper(model.clone())
-        .with_mapping(HashTableMapping::paper(MappingScheme::OneLevelPerBank, 32), 32)
+    let one_level = PipelineModel::paper(model)
+        .with_mapping(
+            HashTableMapping::paper(MappingScheme::OneLevelPerBank, 32),
+            32,
+        )
         .estimate_iteration(&st.trace, st.points, BATCH)
         .pipelined_seconds
         * 1e3;
     println!("  - inter-level clustering      : {one_level:.3}");
-    let all_data = PipelineModel::paper(model.clone())
+    let all_data = PipelineModel::paper(model)
         .with_plan(ParallelismPlan::all_data())
         .estimate_iteration(&st.trace, st.points, BATCH)
         .pipelined_seconds

@@ -5,21 +5,36 @@
 //! ```
 //!
 //! With `--json DIR`, machine-readable result dumps are written alongside
-//! the printed tables (one file per experiment).
+//! the printed output (one file per figure experiment; the tab1-3
+//! constant tables are print-only).
 
 use instant_nerf::experiments::{extension, fig1, fig11, fig4, fig6, fig7, fig9, tables};
 use instant_nerf::prelude::SceneKind;
 use std::error::Error;
 
 fn main() -> Result<(), Box<dyn Error>> {
+    const KNOWN: [&str; 11] = [
+        "all", "tab1", "tab2", "tab3", "fig1", "fig4", "fig6", "fig7", "fig9", "fig11", "ext",
+    ];
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let which = args.first().cloned().unwrap_or_else(|| "all".to_string());
-    let all = which == "all";
-    let json_dir = args
+    // The figure name is the first argument left after removing "--json"
+    // and its value; the two may appear in either order.
+    let json_pos = args.iter().position(|a| a == "--json");
+    let json_dir = json_pos.and_then(|i| args.get(i + 1)).cloned();
+    if json_pos.is_some() && json_dir.is_none() {
+        return Err("--json requires a directory argument".into());
+    }
+    let which = args
         .iter()
-        .position(|a| a == "--json")
-        .and_then(|i| args.get(i + 1))
-        .cloned();
+        .enumerate()
+        .filter(|(i, _)| json_pos != Some(*i) && json_pos != Some(i.wrapping_sub(1)))
+        .map(|(_, a)| a.clone())
+        .next()
+        .unwrap_or_else(|| "all".to_string());
+    if !KNOWN.contains(&which.as_str()) {
+        return Err(format!("unknown figure `{which}`; expected one of {KNOWN:?}").into());
+    }
+    let all = which == "all";
     if let Some(dir) = &json_dir {
         std::fs::create_dir_all(dir)?;
     }
@@ -40,19 +55,29 @@ fn main() -> Result<(), Box<dyn Error>> {
         println!("{}", tables::tab3());
     }
     if all || which == "fig1" {
-        println!("{}", fig1::render(&fig1::run()));
+        let rows = fig1::run();
+        dump("fig1", &rows)?;
+        println!("{}", fig1::render(&rows));
     }
     if all || which == "fig4" {
-        println!("{}", fig4::render(&fig4::run()));
+        let rows = fig4::run();
+        dump("fig4", &rows)?;
+        println!("{}", fig4::render(&rows));
     }
     if all || which == "fig6" {
-        println!("{}", fig6::render(&fig6::run(2048, 7)));
+        let rows = fig6::run(2048, 7);
+        dump("fig6", &rows)?;
+        println!("{}", fig6::render(&rows));
     }
     if all || which == "fig7" {
-        println!("{}", fig7::render(&fig7::run(64, 128, 7)));
+        let result = fig7::run(64, 128, 7);
+        dump("fig7", &result)?;
+        println!("{}", fig7::render(&result));
     }
     if all || which == "fig9" {
-        println!("{}", fig9::render(&fig9::run(16, 96, 7)));
+        let result = fig9::run(16, 96, 7);
+        dump("fig9", &result)?;
+        println!("{}", fig9::render(&result));
     }
     if all || which == "ext" {
         // Average-scene accelerator cost from a quick Fig. 11 run.
@@ -60,7 +85,9 @@ fn main() -> Result<(), Box<dyn Error>> {
         let accel_s = rows.iter().map(|r| r.accel_seconds).sum::<f64>() / rows.len() as f64;
         // Energy: scale from the speedup/energy ratios of the first row.
         let accel_j = rows[0].accel_seconds * 10.0; // ~10 W NMP power envelope
-        println!("{}", extension::render(&extension::predict(accel_s, accel_j)));
+        let prediction = extension::predict(accel_s, accel_j);
+        dump("ext", &prediction)?;
+        println!("{}", extension::render(&prediction));
     }
     if all || which == "fig11" {
         println!("Running Fig. 11 over all eight scenes (a minute or two)...");

@@ -17,7 +17,12 @@ fn main() -> Result<(), Box<dyn Error>> {
     let kind = SceneKind::ALL
         .into_iter()
         .find(|k| k.name().eq_ignore_ascii_case(scene_name))
-        .ok_or_else(|| format!("unknown scene {scene_name}; try one of {:?}", SceneKind::ALL))?;
+        .ok_or_else(|| {
+            format!(
+                "unknown scene {scene_name}; try one of {:?}",
+                SceneKind::ALL
+            )
+        })?;
 
     println!("Generating the '{kind}' dataset (oracle renders)...");
     let scene = zoo::scene(kind);
@@ -30,7 +35,10 @@ fn main() -> Result<(), Box<dyn Error>> {
     );
 
     let model = IngpModel::new(ModelConfig::small(HashFunction::Morton), 42);
-    println!("Model: {} parameters (Morton locality-sensitive hash)", model.parameter_count());
+    println!(
+        "Model: {} parameters (Morton locality-sensitive hash)",
+        model.parameter_count()
+    );
     let mut trainer = Trainer::new(model, TrainConfig::small(), 7);
 
     println!("Training for {iterations} iterations...");

@@ -47,7 +47,10 @@ fn accelerator_beats_xnx_by_an_order_of_magnitude() {
         xnx.total_seconds
     );
     let energy_gain = xnx.total_joules / accel_j;
-    assert!(energy_gain > speedup, "energy gain {energy_gain:.1}x vs speedup {speedup:.1}x");
+    assert!(
+        energy_gain > speedup,
+        "energy gain {energy_gain:.1}x vs speedup {speedup:.1}x"
+    );
 }
 
 #[test]
@@ -68,7 +71,7 @@ fn every_codesign_element_contributes() {
     let model = ModelConfig::paper(HashFunction::Morton);
     let grid = HashGrid::new(model.grid, 5);
     let (trace, n) = ray_trace(&grid, 4, 128);
-    let paper = PipelineModel::paper(model.clone());
+    let paper = PipelineModel::paper(model);
     let base = paper.estimate_iteration(&trace, n, BATCH).pipelined_seconds;
 
     // (1) Drop the Morton hash.
@@ -80,13 +83,16 @@ fn every_codesign_element_contributes() {
         .pipelined_seconds;
 
     // (2) Drop subarray spreading.
-    let no_spread = PipelineModel::paper(model.clone())
-        .with_mapping(HashTableMapping::paper(MappingScheme::ClusteredNoSpread, 32), 32)
+    let no_spread = PipelineModel::paper(model)
+        .with_mapping(
+            HashTableMapping::paper(MappingScheme::ClusteredNoSpread, 32),
+            32,
+        )
         .estimate_iteration(&trace, n, BATCH)
         .pipelined_seconds;
 
     // (3) Homogeneous parallelism plans.
-    let all_data = PipelineModel::paper(model.clone())
+    let all_data = PipelineModel::paper(model)
         .with_plan(ParallelismPlan::all_data())
         .estimate_iteration(&trace, n, BATCH)
         .pipelined_seconds;
@@ -128,5 +134,8 @@ fn gpu_and_accelerator_agree_on_workload_shape() {
     let model = ModelConfig::paper(HashFunction::Original);
     let entry_touches = BATCH * model.grid.levels as u64 * 8;
     let gpu_ht = instant_nerf::gpu::cost::step_traffic_bytes(&model, Step::Ht, BATCH);
-    assert!(gpu_ht as f64 > entry_touches as f64 * 32.0, "gather amplification missing");
+    assert!(
+        gpu_ht as f64 > entry_touches as f64 * 32.0,
+        "gather amplification missing"
+    );
 }

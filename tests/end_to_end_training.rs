@@ -51,7 +51,11 @@ fn hash_grid_beats_positional_encoding_at_equal_iterations() {
     let dataset = DatasetConfig::tiny().generate(&scene);
     let iterations = 60;
 
-    let mut ingp = Trainer::new(IngpModel::new(ModelConfig::tiny(), 3), TrainConfig::tiny(), 5);
+    let mut ingp = Trainer::new(
+        IngpModel::new(ModelConfig::tiny(), 3),
+        TrainConfig::tiny(),
+        5,
+    );
     ingp.train(&dataset, iterations);
     let ingp_psnr = ingp.eval_psnr(&dataset);
 

@@ -9,7 +9,12 @@ fn fig1_experiment_reproduces_shape() {
     let rows = fig1::run();
     assert_eq!(rows.len(), 3);
     // Ordering: TX2 slowest, 2080Ti fastest.
-    let t = |name: &str| rows.iter().find(|r| r.device == name).unwrap().total_seconds;
+    let t = |name: &str| {
+        rows.iter()
+            .find(|r| r.device == name)
+            .unwrap()
+            .total_seconds
+    };
     assert!(t("TX2") > t("XNX"));
     assert!(t("XNX") > t("2080Ti"));
     // HT + HT_b dominate the breakdown on the edge GPU.
@@ -89,7 +94,10 @@ fn streaming_order_only_affects_hardware_not_math() {
     let scene = instant_nerf::scenes::zoo::scene(SceneKind::Mic);
     let dataset = DatasetConfig::tiny().generate(&scene);
     let mk = |order| {
-        let cfg = TrainConfig { order, ..TrainConfig::tiny() };
+        let cfg = TrainConfig {
+            order,
+            ..TrainConfig::tiny()
+        };
         let model = IngpModel::new(ModelConfig::tiny(), 9);
         let mut t = Trainer::new(model, cfg, 4);
         t.train(&dataset, 30);

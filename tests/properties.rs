@@ -136,8 +136,14 @@ proptest! {
 #[test]
 fn renderer_survives_degenerate_samples() {
     let samples = [
-        SamplePoint { sigma: f32::INFINITY, color: Vec3::new(0.5, 0.5, 0.5) },
-        SamplePoint { sigma: 1.0, color: Vec3::new(1.0, 0.0, 0.0) },
+        SamplePoint {
+            sigma: f32::INFINITY,
+            color: Vec3::new(0.5, 0.5, 0.5),
+        },
+        SamplePoint {
+            sigma: 1.0,
+            color: Vec3::new(1.0, 0.0, 0.0),
+        },
     ];
     let out = composite(&samples, &[0.1, 0.1]);
     // Infinite density saturates alpha to 1 — a fully opaque first sample.

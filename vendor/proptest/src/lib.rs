@@ -1,0 +1,313 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the slice of proptest's surface this workspace uses —
+//! `proptest! { #[test] fn f(x in strategy, ...) { ... } }` with numeric
+//! range strategies, `proptest::collection::vec`, `prop_assert!`,
+//! `prop_assert_eq!`, `prop_assume!`, and `ProptestConfig::with_cases` —
+//! on top of a deterministic PRNG.
+//!
+//! Differences from real proptest, chosen for an offline CI:
+//!
+//! - **Deterministic seeding.** Every test function runs the same case
+//!   sequence on every run (seeded from the test's name), so failures
+//!   reproduce without persistence files.
+//! - **No shrinking.** A failing case reports its inputs (via the
+//!   panic message) but is not minimized.
+//! - **Default cases = 64** (real proptest: 256), keeping the heavier
+//!   simulator properties CI-friendly. Tests that need fewer cases still
+//!   say so explicitly with `ProptestConfig::with_cases`.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
+use std::ops::{Range, RangeInclusive};
+
+/// Runner configuration; only `cases` is meaningful in the stand-in.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; the case is skipped.
+    Reject,
+    /// `prop_assert!`-family failure; the test fails.
+    Fail(String),
+}
+
+/// The deterministic source strategies draw from.
+pub struct TestRng(SmallRng);
+
+impl TestRng {
+    pub fn from_name(name: &str) -> Self {
+        // FNV-1a over the test name: stable across runs and platforms.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng(SmallRng::seed_from_u64(h))
+    }
+}
+
+/// A source of values of one type — the stand-in's `Strategy`.
+///
+/// Sampling is direct (no value trees), which is what forgoing shrinking
+/// buys: strategies here are just distributions.
+pub trait Strategy {
+    type Value;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_strategy_for_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.0.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_strategy_for_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! impl_strategy_for_range_inclusive {
+    ($($t:ty),*) => {$(
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                if start == end {
+                    return start;
+                }
+                if end < <$t>::MAX {
+                    rng.0.gen_range(start..end + 1)
+                } else if start > <$t>::MIN {
+                    // Shift down to keep the half-open range representable.
+                    rng.0.gen_range(start - 1..end) + 1
+                } else {
+                    // Full domain: any raw word is uniform.
+                    rng.0.next_u64() as $t
+                }
+            }
+        }
+    )*};
+}
+
+impl_strategy_for_range_inclusive!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_strategy_for_range_inclusive_float {
+    ($($t:ty),*) => {$(
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                // Endpoint inclusion is measure-zero for floats; sample
+                // the half-open range (matches practical proptest use).
+                let (start, end) = (*self.start(), *self.end());
+                if start == end { start } else { rng.0.gen_range(start..end) }
+            }
+        }
+    )*};
+}
+
+impl_strategy_for_range_inclusive_float!(f32, f64);
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// `vec(element_strategy, length_range)` — a Vec with random length
+    /// and independently sampled elements.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = rng.0.gen_range(self.len.clone());
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Drives one property: samples `cases` inputs and runs the body on each.
+///
+/// Used by the expansion of [`proptest!`]; not public API in real
+/// proptest, so keep it out of the prelude.
+pub fn run_cases(
+    test_name: &str,
+    config: &ProptestConfig,
+    mut case: impl FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+) {
+    let mut rng = TestRng::from_name(test_name);
+    let mut ran = 0u32;
+    let mut rejected = 0u32;
+    // Cap on assume-rejections so a near-unsatisfiable precondition
+    // fails loudly instead of spinning (mirrors real proptest).
+    let max_rejects = config.cases.saturating_mul(16).max(256);
+    while ran < config.cases {
+        match case(&mut rng) {
+            Ok(()) => ran += 1,
+            Err(TestCaseError::Reject) => {
+                rejected += 1;
+                if rejected > max_rejects {
+                    panic!(
+                        "{test_name}: prop_assume! rejected {rejected} cases \
+                         (only {ran}/{} accepted); precondition too strict",
+                        config.cases
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("{test_name}: property failed after {ran} passing cases: {msg}");
+            }
+        }
+    }
+}
+
+/// The macro surface. Matches real proptest's grammar for the forms used
+/// in this workspace: an optional `#![proptest_config(...)]` inner
+/// attribute followed by `#[test]` functions whose parameters are
+/// `pattern in strategy` bindings.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($config:expr)) => {};
+    (($config:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            $crate::run_cases(stringify!($name), &config, |__rng| {
+                let ($($pat,)+) = ($($crate::Strategy::sample(&($strategy), __rng),)+);
+                $body
+                Ok(())
+            });
+        }
+        $crate::__proptest_fns! { ($config) $($rest)* }
+    };
+}
+
+/// `assert!` that reports through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(
+                format!("[{}:{}] {}", file!(), line!(), format!($($fmt)+)),
+            ));
+        }
+    };
+}
+
+/// `assert_eq!` that reports through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: `left == right` (left: `{:?}`, right: `{:?}`)", l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: `left == right` (left: `{:?}`, right: `{:?}`): {}",
+            l, r, format!($($fmt)+)
+        );
+    }};
+}
+
+/// Rejects the current case without failing the test.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+    pub use crate::{ProptestConfig, Strategy, TestCaseError};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u32..17, f in -1.0f32..1.0) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-1.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn vec_strategy_respects_length(v in collection::vec(0u8..10, 2..5)) {
+            prop_assert!(v.len() >= 2 && v.len() < 5);
+            for e in &v {
+                prop_assert!(*e < 10);
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0u32..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property failed")]
+    fn failing_property_panics() {
+        crate::run_cases("failing", &ProptestConfig::with_cases(4), |_| {
+            Err(TestCaseError::Fail("forced".into()))
+        });
+    }
+}

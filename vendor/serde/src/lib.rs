@@ -1,0 +1,209 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no network access to crates.io, so this
+//! workspace vendors a minimal, API-compatible subset of serde that is
+//! sufficient for the code in this repository:
+//!
+//! - `#[derive(Serialize, Deserialize)]` on structs with named fields and
+//!   on enums (unit, tuple, and struct variants),
+//! - serialization into an in-memory JSON [`Value`] tree, which
+//!   `serde_json` renders to text.
+//!
+//! Deserialization is accepted at the type level (`Deserialize` is
+//! derived as a marker) but has no runtime implementation yet — nothing
+//! in the workspace deserializes. Swapping in the real serde is a
+//! one-line change per dependency in the root `Cargo.toml` once a
+//! registry is reachable; the derive syntax used here is a strict subset
+//! of real serde's.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// An owned JSON value tree — the serialization target of this stand-in.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    /// All numbers, kept in their widest lossless native form.
+    Num(Number),
+    Str(String),
+    Arr(Vec<Value>),
+    /// Insertion-ordered object (field order = declaration order).
+    Obj(Vec<(String, Value)>),
+}
+
+/// A JSON number that preserves integer-ness.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    U(u64),
+    I(i64),
+    F(f64),
+}
+
+/// Types that can serialize themselves into a [`Value`] tree.
+///
+/// This is the stand-in's analogue of `serde::Serialize`. The derive
+/// macro implements it field-wise for structs and variant-wise for enums
+/// (externally tagged, matching real serde's default representation).
+pub trait Serialize {
+    fn to_value(&self) -> Value;
+}
+
+/// Marker analogue of `serde::Deserialize`; derived but not yet
+/// implemented because nothing in the workspace deserializes.
+pub trait Deserialize {}
+
+macro_rules! impl_ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::Num(Number::U(*self as u64)) }
+        }
+        impl Deserialize for $t {}
+    )*};
+}
+
+macro_rules! impl_ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::Num(Number::I(*self as i64)) }
+        }
+        impl Deserialize for $t {}
+    )*};
+}
+
+macro_rules! impl_ser_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::Num(Number::F(*self as f64)) }
+        }
+        impl Deserialize for $t {}
+    )*};
+}
+
+impl_ser_uint!(u8, u16, u32, u64, usize);
+impl_ser_int!(i8, i16, i32, i64, isize);
+impl_ser_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+impl Deserialize for String {}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+impl Deserialize for char {}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+impl<T: Deserialize> Deserialize for Box<T> {}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Arr(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_value(&self) -> Value {
+        Value::Arr(vec![
+            self.0.to_value(),
+            self.1.to_value(),
+            self.2.to_value(),
+        ])
+    }
+}
+
+impl<K: ToString, V: Serialize, S> Serialize for std::collections::HashMap<K, V, S> {
+    fn to_value(&self) -> Value {
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_value()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Obj(entries)
+    }
+}
+
+impl<K: ToString, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Obj(
+            self.iter()
+                .map(|(k, v)| (k.to_string(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_map_to_expected_values() {
+        assert_eq!(3u32.to_value(), Value::Num(Number::U(3)));
+        assert_eq!((-3i32).to_value(), Value::Num(Number::I(-3)));
+        assert_eq!(1.5f32.to_value(), Value::Num(Number::F(1.5)));
+        assert_eq!(true.to_value(), Value::Bool(true));
+        assert_eq!(Option::<u32>::None.to_value(), Value::Null);
+        assert_eq!(
+            vec![1u8, 2].to_value(),
+            Value::Arr(vec![Value::Num(Number::U(1)), Value::Num(Number::U(2))])
+        );
+    }
+}

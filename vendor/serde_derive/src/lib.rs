@@ -1,0 +1,311 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! vendored `serde` stand-in without `syn`/`quote` (neither is available
+//! offline). The input is parsed directly from the `proc_macro` token
+//! stream, which is sufficient for the shapes used in this workspace:
+//!
+//! - structs with named fields,
+//! - unit structs,
+//! - enums with unit, tuple, and struct (named-field) variants.
+//!
+//! Unsupported shapes (generic types, tuple structs, unions) produce a
+//! `compile_error!` naming the limitation rather than silently
+//! miscompiling.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What kind of ADT the derive input is.
+enum Shape {
+    /// Named-field struct: field identifiers in declaration order.
+    Struct(Vec<String>),
+    /// Unit struct (`struct Marker;`).
+    UnitStruct,
+    /// Enum: each variant is `(name, VariantShape)`.
+    Enum(Vec<(String, VariantShape)>),
+}
+
+enum VariantShape {
+    Unit,
+    /// Tuple variant with N fields.
+    Tuple(usize),
+    /// Struct variant with named fields.
+    Struct(Vec<String>),
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, true)
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, false)
+}
+
+fn expand(input: TokenStream, serialize: bool) -> TokenStream {
+    let (name, shape) = match parse(input) {
+        Ok(v) => v,
+        Err(msg) => {
+            return format!("::core::compile_error!({msg:?});").parse().unwrap();
+        }
+    };
+    let code = if serialize {
+        let body = serialize_body(&name, &shape);
+        format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+             }}"
+        )
+    } else {
+        format!("impl ::serde::Deserialize for {name} {{}}")
+    };
+    code.parse().unwrap()
+}
+
+fn serialize_body(name: &str, shape: &Shape) -> String {
+    match shape {
+        Shape::UnitStruct => format!("::serde::Value::Str(::std::string::String::from({name:?}))"),
+        Shape::Struct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), \
+                          ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Obj(::std::vec![{}])", entries.join(", "))
+        }
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(v, vs)| match vs {
+                    VariantShape::Unit => format!(
+                        "{name}::{v} => ::serde::Value::Str(::std::string::String::from({v:?}))"
+                    ),
+                    VariantShape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let vals: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        format!(
+                            "{name}::{v}({binds}) => ::serde::Value::Obj(::std::vec![\
+                               (::std::string::String::from({v:?}), \
+                                ::serde::Value::Arr(::std::vec![{vals}]))])",
+                            binds = binds.join(", "),
+                            vals = vals.join(", "),
+                        )
+                    }
+                    VariantShape::Struct(fields) => {
+                        let binds = fields.join(", ");
+                        let entries: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from({f:?}), \
+                                      ::serde::Serialize::to_value({f}))"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{v} {{ {binds} }} => ::serde::Value::Obj(::std::vec![\
+                               (::std::string::String::from({v:?}), \
+                                ::serde::Value::Obj(::std::vec![{}]))])",
+                            entries.join(", "),
+                        )
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(",\n"))
+        }
+    }
+}
+
+/// Parses a derive input down to (type name, shape).
+fn parse(input: TokenStream) -> Result<(String, Shape), String> {
+    let mut iter = input.into_iter().peekable();
+    // Skip outer attributes (`#[...]`, including desugared doc comments)
+    // and visibility (`pub`, `pub(crate)`, ...).
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                iter.next(); // the bracketed attribute body
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                iter.next();
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next(); // `(crate)` / `(super)` / ...
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    let kind = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => {
+            return Err(format!(
+                "serde stand-in: expected struct/enum, got {other:?}"
+            ))
+        }
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("serde stand-in: expected type name, got {other:?}")),
+    };
+    if let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "serde stand-in: generic type `{name}` is not supported by the vendored derive"
+            ));
+        }
+    }
+    match kind.as_str() {
+        "struct" => match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok((name, Shape::Struct(parse_named_fields(g.stream())?)))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok((name, Shape::UnitStruct)),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Err(format!(
+                "serde stand-in: tuple struct `{name}` is not supported by the vendored derive"
+            )),
+            other => Err(format!("serde stand-in: unexpected struct body {other:?}")),
+        },
+        "enum" => match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok((name, Shape::Enum(parse_variants(g.stream())?)))
+            }
+            other => Err(format!("serde stand-in: unexpected enum body {other:?}")),
+        },
+        other => Err(format!("serde stand-in: unsupported item kind `{other}`")),
+    }
+}
+
+/// Parses `{ attrs vis name: Type, ... }` into the list of field names.
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut iter = stream.into_iter().peekable();
+    loop {
+        // Skip attributes and visibility before the field name.
+        loop {
+            match iter.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    iter.next();
+                    iter.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    iter.next();
+                    if let Some(TokenTree::Group(g)) = iter.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            iter.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let Some(tok) = iter.next() else { break };
+        let TokenTree::Ident(field) = tok else {
+            return Err(format!("serde stand-in: expected field name, got {tok:?}"));
+        };
+        fields.push(field.to_string());
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("serde stand-in: expected `:`, got {other:?}")),
+        }
+        // Skip the type: consume until a comma at angle-bracket depth 0.
+        // `<`/`>` are bare puncts in token trees, so generic-argument
+        // commas (e.g. `HashMap<K, V>`) must not terminate the field.
+        let mut angle_depth = 0i32;
+        for tok in iter.by_ref() {
+            match &tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+                _ => {}
+            }
+        }
+    }
+    Ok(fields)
+}
+
+/// Parses `{ attrs Name, attrs Name { .. }, attrs Name(..), ... }`.
+fn parse_variants(stream: TokenStream) -> Result<Vec<(String, VariantShape)>, String> {
+    let mut variants = Vec::new();
+    let mut iter = stream.into_iter().peekable();
+    loop {
+        loop {
+            match iter.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    iter.next();
+                    iter.next();
+                }
+                _ => break,
+            }
+        }
+        let Some(tok) = iter.next() else { break };
+        let TokenTree::Ident(variant) = tok else {
+            return Err(format!(
+                "serde stand-in: expected variant name, got {tok:?}"
+            ));
+        };
+        let name = variant.to_string();
+        let shape = match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                iter.next();
+                VariantShape::Struct(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let count = count_tuple_fields(g.stream());
+                iter.next();
+                VariantShape::Tuple(count)
+            }
+            _ => VariantShape::Unit,
+        };
+        variants.push((name, shape));
+        // Skip an optional explicit discriminant, then the trailing comma.
+        let mut angle_depth = 0i32;
+        for tok in iter.by_ref() {
+            match &tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+                _ => {}
+            }
+        }
+    }
+    Ok(variants)
+}
+
+/// Counts comma-separated entries at angle-depth 0 in a tuple-variant body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut commas = 0;
+    let mut saw_any = false;
+    let mut trailing_comma = false;
+    let mut angle_depth = 0i32;
+    for tok in stream {
+        saw_any = true;
+        trailing_comma = false;
+        match &tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                commas += 1;
+                trailing_comma = true;
+            }
+            _ => {}
+        }
+    }
+    // N fields have N-1 separating commas, plus an optional trailing one.
+    match (saw_any, trailing_comma) {
+        (false, _) => 0,
+        (true, true) => commas,
+        (true, false) => commas + 1,
+    }
+}

@@ -1,0 +1,153 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! Renders the vendored [`serde::Value`] tree to JSON text. Only the
+//! serialization half is implemented — nothing in the workspace parses
+//! JSON yet. See `vendor/README.md` for the swap-to-real-crates policy.
+
+use serde::{Number, Serialize, Value};
+use std::fmt;
+
+/// Error type kept for API compatibility; serialization into a value
+/// tree is infallible, so this is never constructed today.
+#[derive(Debug)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde_json stand-in: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serializes `value` as a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    render(&value.to_value(), None, 0, &mut out);
+    Ok(out)
+}
+
+/// Serializes `value` as a pretty-printed JSON string (2-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    render(&value.to_value(), Some(2), 0, &mut out);
+    Ok(out)
+}
+
+fn render(v: &Value, indent: Option<usize>, depth: usize, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Num(n) => render_number(*n, out),
+        Value::Str(s) => render_string(s, out),
+        Value::Arr(items) => {
+            render_seq(items.iter(), indent, depth, out, '[', ']', |item, d, o| {
+                render(item, indent, d, o)
+            })
+        }
+        Value::Obj(entries) => render_seq(
+            entries.iter(),
+            indent,
+            depth,
+            out,
+            '{',
+            '}',
+            |(k, val), d, o| {
+                render_string(k, o);
+                o.push(':');
+                if indent.is_some() {
+                    o.push(' ');
+                }
+                render(val, indent, d, o);
+            },
+        ),
+    }
+}
+
+fn render_seq<I: ExactSizeIterator>(
+    items: I,
+    indent: Option<usize>,
+    depth: usize,
+    out: &mut String,
+    open: char,
+    close: char,
+    mut each: impl FnMut(I::Item, usize, &mut String),
+) {
+    out.push(open);
+    let len = items.len();
+    for (i, item) in items.enumerate() {
+        if let Some(width) = indent {
+            out.push('\n');
+            out.extend(std::iter::repeat_n(' ', width * (depth + 1)));
+        }
+        each(item, depth + 1, out);
+        if i + 1 < len {
+            out.push(',');
+        }
+    }
+    if len > 0 {
+        if let Some(width) = indent {
+            out.push('\n');
+            out.extend(std::iter::repeat_n(' ', width * depth));
+        }
+    }
+    out.push(close);
+}
+
+fn render_number(n: Number, out: &mut String) {
+    match n {
+        Number::U(u) => out.push_str(&u.to_string()),
+        Number::I(i) => out.push_str(&i.to_string()),
+        // JSON has no non-finite literals; mirror serde_json's strictness
+        // loosely by emitting null instead of invalid tokens.
+        Number::F(f) if !f.is_finite() => out.push_str("null"),
+        Number::F(f) => out.push_str(&format!("{f:?}")),
+    }
+}
+
+fn render_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_rendering() {
+        let v = Value::Obj(vec![
+            ("a".into(), Value::Num(Number::U(1))),
+            ("b".into(), Value::Arr(vec![Value::Bool(true), Value::Null])),
+        ]);
+        let mut out = String::new();
+        render(&v, None, 0, &mut out);
+        assert_eq!(out, r#"{"a":1,"b":[true,null]}"#);
+    }
+
+    #[test]
+    fn pretty_rendering_indents() {
+        let v = Value::Obj(vec![("x".into(), Value::Num(Number::F(0.5)))]);
+        let mut out = String::new();
+        render(&v, Some(2), 0, &mut out);
+        assert_eq!(out, "{\n  \"x\": 0.5\n}");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let mut out = String::new();
+        render_string("a\"b\\c\nd", &mut out);
+        assert_eq!(out, r#""a\"b\\c\nd""#);
+    }
+}
