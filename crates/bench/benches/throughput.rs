@@ -1,0 +1,99 @@
+//! Training throughput smoke benchmark: scalar reference vs batched SoA
+//! engine, in sampled points per second, on the Tab. II "small" workload
+//! (`TrainConfig::small`: 256 rays × 32 samples = 8 K points/iteration,
+//! `ModelConfig::small`). Writes `BENCH_throughput.json` at the repo root
+//! so the perf trajectory is recorded run over run; CI runs it in quick
+//! mode (`INERF_BENCH_QUICK=1`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use inerf_encoding::HashFunction;
+use inerf_scenes::{zoo, Dataset, DatasetConfig};
+use inerf_trainer::{engine, Engine, IngpModel, ModelConfig, TrainConfig, Trainer};
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Debug, Serialize)]
+struct ThroughputReport {
+    workload: String,
+    rays_per_batch: usize,
+    samples_per_ray: usize,
+    timed_iterations: usize,
+    threads: usize,
+    scalar_points_per_sec: f64,
+    batched_1_thread_points_per_sec: f64,
+    batched_points_per_sec: f64,
+    speedup_batched_vs_scalar: f64,
+    speedup_batched_1_thread_vs_scalar: f64,
+}
+
+fn quick_mode() -> bool {
+    std::env::var("INERF_BENCH_QUICK").is_ok_and(|v| v != "0")
+}
+
+fn points_per_sec(dataset: &Dataset, engine_kind: Engine, threads: usize, iters: usize) -> f64 {
+    let model = IngpModel::new(ModelConfig::small(HashFunction::Morton), 7);
+    let mut trainer =
+        Trainer::new(model, TrainConfig::small().with_engine(engine_kind), 3).with_threads(threads);
+    trainer.train(dataset, 2); // warm caches, pool, and allocator
+    let queried_before = trainer.points_queried();
+    let start = Instant::now();
+    trainer.train(dataset, iters);
+    let elapsed = start.elapsed().as_secs_f64();
+    (trainer.points_queried() - queried_before) as f64 / elapsed
+}
+
+fn bench(c: &mut Criterion) {
+    let iters = if quick_mode() { 6 } else { 24 };
+    let threads = engine::default_threads();
+    let scene = zoo::scene(zoo::SceneKind::Lego);
+    let dataset = DatasetConfig::tiny().generate(&scene);
+
+    let scalar = points_per_sec(&dataset, Engine::Scalar, threads, iters);
+    let batched_1 = points_per_sec(&dataset, Engine::Batched, 1, iters);
+    let batched = points_per_sec(&dataset, Engine::Batched, threads, iters);
+
+    let cfg = TrainConfig::small();
+    let report = ThroughputReport {
+        workload: "tab2-small".to_string(),
+        rays_per_batch: cfg.rays_per_batch,
+        samples_per_ray: cfg.samples_per_ray,
+        timed_iterations: iters,
+        threads,
+        scalar_points_per_sec: scalar,
+        batched_1_thread_points_per_sec: batched_1,
+        batched_points_per_sec: batched,
+        speedup_batched_vs_scalar: batched / scalar,
+        speedup_batched_1_thread_vs_scalar: batched_1 / scalar,
+    };
+    println!(
+        "\nthroughput (tab2-small, {iters} iterations): scalar {:.0} pts/s | batched x1 {:.0} pts/s ({:.2}x) | batched x{threads} {:.0} pts/s ({:.2}x)",
+        scalar,
+        batched_1,
+        batched_1 / scalar,
+        batched,
+        batched / scalar,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_throughput.json");
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(path, json + "\n").expect("write BENCH_throughput.json");
+    println!("wrote {path}");
+
+    // A tracked criterion kernel so the suite's usual min/mean reporting
+    // covers one batched step too.
+    let mut trainer = Trainer::new(
+        IngpModel::new(ModelConfig::small(HashFunction::Morton), 7),
+        TrainConfig::small(),
+        3,
+    );
+    trainer.train(&dataset, 1);
+    c.bench_function("throughput/batched_train_step", |b| {
+        b.iter(|| trainer.train_step(&dataset))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

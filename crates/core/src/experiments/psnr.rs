@@ -71,6 +71,7 @@ impl PsnrBudget {
             samples_per_ray: self.samples_per_ray,
             order: inerf_trainer::StreamingOrder::RayFirst,
             eval_samples_per_ray: 2 * self.samples_per_ray,
+            engine: inerf_trainer::Engine::Batched,
         }
     }
 }

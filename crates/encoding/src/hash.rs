@@ -34,11 +34,28 @@ impl HashFunction {
     #[inline]
     pub fn index(&self, v: GridCoord, table_size: u32) -> u32 {
         debug_assert!(table_size > 0);
+        // Table sizes are 2^table_size_log2 throughout, so the modulo
+        // reduces to a mask — a hardware division per corner lookup (64 per
+        // encoded point) would otherwise dominate the index calculation.
+        // The non-power-of-two fallback keeps the documented semantics for
+        // arbitrary sizes.
         match self {
             HashFunction::Original => {
-                (v.x ^ v.y.wrapping_mul(PRIME_Y) ^ v.z.wrapping_mul(PRIME_Z)) % table_size
+                let h = v.x ^ v.y.wrapping_mul(PRIME_Y) ^ v.z.wrapping_mul(PRIME_Z);
+                if table_size.is_power_of_two() {
+                    h & (table_size - 1)
+                } else {
+                    h % table_size
+                }
             }
-            HashFunction::Morton => (morton_encode(v.x, v.y, v.z) % table_size as u64) as u32,
+            HashFunction::Morton => {
+                let m = morton_encode(v.x, v.y, v.z);
+                if table_size.is_power_of_two() {
+                    (m & (table_size as u64 - 1)) as u32
+                } else {
+                    (m % table_size as u64) as u32
+                }
+            }
         }
     }
 
@@ -72,6 +89,48 @@ pub fn level_index(hash: HashFunction, level: &GridLevel, v: GridCoord, table_si
             }
         }
     }
+}
+
+/// Table indices of all eight corners of the cube at `base` — equal,
+/// corner for corner, to calling [`level_index`] on `base.corner(c)`, but
+/// amortizing the per-axis work across the four corners that share each
+/// coordinate: the Morton mapping needs six bit spreads instead of
+/// twenty-four. This is the hot path of the batched encode.
+#[inline]
+pub fn cube_level_indices(
+    hash: HashFunction,
+    level: &GridLevel,
+    base: GridCoord,
+    table_size: u32,
+) -> [u32; 8] {
+    let mut out = [0u32; 8];
+    match hash {
+        HashFunction::Morton => {
+            use inerf_geom::morton::spread_bits;
+            let sx = [spread_bits(base.x), spread_bits(base.x + 1)];
+            let sy = [spread_bits(base.y) << 1, spread_bits(base.y + 1) << 1];
+            let sz = [spread_bits(base.z) << 2, spread_bits(base.z + 1) << 2];
+            if table_size.is_power_of_two() {
+                let mask = table_size as u64 - 1;
+                for (c, o) in out.iter_mut().enumerate() {
+                    *o = ((sx[c & 1] | sy[(c >> 1) & 1] | sz[(c >> 2) & 1]) & mask) as u32;
+                }
+            } else {
+                for (c, o) in out.iter_mut().enumerate() {
+                    *o = ((sx[c & 1] | sy[(c >> 1) & 1] | sz[(c >> 2) & 1]) % table_size as u64)
+                        as u32;
+                }
+            }
+        }
+        // The original hash is two multiplies per vertex — nothing worth
+        // amortizing; reuse the reference path.
+        HashFunction::Original => {
+            for (c, o) in out.iter_mut().enumerate() {
+                *o = level_index(hash, level, base.corner(c as u8), table_size);
+            }
+        }
+    }
+    out
 }
 
 /// The number of INT32 operations the index calculation costs on the
@@ -164,6 +223,26 @@ mod tests {
     }
 
     proptest! {
+        #[test]
+        fn cube_level_indices_match_per_corner_reference(
+            x in 0u32..100_000, y in 0u32..100_000, z in 0u32..100_000,
+            res_log2 in 2u32..18, log2 in 4u32..22
+        ) {
+            let level = GridLevel::new(0, 1 << res_log2);
+            let t = 1u32 << log2;
+            let base = GridCoord::new(x, y, z);
+            for hash in [HashFunction::Original, HashFunction::Morton] {
+                let fast = cube_level_indices(hash, &level, base, t);
+                for c in 0..8u8 {
+                    prop_assert_eq!(
+                        fast[c as usize],
+                        level_index(hash, &level, base.corner(c), t),
+                        "hash {:?} corner {}", hash, c
+                    );
+                }
+            }
+        }
+
         #[test]
         fn index_always_in_range(
             x in 0u32..100_000, y in 0u32..100_000, z in 0u32..100_000,

@@ -42,5 +42,5 @@ pub mod trace;
 
 pub use config::HashGridConfig;
 pub use hash::HashFunction;
-pub use table::HashGrid;
+pub use table::{HashGrid, LookupCache};
 pub use trace::{LookupEvent, LookupTrace};

@@ -1,7 +1,7 @@
 //! The trainable multi-resolution hash table (iNGP Steps (1)–(3)).
 
 use crate::config::HashGridConfig;
-use crate::hash::level_index;
+use crate::hash::{cube_level_indices, level_index};
 use crate::trace::{CubeLookup, LookupTrace};
 use inerf_geom::grid::GridLevel;
 use inerf_geom::morton::morton_encode;
@@ -37,6 +37,38 @@ pub struct HashGrid {
     levels: Vec<GridLevel>,
     embeddings: Vec<f32>,
     gradients: Vec<f32>,
+}
+
+/// Cached corner lookups of an encoded point batch: for each point and
+/// level, the eight corner entry indices and trilinear weights, in corner
+/// order. Produced by [`HashGrid::encode_batch_cached`], consumed by
+/// [`HashGrid::backward_batch_cached`]; buffers are reused across batches.
+#[derive(Debug, Clone, Default)]
+pub struct LookupCache {
+    levels: usize,
+    points: usize,
+    /// `points × levels × 8` entry indices.
+    entries: Vec<u32>,
+    /// `points × levels × 8` trilinear weights (0.0 = corner skipped).
+    weights: Vec<f32>,
+}
+
+impl LookupCache {
+    /// Number of cached points.
+    pub fn point_count(&self) -> usize {
+        self.points
+    }
+
+    fn reset(&mut self, levels: usize, points: usize) {
+        self.levels = levels;
+        self.points = points;
+        let n = points * levels * 8;
+        // Plain resize, no clear: the encode overwrites every element, so
+        // zeroing the retained prefix would be a redundant memset of the
+        // hot path's largest buffers.
+        self.entries.resize(n, 0);
+        self.weights.resize(n, 0.0);
+    }
 }
 
 impl HashGrid {
@@ -129,6 +161,150 @@ impl HashGrid {
                 let off = self.base_offset(li as u32, entry);
                 for (k, s) in slot.iter_mut().enumerate() {
                     *s += w * self.embeddings[off + k];
+                }
+            }
+        }
+    }
+
+    /// Encodes a batch of points into a caller-owned row-major feature
+    /// matrix of `points.len() × feature_dim()` values. Row `i` is exactly
+    /// [`HashGrid::encode_into`] of `points[i]`, so the batched path is
+    /// bitwise-identical to the scalar reference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != points.len() * feature_dim()`.
+    pub fn encode_batch(&self, points: &[Vec3], out: &mut [f32]) {
+        let dim = self.config.feature_dim();
+        assert_eq!(
+            out.len(),
+            points.len() * dim,
+            "feature matrix size mismatch"
+        );
+        for (p, row) in points.iter().zip(out.chunks_exact_mut(dim)) {
+            self.encode_into(*p, row);
+        }
+    }
+
+    /// [`HashGrid::encode_batch`] that also appends each point's cube
+    /// lookups to `trace`, in point order — the same stream a scalar
+    /// [`HashGrid::encode_with_trace`] loop would record.
+    pub fn encode_batch_with_trace(
+        &self,
+        points: &[Vec3],
+        out: &mut [f32],
+        trace: &mut LookupTrace,
+    ) {
+        let dim = self.config.feature_dim();
+        assert_eq!(
+            out.len(),
+            points.len() * dim,
+            "feature matrix size mismatch"
+        );
+        for (p, row) in points.iter().zip(out.chunks_exact_mut(dim)) {
+            self.encode_with_trace(*p, row, trace);
+        }
+    }
+
+    /// Batched backward pass: scatter-adds row `i` of the `n × feature_dim`
+    /// gradient matrix `d_features` for `points[i]`, in point order. The
+    /// scatter is kept sequential on purpose: a fixed accumulation order
+    /// makes training bitwise-deterministic regardless of how many threads
+    /// computed `d_features`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d_features.len() != points.len() * feature_dim()`.
+    pub fn backward_batch(&mut self, points: &[Vec3], d_features: &[f32]) {
+        let dim = self.config.feature_dim();
+        assert_eq!(
+            d_features.len(),
+            points.len() * dim,
+            "gradient matrix size mismatch"
+        );
+        for (p, row) in points.iter().zip(d_features.chunks_exact(dim)) {
+            self.backward(*p, row);
+        }
+    }
+
+    /// [`HashGrid::encode_batch`] that additionally records every corner's
+    /// table entry and trilinear weight in `cache`, so the backward scatter
+    /// can skip re-deriving cube geometry and re-hashing all 8·L corners
+    /// per point (the index calculation the paper's accelerator dedicates
+    /// INT32 PEs to). Features and lookups are identical to the plain
+    /// batched/scalar paths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != points.len() * feature_dim()`.
+    pub fn encode_batch_cached(&self, points: &[Vec3], out: &mut [f32], cache: &mut LookupCache) {
+        let dim = self.config.feature_dim();
+        assert_eq!(
+            out.len(),
+            points.len() * dim,
+            "feature matrix size mismatch"
+        );
+        let f = self.config.features as usize;
+        let t = self.config.table_size();
+        cache.reset(self.levels.len(), points.len());
+        for (pi, (p, row)) in points.iter().zip(out.chunks_exact_mut(dim)).enumerate() {
+            for (li, level) in self.levels.iter().enumerate() {
+                let (base, frac) = level.cube_of(*p);
+                let entries = cube_level_indices(self.config.hash, level, base, t);
+                let slot = &mut row[li * f..(li + 1) * f];
+                slot.fill(0.0);
+                let corner_base = (pi * self.levels.len() + li) * 8;
+                for c in 0..8u8 {
+                    let w = GridLevel::corner_weight(frac, c);
+                    cache.entries[corner_base + c as usize] = entries[c as usize];
+                    cache.weights[corner_base + c as usize] = w;
+                    if w == 0.0 {
+                        // Zero weight skips the corner in the scatter
+                        // exactly like the reference backward pass.
+                        continue;
+                    }
+                    let off = self.base_offset(li as u32, entries[c as usize]);
+                    for (k, s) in slot.iter_mut().enumerate() {
+                        *s += w * self.embeddings[off + k];
+                    }
+                }
+            }
+        }
+    }
+
+    /// Backward scatter driven by a [`LookupCache`] from
+    /// [`HashGrid::encode_batch_cached`]: identical accumulation (same
+    /// entries, weights, and order) to [`HashGrid::backward_batch`], minus
+    /// the geometry/hash recomputation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache shape or gradient matrix disagrees with this
+    /// grid.
+    pub fn backward_batch_cached(&mut self, cache: &LookupCache, d_features: &[f32]) {
+        let dim = self.config.feature_dim();
+        assert_eq!(cache.levels, self.levels.len(), "cache level mismatch");
+        assert_eq!(
+            d_features.len(),
+            cache.points * dim,
+            "gradient matrix size mismatch"
+        );
+        let f = self.config.features as usize;
+        let t = self.config.table_size() as usize;
+        for (pi, row) in d_features.chunks_exact(dim).enumerate() {
+            for li in 0..cache.levels {
+                let dslot = &row[li * f..(li + 1) * f];
+                let corner_base = (pi * cache.levels + li) * 8;
+                for c in 0..8 {
+                    let w = cache.weights[corner_base + c];
+                    if w == 0.0 {
+                        continue;
+                    }
+                    let entry = cache.entries[corner_base + c] as usize;
+                    let off = (li * t + entry) * f;
+                    for (k, d) in dslot.iter().enumerate() {
+                        self.gradients[off + k] += w * d;
+                    }
                 }
             }
         }
@@ -316,6 +492,101 @@ mod tests {
         // Coarsest level: same cube. Finest level: typically different.
         assert_eq!(a[0].cube_id, b[0].cube_id);
         assert_ne!(a.last().unwrap().cube_id, b.last().unwrap().cube_id);
+    }
+
+    #[test]
+    fn encode_batch_matches_scalar_bitwise() {
+        let g = grid(HashFunction::Morton);
+        let dim = g.config().feature_dim();
+        let points: Vec<Vec3> = (0..23)
+            .map(|i| {
+                let t = i as f32 / 23.0;
+                Vec3::new(t, (t * 7.3).fract(), (t * 3.1).fract())
+            })
+            .collect();
+        let mut batch = vec![0.0; points.len() * dim];
+        g.encode_batch(&points, &mut batch);
+        for (i, p) in points.iter().enumerate() {
+            assert_eq!(
+                &batch[i * dim..(i + 1) * dim],
+                g.encode(*p).as_slice(),
+                "point {i} diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn encode_batch_trace_identical_to_scalar_trace() {
+        // The batched encode must generate the exact same lookup stream —
+        // and therefore the same DRAM request counts — as a scalar loop.
+        let g = grid(HashFunction::Original);
+        let dim = g.config().feature_dim();
+        let points: Vec<Vec3> = (0..31)
+            .map(|i| {
+                let t = i as f32 * 0.03;
+                Vec3::new(t, 1.0 - t, (t * 5.7).fract())
+            })
+            .collect();
+        let mut scalar_trace = LookupTrace::new();
+        let mut row = vec![0.0; dim];
+        for p in &points {
+            g.encode_with_trace(*p, &mut row, &mut scalar_trace);
+        }
+        let mut batch_trace = LookupTrace::new();
+        let mut batch = vec![0.0; points.len() * dim];
+        g.encode_batch_with_trace(&points, &mut batch, &mut batch_trace);
+        assert_eq!(scalar_trace, batch_trace);
+        let levels = g.config().levels;
+        let s = crate::requests::replay_with_register_cache(&scalar_trace, levels);
+        let b = crate::requests::replay_with_register_cache(&batch_trace, levels);
+        assert_eq!(s.total_row_requests(), b.total_row_requests());
+    }
+
+    #[test]
+    fn cached_encode_and_scatter_match_reference_bitwise() {
+        let mut plain = grid(HashFunction::Morton);
+        let mut cached = grid(HashFunction::Morton);
+        let dim = plain.config().feature_dim();
+        let points: Vec<Vec3> = (0..29)
+            .map(|i| {
+                let t = i as f32 + 0.25;
+                Vec3::new((t * 0.19).fract(), (t * 0.31).fract(), (t * 0.47).fract())
+            })
+            .collect();
+        let mut f_plain = vec![0.0; points.len() * dim];
+        let mut f_cached = vec![0.0; points.len() * dim];
+        plain.encode_batch(&points, &mut f_plain);
+        let mut cache = LookupCache::default();
+        cached.encode_batch_cached(&points, &mut f_cached, &mut cache);
+        assert_eq!(f_plain, f_cached);
+        assert_eq!(cache.point_count(), points.len());
+        let d: Vec<f32> = (0..points.len() * dim)
+            .map(|i| (i as f32 * 0.07).cos())
+            .collect();
+        plain.backward_batch(&points, &d);
+        cached.backward_batch_cached(&cache, &d);
+        assert_eq!(plain.gradients(), cached.gradients());
+    }
+
+    #[test]
+    fn backward_batch_matches_scalar_bitwise() {
+        let mut scalar = grid(HashFunction::Morton);
+        let mut batched = grid(HashFunction::Morton);
+        let dim = scalar.config().feature_dim();
+        let points: Vec<Vec3> = (0..17)
+            .map(|i| {
+                let t = i as f32 + 0.5;
+                Vec3::new((t * 0.17).fract(), (t * 0.29).fract(), (t * 0.41).fract())
+            })
+            .collect();
+        let d: Vec<f32> = (0..points.len() * dim)
+            .map(|i| (i as f32 * 0.13).sin())
+            .collect();
+        for (i, p) in points.iter().enumerate() {
+            scalar.backward(*p, &d[i * dim..(i + 1) * dim]);
+        }
+        batched.backward_batch(&points, &d);
+        assert_eq!(scalar.gradients(), batched.gradients());
     }
 
     proptest! {

@@ -58,6 +58,12 @@ impl Activation {
     }
 }
 
+/// Points per block of the batched forward kernel: the kernel transposes a
+/// block of inputs and vectorizes *across points*, which keeps each point's
+/// accumulation order identical to the scalar reference (bias, then inputs
+/// in ascending order) while filling the SIMD lanes.
+const FWD_BLOCK: usize = 16;
+
 /// A dense layer `y = act(W x + b)` with gradient accumulation buffers.
 ///
 /// Weights are stored row-major: `w[o * in_dim + i]` connects input `i` to
@@ -171,6 +177,141 @@ impl DenseLayer {
         }
     }
 
+    /// Batched forward pass over `n` row-major points: `inputs` is
+    /// `n × in_dim`, `pres`/`outs` are `n × out_dim`.
+    ///
+    /// Works on transposed [`FWD_BLOCK`]-point blocks so the inner loop runs
+    /// *across points* — contiguous, reduction-free, SIMD-friendly — while
+    /// each point still accumulates bias-then-inputs in ascending order, so
+    /// every result is bitwise-identical to [`DenseLayer::forward_into`] on
+    /// that row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer lengths are not consistent multiples of the
+    /// layer dimensions.
+    pub fn forward_batch_into(&self, inputs: &[f32], pres: &mut [f32], outs: &mut [f32]) {
+        assert_eq!(inputs.len() % self.in_dim, 0, "input matrix size mismatch");
+        let n = inputs.len() / self.in_dim;
+        assert_eq!(
+            pres.len(),
+            n * self.out_dim,
+            "pre-activation matrix mismatch"
+        );
+        assert_eq!(outs.len(), n * self.out_dim, "output matrix mismatch");
+        let mut transposed = vec![0.0f32; self.in_dim * FWD_BLOCK];
+        let mut block_start = 0;
+        while block_start < n {
+            let bn = FWD_BLOCK.min(n - block_start);
+            // Transpose the block: `transposed[i * FWD_BLOCK + p]` is input
+            // `i` of point `block_start + p`. Lanes `p >= bn` hold stale
+            // values that no result reads.
+            for p in 0..bn {
+                let row = &inputs[(block_start + p) * self.in_dim..];
+                for i in 0..self.in_dim {
+                    transposed[i * FWD_BLOCK + p] = row[i];
+                }
+            }
+            for o in 0..self.out_dim {
+                let weight_row = &self.weights[o * self.in_dim..(o + 1) * self.in_dim];
+                let mut acc = [self.bias[o]; FWD_BLOCK];
+                for (i, &w) in weight_row.iter().enumerate() {
+                    let lane = &transposed[i * FWD_BLOCK..(i + 1) * FWD_BLOCK];
+                    for p in 0..FWD_BLOCK {
+                        acc[p] += w * lane[p];
+                    }
+                }
+                for (p, &a) in acc.iter().enumerate().take(bn) {
+                    let idx = (block_start + p) * self.out_dim + o;
+                    pres[idx] = a;
+                    outs[idx] = self.activation.apply(a);
+                }
+            }
+            block_start += bn;
+        }
+    }
+
+    /// Batched backward pass over `n` row-major points, accumulating the
+    /// parameter gradients into *caller-owned* buffers (`grad_weights`,
+    /// `grad_bias`) instead of the layer's internal ones. Because it takes
+    /// `&self`, independent batches can run on different threads and be
+    /// reduced in a deterministic order afterwards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any buffer length disagrees with the layer dimensions.
+    #[allow(clippy::too_many_arguments)]
+    pub fn backward_batch_into(
+        &self,
+        inputs: &[f32],
+        pres: &[f32],
+        outs: &[f32],
+        d_outs: &[f32],
+        d_inputs: &mut [f32],
+        grad_weights: &mut [f32],
+        grad_bias: &mut [f32],
+    ) {
+        assert_eq!(inputs.len() % self.in_dim, 0, "input matrix size mismatch");
+        let n = inputs.len() / self.in_dim;
+        assert_eq!(
+            pres.len(),
+            n * self.out_dim,
+            "pre-activation matrix mismatch"
+        );
+        assert_eq!(outs.len(), n * self.out_dim, "output matrix mismatch");
+        assert_eq!(d_outs.len(), n * self.out_dim, "output gradient mismatch");
+        assert_eq!(d_inputs.len(), n * self.in_dim, "input gradient mismatch");
+        assert_eq!(
+            grad_weights.len(),
+            self.weights.len(),
+            "weight gradient buffer mismatch"
+        );
+        assert_eq!(
+            grad_bias.len(),
+            self.out_dim,
+            "bias gradient buffer mismatch"
+        );
+        for r in 0..n {
+            let input = &inputs[r * self.in_dim..(r + 1) * self.in_dim];
+            let pre = &pres[r * self.out_dim..(r + 1) * self.out_dim];
+            let out = &outs[r * self.out_dim..(r + 1) * self.out_dim];
+            let d_out = &d_outs[r * self.out_dim..(r + 1) * self.out_dim];
+            let d_input = &mut d_inputs[r * self.in_dim..(r + 1) * self.in_dim];
+            d_input.fill(0.0);
+            for o in 0..self.out_dim {
+                let d_pre = d_out[o] * self.activation.derivative(pre[o], out[o]);
+                if d_pre == 0.0 {
+                    continue;
+                }
+                grad_bias[o] += d_pre;
+                let row_w = &self.weights[o * self.in_dim..(o + 1) * self.in_dim];
+                let row_g = &mut grad_weights[o * self.in_dim..(o + 1) * self.in_dim];
+                for i in 0..self.in_dim {
+                    row_g[i] += d_pre * input[i];
+                    d_input[i] += d_pre * row_w[i];
+                }
+            }
+        }
+    }
+
+    /// Adds externally accumulated gradients (from
+    /// [`DenseLayer::backward_batch_into`]) into the internal buffers the
+    /// optimizer reads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer lengths disagree with the layer dimensions.
+    pub fn add_gradients(&mut self, grad_weights: &[f32], grad_bias: &[f32]) {
+        assert_eq!(grad_weights.len(), self.grad_weights.len());
+        assert_eq!(grad_bias.len(), self.grad_bias.len());
+        for (g, add) in self.grad_weights.iter_mut().zip(grad_weights) {
+            *g += add;
+        }
+        for (g, add) in self.grad_bias.iter_mut().zip(grad_bias) {
+            *g += add;
+        }
+    }
+
     /// Clears accumulated gradients.
     pub fn zero_grad(&mut self) {
         self.grad_weights.fill(0.0);
@@ -180,6 +321,12 @@ impl DenseLayer {
     /// Flattened view of all parameters: weights then biases.
     pub fn parameters(&self) -> impl Iterator<Item = &f32> {
         self.weights.iter().chain(self.bias.iter())
+    }
+
+    /// Flattened view of the accumulated gradients, parallel to
+    /// [`DenseLayer::parameters`].
+    pub fn gradients(&self) -> impl Iterator<Item = &f32> {
+        self.grad_weights.iter().chain(self.grad_bias.iter())
     }
 
     /// Applies `f(param, grad)` to every parameter/gradient pair (the

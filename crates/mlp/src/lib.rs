@@ -28,4 +28,4 @@ pub mod mlp;
 
 pub use adam::AdamState;
 pub use layer::{Activation, DenseLayer};
-pub use mlp::{Mlp, MlpActivations};
+pub use mlp::{Mlp, MlpActivations, MlpBatchActivations, MlpGradients};

@@ -4,10 +4,13 @@ use crate::layer::{Activation, DenseLayer};
 use serde::{Deserialize, Serialize};
 
 /// The cached activations of one forward pass, needed for backprop.
+///
+/// Layer `l`'s input is the network input for `l == 0` and layer `l-1`'s
+/// activated output otherwise; it is never stored twice.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MlpActivations {
-    /// `inputs[l]` is the input to layer `l`; `inputs[0]` is the network input.
-    inputs: Vec<Vec<f32>>,
+    /// The network input.
+    input: Vec<f32>,
     /// Per-layer pre-activations.
     pres: Vec<Vec<f32>>,
     /// Per-layer activated outputs; the last is the network output.
@@ -18,6 +21,91 @@ impl MlpActivations {
     /// The network output of this forward pass.
     pub fn output(&self) -> &[f32] {
         self.outs.last().expect("at least one layer")
+    }
+
+    /// The input that fed layer `l`.
+    fn layer_input(&self, l: usize) -> &[f32] {
+        if l == 0 {
+            &self.input
+        } else {
+            &self.outs[l - 1]
+        }
+    }
+}
+
+/// Cached activations of a batched forward pass: per-layer row-major
+/// matrices of `n × out_dim` values. Reusable across batches — buffers are
+/// resized, not reallocated, when the batch size repeats.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MlpBatchActivations {
+    n: usize,
+    /// Per-layer pre-activation matrices.
+    pres: Vec<Vec<f32>>,
+    /// Per-layer activated output matrices.
+    outs: Vec<Vec<f32>>,
+}
+
+impl MlpBatchActivations {
+    /// The batched network output (`n × out_dim`, row-major).
+    pub fn output(&self) -> &[f32] {
+        self.outs.last().expect("no forward pass cached")
+    }
+
+    /// Number of points in the cached batch.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    fn prepare(&mut self, mlp: &Mlp, n: usize) {
+        self.n = n;
+        self.pres.resize(mlp.layers.len(), Vec::new());
+        self.outs.resize(mlp.layers.len(), Vec::new());
+        for (l, layer) in mlp.layers.iter().enumerate() {
+            // Plain resize, no clear: the forward kernel writes every
+            // `n × out_dim` element, so zeroing the retained prefix would
+            // be a redundant memset of the engine's largest matrices.
+            self.pres[l].resize(n * layer.out_dim(), 0.0);
+            self.outs[l].resize(n * layer.out_dim(), 0.0);
+        }
+    }
+}
+
+/// Parameter gradients accumulated outside an [`Mlp`] by
+/// [`Mlp::backward_batch`]. Lets independent chunks of a batch run their
+/// backward passes in parallel (each with its own `MlpGradients`) and then
+/// be folded into the network in a fixed, deterministic order via
+/// [`Mlp::accumulate_gradients`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MlpGradients {
+    /// Per-layer weight-gradient matrices.
+    weights: Vec<Vec<f32>>,
+    /// Per-layer bias gradients.
+    biases: Vec<Vec<f32>>,
+}
+
+impl MlpGradients {
+    /// Creates zeroed gradients shaped like `mlp`'s parameters.
+    pub fn zeros(mlp: &Mlp) -> Self {
+        let mut g = MlpGradients::default();
+        g.reset(mlp);
+        g
+    }
+
+    /// Zeroes the buffers, (re)shaping them to `mlp` if needed.
+    pub fn reset(&mut self, mlp: &Mlp) {
+        self.weights.resize(mlp.layers.len(), Vec::new());
+        self.biases.resize(mlp.layers.len(), Vec::new());
+        for (l, layer) in mlp.layers.iter().enumerate() {
+            self.weights[l].clear();
+            self.weights[l].resize(layer.in_dim() * layer.out_dim(), 0.0);
+            self.biases[l].clear();
+            self.biases[l].resize(layer.out_dim(), 0.0);
+        }
     }
 }
 
@@ -92,20 +180,140 @@ impl Mlp {
     ///
     /// Panics if `input.len() != in_dim()`.
     pub fn forward(&self, input: &[f32]) -> MlpActivations {
-        let mut inputs = Vec::with_capacity(self.layers.len());
         let mut pres = Vec::with_capacity(self.layers.len());
-        let mut outs = Vec::with_capacity(self.layers.len());
-        let mut current = input.to_vec();
-        for layer in &self.layers {
+        let mut outs: Vec<Vec<f32>> = Vec::with_capacity(self.layers.len());
+        for (l, layer) in self.layers.iter().enumerate() {
             let mut pre = vec![0.0; layer.out_dim()];
             let mut out = vec![0.0; layer.out_dim()];
-            layer.forward_into(&current, &mut pre, &mut out);
-            inputs.push(current);
-            current = out.clone();
+            let x = if l == 0 { input } else { &outs[l - 1] };
+            layer.forward_into(x, &mut pre, &mut out);
             pres.push(pre);
             outs.push(out);
         }
-        MlpActivations { inputs, pres, outs }
+        MlpActivations {
+            input: input.to_vec(),
+            pres,
+            outs,
+        }
+    }
+
+    /// Batched forward pass over `n` points: `inputs` is a row-major
+    /// `n × in_dim` matrix. Activation matrices land in `acts`, whose
+    /// buffers are reused across calls.
+    ///
+    /// The layer kernel vectorizes across points but keeps each point's
+    /// accumulation order, so per-point outputs are bitwise-identical to
+    /// the scalar [`Mlp::forward`] reference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` is not a multiple of `in_dim()`.
+    pub fn forward_batch(&self, inputs: &[f32], acts: &mut MlpBatchActivations) {
+        assert_eq!(
+            inputs.len() % self.in_dim(),
+            0,
+            "input matrix size mismatch"
+        );
+        let n = inputs.len() / self.in_dim();
+        acts.prepare(self, n);
+        for l in 0..self.layers.len() {
+            let (done, rest) = acts.outs.split_at_mut(l);
+            let x = if l == 0 { inputs } else { &done[l - 1] };
+            self.layers[l].forward_batch_into(x, &mut acts.pres[l], &mut rest[0]);
+        }
+    }
+
+    /// Batched backward pass: given `d_out` (`n × out_dim`, row-major) and
+    /// the activations of the matching [`Mlp::forward_batch`] call,
+    /// accumulates parameter gradients into `grads` (which is *not* zeroed
+    /// first) and writes the gradient w.r.t. the network input into
+    /// `d_input` (`n × in_dim`).
+    ///
+    /// Takes `&self`: disjoint chunks of a batch can run concurrently, each
+    /// into its own [`MlpGradients`], to be folded deterministically with
+    /// [`Mlp::accumulate_gradients`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `acts` came from a different batch or architecture, or if
+    /// `grads` is not shaped like this network.
+    pub fn backward_batch(
+        &self,
+        inputs: &[f32],
+        acts: &MlpBatchActivations,
+        d_out: &[f32],
+        d_input: &mut [f32],
+        grads: &mut MlpGradients,
+    ) {
+        let n = acts.n;
+        assert_eq!(
+            acts.outs.len(),
+            self.layers.len(),
+            "activation cache mismatch"
+        );
+        assert_eq!(inputs.len(), n * self.in_dim(), "input matrix mismatch");
+        assert_eq!(d_out.len(), n * self.out_dim(), "output gradient mismatch");
+        assert_eq!(d_input.len(), n * self.in_dim(), "input gradient mismatch");
+        assert_eq!(
+            grads.weights.len(),
+            self.layers.len(),
+            "gradient shape mismatch"
+        );
+        let mut grad = d_out.to_vec();
+        for (l, layer) in self.layers.iter().enumerate().rev() {
+            let x = if l == 0 { inputs } else { &acts.outs[l - 1] };
+            if l == 0 {
+                layer.backward_batch_into(
+                    x,
+                    &acts.pres[l],
+                    &acts.outs[l],
+                    &grad,
+                    d_input,
+                    &mut grads.weights[l],
+                    &mut grads.biases[l],
+                );
+            } else {
+                let mut d_x = vec![0.0; n * layer.in_dim()];
+                layer.backward_batch_into(
+                    x,
+                    &acts.pres[l],
+                    &acts.outs[l],
+                    &grad,
+                    &mut d_x,
+                    &mut grads.weights[l],
+                    &mut grads.biases[l],
+                );
+                grad = d_x;
+            }
+        }
+    }
+
+    /// Folds externally accumulated gradients into the internal buffers the
+    /// optimizer reads. Call once per chunk, in a fixed order, for
+    /// determinism across thread counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grads` is not shaped like this network.
+    pub fn accumulate_gradients(&mut self, grads: &MlpGradients) {
+        assert_eq!(
+            grads.weights.len(),
+            self.layers.len(),
+            "gradient shape mismatch"
+        );
+        for (l, layer) in self.layers.iter_mut().enumerate() {
+            layer.add_gradients(&grads.weights[l], &grads.biases[l]);
+        }
+    }
+
+    /// Flattened copy of the accumulated gradients, parallel to the
+    /// parameter order of [`Mlp::for_each_param_mut`] (per layer: weights,
+    /// then biases). Used by equivalence tests.
+    pub fn gradient_vec(&self) -> Vec<f32> {
+        self.layers
+            .iter()
+            .flat_map(|l| l.gradients().copied().collect::<Vec<_>>())
+            .collect()
     }
 
     /// Backward pass: accumulates parameter gradients and returns the
@@ -125,7 +333,7 @@ impl Mlp {
         for (l, layer) in self.layers.iter_mut().enumerate().rev() {
             let mut d_input = vec![0.0; layer.in_dim()];
             layer.backward_into(
-                &acts.inputs[l],
+                acts.layer_input(l),
                 &acts.pres[l],
                 &acts.outs[l],
                 &grad,
@@ -254,6 +462,77 @@ mod tests {
             .flat_map(|l| l.parameters().copied().collect::<Vec<_>>())
             .collect();
         assert_eq!(before, after);
+    }
+
+    #[test]
+    fn forward_batch_matches_scalar_bitwise() {
+        // 17 points: exercises a full 16-point block plus a ragged tail.
+        let net = Mlp::new(&[3, 8, 8, 2], Activation::Relu, Activation::Sigmoid, 21);
+        let n = 17;
+        let inputs: Vec<f32> = (0..n * 3).map(|i| (i as f32 * 0.37).sin()).collect();
+        let mut acts = MlpBatchActivations::default();
+        net.forward_batch(&inputs, &mut acts);
+        assert_eq!(acts.len(), n);
+        for r in 0..n {
+            let scalar = net.forward(&inputs[r * 3..(r + 1) * 3]);
+            assert_eq!(
+                &acts.output()[r * 2..(r + 1) * 2],
+                scalar.output(),
+                "row {r} diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn backward_batch_matches_scalar_gradients() {
+        let mut scalar_net = Mlp::new(&[4, 6, 3], Activation::Relu, Activation::Sigmoid, 33);
+        let batch_net = scalar_net.clone();
+        let n = 9;
+        let inputs: Vec<f32> = (0..n * 4).map(|i| (i as f32 * 0.23).cos()).collect();
+        let d_outs: Vec<f32> = (0..n * 3).map(|i| (i as f32 * 0.11).sin()).collect();
+
+        // Scalar reference: accumulate over the batch point by point.
+        scalar_net.zero_grad();
+        let mut scalar_d_in = Vec::new();
+        for r in 0..n {
+            let acts = scalar_net.forward(&inputs[r * 4..(r + 1) * 4]);
+            scalar_d_in.extend(scalar_net.backward(&acts, &d_outs[r * 3..(r + 1) * 3]));
+        }
+
+        // Batched: one forward/backward over the whole matrix.
+        let mut acts = MlpBatchActivations::default();
+        batch_net.forward_batch(&inputs, &mut acts);
+        let mut grads = MlpGradients::zeros(&batch_net);
+        let mut d_in = vec![0.0; n * 4];
+        batch_net.backward_batch(&inputs, &acts, &d_outs, &mut d_in, &mut grads);
+        let mut batch_net = batch_net;
+        batch_net.zero_grad();
+        batch_net.accumulate_gradients(&grads);
+
+        assert_eq!(d_in, scalar_d_in, "input gradients diverged");
+        let sg = scalar_net.gradient_vec();
+        let bg = batch_net.gradient_vec();
+        assert_eq!(sg.len(), bg.len());
+        for (i, (a, b)) in sg.iter().zip(&bg).enumerate() {
+            assert!(
+                (a - b).abs() <= 1e-6 * a.abs().max(1.0),
+                "parameter gradient {i}: scalar {a} vs batched {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_activations_reuse_across_sizes() {
+        let net = Mlp::new(&[2, 4, 1], Activation::Relu, Activation::Identity, 2);
+        let mut acts = MlpBatchActivations::default();
+        assert!(acts.is_empty());
+        net.forward_batch(&[0.1, 0.2, 0.3, 0.4, 0.5, 0.6], &mut acts);
+        assert_eq!(acts.len(), 3);
+        net.forward_batch(&[0.7, 0.8], &mut acts);
+        assert_eq!(acts.len(), 1);
+        assert_eq!(acts.output().len(), 1);
+        let scalar = net.forward(&[0.7, 0.8]);
+        assert_eq!(acts.output(), scalar.output());
     }
 
     proptest! {

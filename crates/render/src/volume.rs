@@ -36,26 +36,58 @@ pub struct CompositeOutput {
 /// Panics if `samples` and `dts` differ in length.
 pub fn composite(samples: &[SamplePoint], dts: &[f32]) -> CompositeOutput {
     assert_eq!(samples.len(), dts.len(), "samples/dts length mismatch");
+    composite_with(samples, |i| dts[i])
+}
+
+/// [`composite`] for the common uniform-step case (`δ_i = dt` for all
+/// samples), avoiding the per-ray `dts` allocation.
+pub fn composite_uniform(samples: &[SamplePoint], dt: f32) -> CompositeOutput {
+    composite_with(samples, |_| dt)
+}
+
+fn composite_with(samples: &[SamplePoint], dt_at: impl Fn(usize) -> f32) -> CompositeOutput {
     let n = samples.len();
-    let mut color = Vec3::ZERO;
-    let mut transmittance = 1.0f32;
-    let mut weights = Vec::with_capacity(n);
-    let mut trans_after = Vec::with_capacity(n);
-    for (s, &dt) in samples.iter().zip(dts) {
-        let sigma = s.sigma.max(0.0);
-        let alpha = 1.0 - (-sigma * dt).exp();
-        let w = transmittance * alpha;
-        color += s.color * w;
-        transmittance *= 1.0 - alpha;
-        weights.push(w);
-        trans_after.push(transmittance);
-    }
+    let mut weights = vec![0.0; n];
+    let mut trans_after = vec![0.0; n];
+    let (color, background_weight) = composite_core(
+        n,
+        |i| (samples[i].sigma, samples[i].color),
+        dt_at,
+        &mut weights,
+        &mut trans_after,
+    );
     CompositeOutput {
         color,
         weights,
         transmittance_after: trans_after,
-        background_weight: transmittance,
+        background_weight,
     }
+}
+
+/// The forward recurrence shared by every composite entry point. Writes the
+/// per-sample blend weights and post-sample transmittances into the caller's
+/// buffers and returns `(ray color, background weight)`.
+#[inline]
+fn composite_core(
+    n: usize,
+    sample_at: impl Fn(usize) -> (f32, Vec3),
+    dt_at: impl Fn(usize) -> f32,
+    weights: &mut [f32],
+    trans_after: &mut [f32],
+) -> (Vec3, f32) {
+    let mut color = Vec3::ZERO;
+    let mut transmittance = 1.0f32;
+    for i in 0..n {
+        let (sigma, c) = sample_at(i);
+        let sigma = sigma.max(0.0);
+        let alpha = 1.0 - (-sigma * dt_at(i)).exp();
+        let w = transmittance * alpha;
+        color += c * w;
+        transmittance *= 1.0 - alpha;
+        weights[i] = w;
+        trans_after[i] = transmittance;
+    }
+    (color, transmittance)
 }
 
 /// Per-sample gradients of the composite.
@@ -89,8 +121,28 @@ pub fn composite_backward(
     out: &CompositeOutput,
     d_color_out: Vec3,
 ) -> CompositeGradients {
+    assert_eq!(dts.len(), samples.len(), "samples/dts length mismatch");
+    composite_backward_with(samples, |i| dts[i], out, d_color_out)
+}
+
+/// [`composite_backward`] for a uniform step size, pairing with
+/// [`composite_uniform`].
+pub fn composite_backward_uniform(
+    samples: &[SamplePoint],
+    dt: f32,
+    out: &CompositeOutput,
+    d_color_out: Vec3,
+) -> CompositeGradients {
+    composite_backward_with(samples, |_| dt, out, d_color_out)
+}
+
+fn composite_backward_with(
+    samples: &[SamplePoint],
+    dt_at: impl Fn(usize) -> f32,
+    out: &CompositeOutput,
+    d_color_out: Vec3,
+) -> CompositeGradients {
     let n = samples.len();
-    assert_eq!(dts.len(), n, "samples/dts length mismatch");
     assert_eq!(
         out.weights.len(),
         n,
@@ -98,22 +150,165 @@ pub fn composite_backward(
     );
     let mut d_sigma = vec![0.0f32; n];
     let mut d_color = vec![Vec3::ZERO; n];
+    composite_backward_core(
+        n,
+        |i| (samples[i].sigma, samples[i].color),
+        dt_at,
+        &out.weights,
+        &out.transmittance_after,
+        d_color_out,
+        &mut d_sigma,
+        &mut d_color,
+    );
+    CompositeGradients { d_sigma, d_color }
+}
+
+/// The backward sweep shared by every entry point: a single reverse pass
+/// accumulating the suffix sum of `w_j c_j`, writing `∂L/∂σ_i` and
+/// `∂L/∂c_i` into the caller's buffers.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn composite_backward_core(
+    n: usize,
+    sample_at: impl Fn(usize) -> (f32, Vec3),
+    dt_at: impl Fn(usize) -> f32,
+    weights: &[f32],
+    trans_after: &[f32],
+    d_color_out: Vec3,
+    d_sigma: &mut [f32],
+    d_color: &mut [Vec3],
+) {
     // Suffix sum of w_j * c_j for j > i, per channel.
     let mut suffix = Vec3::ZERO;
     for i in (0..n).rev() {
-        let w = out.weights[i];
+        let (sigma, c) = sample_at(i);
+        let w = weights[i];
         d_color[i] = d_color_out * w;
-        let t_after = out.transmittance_after[i];
-        let g = samples[i].color * t_after - suffix;
+        let g = c * trans_after[i] - suffix;
         // The clamp σ ← max(σ, 0) has zero slope for negative inputs.
-        d_sigma[i] = if samples[i].sigma < 0.0 {
+        d_sigma[i] = if sigma < 0.0 {
             0.0
         } else {
-            dts[i] * d_color_out.dot(g)
+            dt_at(i) * d_color_out.dot(g)
         };
-        suffix += samples[i].color * w;
+        suffix += c * w;
     }
-    CompositeGradients { d_sigma, d_color }
+}
+
+/// One ray's slice of a flat structure-of-arrays sample batch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RaySpan {
+    /// Index of the ray's first sample in the flat arrays.
+    pub start: usize,
+    /// Number of samples on the ray.
+    pub len: usize,
+    /// Uniform step size `δ` of the ray (ignored for a given sample when
+    /// the batch carries per-sample `dts`).
+    pub dt: f32,
+}
+
+/// A batch of rays in structure-of-arrays layout: flat per-sample density
+/// and color arrays, plus one [`RaySpan`] per ray. `sample_base` rebases the
+/// spans' absolute `start` indices when a caller processes a chunk of a
+/// larger batch: the *output* buffers passed to [`composite_spans`] /
+/// [`composite_backward_spans`] cover samples `sample_base..` only, while
+/// `sigmas`/`colors`/`dts` always cover the whole batch.
+#[derive(Debug, Clone, Copy)]
+pub struct RayBatch<'a> {
+    /// Per-sample densities for the whole batch.
+    pub sigmas: &'a [f32],
+    /// Per-sample colors for the whole batch.
+    pub colors: &'a [Vec3],
+    /// Per-ray sample spans (absolute indices into the flat arrays).
+    pub spans: &'a [RaySpan],
+    /// Optional per-sample step sizes (whole batch); when `Some`, overrides
+    /// the spans' uniform `dt` — the occupancy-filtered path.
+    pub dts: Option<&'a [f32]>,
+    /// First sample index covered by the per-sample *output* buffers.
+    pub sample_base: usize,
+}
+
+impl RayBatch<'_> {
+    /// Total samples covered by `spans`.
+    pub fn sample_count(&self) -> usize {
+        self.spans.iter().map(|s| s.len).sum()
+    }
+}
+
+/// Composites every span of a [`RayBatch`], writing per-ray results into
+/// `ray_colors`/`backgrounds` and per-sample blend weights/transmittances
+/// into `weights`/`trans_after` (indexed relative to `batch.sample_base`).
+///
+/// Each span is composited with exactly the [`composite`] recurrence, so
+/// per-ray results are bitwise-identical to the scalar reference. Spans are
+/// independent: disjoint chunks of a batch can run concurrently.
+///
+/// # Panics
+///
+/// Panics if the output buffer lengths disagree with `batch.spans`.
+pub fn composite_spans(
+    batch: &RayBatch<'_>,
+    ray_colors: &mut [Vec3],
+    backgrounds: &mut [f32],
+    weights: &mut [f32],
+    trans_after: &mut [f32],
+) {
+    let rays = batch.spans.len();
+    assert_eq!(ray_colors.len(), rays, "ray color buffer mismatch");
+    assert_eq!(backgrounds.len(), rays, "background buffer mismatch");
+    let total = batch.sample_count();
+    assert_eq!(weights.len(), total, "weight buffer mismatch");
+    assert_eq!(trans_after.len(), total, "transmittance buffer mismatch");
+    for (ri, span) in batch.spans.iter().enumerate() {
+        let local = span.start - batch.sample_base;
+        let (color, background) = composite_core(
+            span.len,
+            |i| (batch.sigmas[span.start + i], batch.colors[span.start + i]),
+            |i| batch.dts.map_or(span.dt, |d| d[span.start + i]),
+            &mut weights[local..local + span.len],
+            &mut trans_after[local..local + span.len],
+        );
+        ray_colors[ri] = color;
+        backgrounds[ri] = background;
+    }
+}
+
+/// Backward pass of [`composite_spans`]: given the per-ray loss gradients
+/// `d_ray_colors` and the forward pass's `weights`/`trans_after`, writes
+/// `∂L/∂σ` and `∂L/∂c` for every sample (buffers indexed relative to
+/// `batch.sample_base`).
+///
+/// # Panics
+///
+/// Panics if any buffer length disagrees with `batch.spans`.
+pub fn composite_backward_spans(
+    batch: &RayBatch<'_>,
+    weights: &[f32],
+    trans_after: &[f32],
+    d_ray_colors: &[Vec3],
+    d_sigmas: &mut [f32],
+    d_colors: &mut [Vec3],
+) {
+    let rays = batch.spans.len();
+    assert_eq!(d_ray_colors.len(), rays, "ray gradient buffer mismatch");
+    let total = batch.sample_count();
+    assert_eq!(weights.len(), total, "weight buffer mismatch");
+    assert_eq!(trans_after.len(), total, "transmittance buffer mismatch");
+    assert_eq!(d_sigmas.len(), total, "sigma gradient buffer mismatch");
+    assert_eq!(d_colors.len(), total, "color gradient buffer mismatch");
+    for (ri, span) in batch.spans.iter().enumerate() {
+        let local = span.start - batch.sample_base;
+        composite_backward_core(
+            span.len,
+            |i| (batch.sigmas[span.start + i], batch.colors[span.start + i]),
+            |i| batch.dts.map_or(span.dt, |d| d[span.start + i]),
+            &weights[local..local + span.len],
+            &trans_after[local..local + span.len],
+            d_ray_colors[ri],
+            &mut d_sigmas[local..local + span.len],
+            &mut d_colors[local..local + span.len],
+        );
+    }
 }
 
 #[cfg(test)]
@@ -251,6 +446,144 @@ mod tests {
         let grads = composite_backward(&samples, &dts, &out, Vec3::ONE);
         assert_eq!(grads.d_sigma[0], 0.0);
         assert!(grads.d_sigma[1].abs() > 0.0);
+    }
+
+    #[test]
+    fn uniform_variant_matches_vec_dts() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let samples: Vec<SamplePoint> = (0..12)
+            .map(|_| sp(rng.gen_range(0.0..4.0), rng.gen(), rng.gen(), rng.gen()))
+            .collect();
+        let dt = 0.08f32;
+        let reference = composite(&samples, &vec![dt; samples.len()]);
+        let uniform = composite_uniform(&samples, dt);
+        assert_eq!(reference, uniform);
+        let d_out = Vec3::new(0.3, -0.2, 1.1);
+        let g_ref = composite_backward(&samples, &vec![dt; samples.len()], &reference, d_out);
+        let g_uni = composite_backward_uniform(&samples, dt, &uniform, d_out);
+        assert_eq!(g_ref, g_uni);
+    }
+
+    #[test]
+    fn spans_match_per_ray_composites() {
+        // Three rays of different lengths in one flat SoA batch.
+        let mut rng = SmallRng::seed_from_u64(19);
+        let lens = [5usize, 1, 9];
+        let n: usize = lens.iter().sum();
+        let sigmas: Vec<f32> = (0..n).map(|_| rng.gen_range(-0.5..5.0)).collect();
+        let colors: Vec<Vec3> = (0..n)
+            .map(|_| Vec3::new(rng.gen(), rng.gen(), rng.gen()))
+            .collect();
+        let mut spans = Vec::new();
+        let mut start = 0;
+        for (ri, &len) in lens.iter().enumerate() {
+            spans.push(RaySpan {
+                start,
+                len,
+                dt: 0.05 + 0.01 * ri as f32,
+            });
+            start += len;
+        }
+        let batch = RayBatch {
+            sigmas: &sigmas,
+            colors: &colors,
+            spans: &spans,
+            dts: None,
+            sample_base: 0,
+        };
+        let mut ray_colors = vec![Vec3::ZERO; 3];
+        let mut backgrounds = vec![0.0; 3];
+        let mut weights = vec![0.0; n];
+        let mut trans = vec![0.0; n];
+        composite_spans(
+            &batch,
+            &mut ray_colors,
+            &mut backgrounds,
+            &mut weights,
+            &mut trans,
+        );
+
+        let d_rays = [
+            Vec3::ONE,
+            Vec3::new(0.5, -1.0, 0.2),
+            Vec3::new(-0.3, 0.7, 0.9),
+        ];
+        let mut d_sigmas = vec![0.0; n];
+        let mut d_colors = vec![Vec3::ZERO; n];
+        composite_backward_spans(
+            &batch,
+            &weights,
+            &trans,
+            &d_rays,
+            &mut d_sigmas,
+            &mut d_colors,
+        );
+
+        for (ri, span) in spans.iter().enumerate() {
+            let samples: Vec<SamplePoint> = (span.start..span.start + span.len)
+                .map(|i| SamplePoint {
+                    sigma: sigmas[i],
+                    color: colors[i],
+                })
+                .collect();
+            let reference = composite_uniform(&samples, span.dt);
+            assert_eq!(ray_colors[ri], reference.color, "ray {ri} color");
+            assert_eq!(backgrounds[ri], reference.background_weight);
+            assert_eq!(
+                &weights[span.start..span.start + span.len],
+                reference.weights.as_slice()
+            );
+            let g = composite_backward_uniform(&samples, span.dt, &reference, d_rays[ri]);
+            assert_eq!(
+                &d_sigmas[span.start..span.start + span.len],
+                g.d_sigma.as_slice()
+            );
+            assert_eq!(
+                &d_colors[span.start..span.start + span.len],
+                g.d_color.as_slice()
+            );
+        }
+    }
+
+    #[test]
+    fn spans_respect_sample_base_and_per_sample_dts() {
+        // A chunked caller passes full input arrays but rebased outputs.
+        let sigmas = [1.0f32, 2.0, 3.0, 0.5, 0.7];
+        let colors = [Vec3::splat(0.2); 5];
+        let dts = [0.1f32, 0.2, 0.1, 0.3, 0.2];
+        // Chunk covering only the second ray (samples 2..5).
+        let spans = [RaySpan {
+            start: 2,
+            len: 3,
+            dt: f32::NAN, // must be ignored: per-sample dts take precedence
+        }];
+        let batch = RayBatch {
+            sigmas: &sigmas,
+            colors: &colors,
+            spans: &spans,
+            dts: Some(&dts),
+            sample_base: 2,
+        };
+        let mut ray_colors = [Vec3::ZERO];
+        let mut backgrounds = [0.0];
+        let mut weights = [0.0; 3];
+        let mut trans = [0.0; 3];
+        composite_spans(
+            &batch,
+            &mut ray_colors,
+            &mut backgrounds,
+            &mut weights,
+            &mut trans,
+        );
+        let samples: Vec<SamplePoint> = (2..5)
+            .map(|i| SamplePoint {
+                sigma: sigmas[i],
+                color: colors[i],
+            })
+            .collect();
+        let reference = composite(&samples, &dts[2..5]);
+        assert_eq!(ray_colors[0], reference.color);
+        assert_eq!(weights.as_slice(), reference.weights.as_slice());
     }
 
     proptest! {

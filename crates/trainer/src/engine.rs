@@ -1,0 +1,97 @@
+//! Thread-pool plumbing for the batched SoA execution engine.
+//!
+//! The batched hot path (see [`crate::train`] and [`crate::model`]) splits
+//! every stage into *fixed-size* chunks — [`RAY_CHUNK`] rays for the
+//! compositing stages, `POINT_CHUNK` points inside the model — and runs the
+//! chunks on a [`rayon::ThreadPool`]. Chunk boundaries never depend on the
+//! worker count and all cross-chunk reductions happen sequentially in chunk
+//! order, so training is bitwise-deterministic for a fixed seed at *any*
+//! thread count; the knob only changes wall-clock time.
+//!
+//! The pool size comes from the `INERF_THREADS` environment variable
+//! (default: all available cores); [`crate::train::Trainer::with_threads`]
+//! overrides it per trainer, which is what the determinism tests use.
+
+use rayon::{ThreadPool, ThreadPoolBuilder};
+use std::sync::{Arc, OnceLock};
+
+/// Rays per task in the parallel composite / composite-backward stages.
+///
+/// Fixed (instead of derived from the worker count) so that the chunk
+/// decomposition — and with it every floating-point reduction order — is
+/// identical at 1, 2, or 64 threads.
+pub const RAY_CHUNK: usize = 16;
+
+/// The thread count requested via `INERF_THREADS`, or all available cores.
+pub fn default_threads() -> usize {
+    std::env::var("INERF_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+}
+
+/// Builds a dedicated pool with exactly `threads` workers.
+pub fn build_pool(threads: usize) -> Arc<ThreadPool> {
+    Arc::new(
+        ThreadPoolBuilder::new()
+            .num_threads(threads.max(1))
+            .build()
+            .expect("thread pool construction cannot fail"),
+    )
+}
+
+/// The process-wide default pool, sized by [`default_threads`] on first use
+/// and shared by every trainer that doesn't request its own size.
+pub fn default_pool() -> Arc<ThreadPool> {
+    static POOL: OnceLock<Arc<ThreadPool>> = OnceLock::new();
+    Arc::clone(POOL.get_or_init(|| build_pool(default_threads())))
+}
+
+/// Splits `buf` into consecutive mutable row groups of the given sizes, so
+/// each chunk task can own its disjoint output slice across a scope.
+///
+/// # Panics
+///
+/// Panics if the counts overrun `buf`.
+pub(crate) fn split_rows<T>(
+    mut buf: &mut [T],
+    counts: impl Iterator<Item = usize>,
+) -> Vec<&mut [T]> {
+    counts
+        .map(|c| {
+            let (head, rest) = std::mem::take(&mut buf).split_at_mut(c);
+            buf = rest;
+            head
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_rows_covers_buffer_disjointly() {
+        let mut buf = [0u32; 10];
+        let parts = split_rows(&mut buf, [3usize, 0, 5, 2].into_iter());
+        assert_eq!(
+            parts.iter().map(|p| p.len()).collect::<Vec<_>>(),
+            [3, 0, 5, 2]
+        );
+        for (i, part) in parts.into_iter().enumerate() {
+            part.fill(i as u32);
+        }
+        assert_eq!(buf, [0, 0, 0, 2, 2, 2, 2, 2, 3, 3]);
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn build_pool_respects_request() {
+        assert_eq!(build_pool(3).current_num_threads(), 3);
+    }
+}

@@ -10,7 +10,11 @@
 //!
 //! * [`model`] — the [`TrainableField`] trait and [`model::IngpModel`], the
 //!   hash-grid + two-small-MLPs architecture of iNGP / Instant-NeRF.
-//! * [`train`] — generic training loop, rendering and PSNR evaluation.
+//! * [`train`] — generic training loop, rendering and PSNR evaluation,
+//!   with two interchangeable hot-path engines: the per-point scalar
+//!   reference and the batched structure-of-arrays engine (the default).
+//! * [`engine`] — thread-pool plumbing for the batched engine
+//!   (`INERF_THREADS`, fixed-chunk determinism helpers).
 //! * [`streaming`] — ray-first vs random point streaming orders (the
 //!   paper's Sec. III-B) and trace generation for the hardware simulators.
 //! * [`workload`] — the Tab. II workload model (parameter/data sizes of the
@@ -36,6 +40,7 @@
 //! ```
 
 pub mod baselines;
+pub mod engine;
 pub mod model;
 pub mod occupancy;
 pub mod streaming;
@@ -45,4 +50,4 @@ pub mod workload;
 pub use model::{IngpModel, ModelConfig, TrainableField};
 pub use occupancy::OccupancyGrid;
 pub use streaming::StreamingOrder;
-pub use train::{TrainConfig, TrainReport, Trainer};
+pub use train::{Engine, TrainConfig, TrainReport, Trainer};

@@ -1,16 +1,24 @@
 //! The iNGP model (hash grid + two small MLPs) and the trainable-field trait.
 
-use inerf_encoding::{HashFunction, HashGrid, HashGridConfig};
+use inerf_encoding::{HashFunction, HashGrid, HashGridConfig, LookupCache};
 use inerf_geom::Vec3;
-use inerf_mlp::{Activation, AdamState, Mlp, MlpActivations};
+use inerf_mlp::{Activation, AdamState, Mlp, MlpActivations, MlpBatchActivations, MlpGradients};
+use rayon::ThreadPool;
 use serde::{Deserialize, Serialize};
 
 /// A radiance-field model that can be trained by [`crate::train::Trainer`].
 ///
-/// The trainer drives it per batch: `begin_batch` → `query` for every sample
-/// point (in streaming order) → `backward` for every point (same indices) →
-/// `apply_gradients`. Implementations cache whatever the backward pass needs
-/// during `query`.
+/// The trainer drives it per batch, either point by point (`begin_batch` →
+/// `query` for every sample point, in streaming order → `backward` for every
+/// point, same indices → `apply_gradients`) or through the batched
+/// structure-of-arrays entry points (`begin_batch` → `query_batch` →
+/// `backward_batch` → `apply_gradients`). Implementations cache whatever
+/// the backward pass needs during the forward queries.
+///
+/// The `*_batch` methods have scalar-loop default implementations, so
+/// per-point models (the Tab. IV baselines) keep working unchanged under the
+/// batched trainer engine; [`IngpModel`] overrides them with a chunked,
+/// thread-pool-parallel implementation.
 pub trait TrainableField {
     /// Clears per-batch caches and accumulated gradients.
     fn begin_batch(&mut self);
@@ -36,6 +44,72 @@ pub trait TrainableField {
 
     /// Total trainable parameter count.
     fn parameter_count(&self) -> usize;
+
+    /// Batched [`TrainableField::query`]: fills `sigmas[i]`/`rgbs[i]` for
+    /// `points[i]` viewed along `dirs[i]`, caching intermediates under index
+    /// `i` for [`TrainableField::backward_batch`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice lengths disagree.
+    fn query_batch(
+        &mut self,
+        points: &[Vec3],
+        dirs: &[Vec3],
+        sigmas: &mut [f32],
+        rgbs: &mut [Vec3],
+        _pool: &ThreadPool,
+    ) {
+        assert_eq!(points.len(), dirs.len(), "points/dirs length mismatch");
+        assert_eq!(points.len(), sigmas.len(), "sigma buffer mismatch");
+        assert_eq!(points.len(), rgbs.len(), "rgb buffer mismatch");
+        for (i, (&p, &d)) in points.iter().zip(dirs).enumerate() {
+            let (sigma, rgb) = self.query(p, d);
+            sigmas[i] = sigma;
+            rgbs[i] = rgb;
+        }
+    }
+
+    /// Batched [`TrainableField::backward`]: back-propagates the loss
+    /// gradient of every point cached by the preceding
+    /// [`TrainableField::query_batch`], index-aligned with it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths disagree with the cached batch.
+    fn backward_batch(&mut self, d_sigmas: &[f32], d_colors: &[Vec3], _pool: &ThreadPool) {
+        assert_eq!(
+            d_sigmas.len(),
+            d_colors.len(),
+            "gradient slice length mismatch"
+        );
+        for (i, (&ds, &dc)) in d_sigmas.iter().zip(d_colors).enumerate() {
+            self.backward(i, ds, dc);
+        }
+    }
+
+    /// Batched [`TrainableField::query_eval`] (no caching).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice lengths disagree.
+    fn query_eval_batch(
+        &self,
+        points: &[Vec3],
+        dirs: &[Vec3],
+        sigmas: &mut [f32],
+        rgbs: &mut [Vec3],
+        _pool: &ThreadPool,
+    ) {
+        assert_eq!(points.len(), dirs.len(), "points/dirs length mismatch");
+        assert_eq!(points.len(), sigmas.len(), "sigma buffer mismatch");
+        assert_eq!(points.len(), rgbs.len(), "rgb buffer mismatch");
+        for (i, (&p, &d)) in points.iter().zip(dirs).enumerate() {
+            let (sigma, rgb) = self.query_eval(p, d);
+            sigmas[i] = sigma;
+            rgbs[i] = rgb;
+        }
+    }
 }
 
 /// Architecture hyper-parameters of [`IngpModel`].
@@ -118,6 +192,145 @@ struct PointCache {
     sigma: f32,
 }
 
+/// Points per chunk of the batched engine. Fixed (not derived from the
+/// worker count) so chunk boundaries — and therefore every gradient
+/// accumulation order — are identical at any thread count.
+const POINT_CHUNK: usize = 256;
+
+/// Per-chunk scratch of the batched engine: forward activations (kept for
+/// the backward pass) and chunk-local parameter gradients. Buffers are
+/// reused across batches — each thread works on its own chunk, so nothing
+/// here is shared.
+#[derive(Debug, Clone, Default)]
+struct ChunkScratch {
+    /// `n × L*F` hash-grid features (density-MLP input).
+    feats: Vec<f32>,
+    /// Corner entries/weights cached by the encode, reused by the scatter.
+    lookups: LookupCache,
+    density: MlpBatchActivations,
+    /// `n × (geo + 9)` color-MLP input rows.
+    color_in: Vec<f32>,
+    color: MlpBatchActivations,
+    /// Post-softplus densities (needed for the softplus gradient chain).
+    sigmas: Vec<f32>,
+    /// `n × L*F` feature gradients for the hash-grid scatter.
+    d_feats: Vec<f32>,
+    d_color_in: Vec<f32>,
+    d_raw: Vec<f32>,
+    d_rgb: Vec<f32>,
+    density_grads: MlpGradients,
+    color_grads: MlpGradients,
+}
+
+/// Resizes a scratch buffer without zeroing the retained prefix. Every
+/// caller fully overwrites the buffer before reading it (encode fills all
+/// feature slots, the MLP kernels write every row, the gradient assembly
+/// loops cover every element), so a clear would be a redundant memset.
+fn reset_buf(buf: &mut Vec<f32>, len: usize) {
+    buf.resize(len, 0.0);
+}
+
+impl ChunkScratch {
+    /// Forward pass over this chunk's points: encode → density MLP →
+    /// softplus/color-input assembly → color MLP. Per point this computes
+    /// exactly [`IngpModel::query`]'s arithmetic, so outputs match the
+    /// scalar reference bitwise.
+    #[allow(clippy::too_many_arguments)]
+    fn forward(
+        &mut self,
+        grid: &HashGrid,
+        density_mlp: &Mlp,
+        color_mlp: &Mlp,
+        points: &[Vec3],
+        dirs: &[Vec3],
+        sigmas_out: &mut [f32],
+        rgbs_out: &mut [Vec3],
+    ) {
+        let n = points.len();
+        let fdim = grid.config().feature_dim();
+        let dout = density_mlp.out_dim();
+        let geo = dout - 1;
+        let cin = geo + 9;
+        reset_buf(&mut self.feats, n * fdim);
+        grid.encode_batch_cached(points, &mut self.feats, &mut self.lookups);
+        density_mlp.forward_batch(&self.feats, &mut self.density);
+        reset_buf(&mut self.sigmas, n);
+        reset_buf(&mut self.color_in, n * cin);
+        let raw = self.density.output();
+        for i in 0..n {
+            let row = &raw[i * dout..(i + 1) * dout];
+            let sigma = Activation::Softplus.apply(row[0]);
+            self.sigmas[i] = sigma;
+            sigmas_out[i] = sigma;
+            let slot = &mut self.color_in[i * cin..(i + 1) * cin];
+            slot[..geo].copy_from_slice(&row[1..]);
+            slot[geo..].copy_from_slice(&direction_encoding(dirs[i]));
+        }
+        color_mlp.forward_batch(&self.color_in, &mut self.color);
+        let out = self.color.output();
+        for (i, rgb) in rgbs_out.iter_mut().enumerate() {
+            *rgb = Vec3::new(out[3 * i], out[3 * i + 1], out[3 * i + 2]);
+        }
+    }
+
+    /// Backward pass over this chunk: color MLP → softplus chain → density
+    /// MLP, accumulating parameter gradients chunk-locally and leaving the
+    /// feature gradients in `d_feats` for the (sequential, deterministic)
+    /// hash-grid scatter.
+    fn backward(
+        &mut self,
+        density_mlp: &Mlp,
+        color_mlp: &Mlp,
+        d_sigmas: &[f32],
+        d_colors: &[Vec3],
+    ) {
+        let n = d_sigmas.len();
+        let fdim = density_mlp.in_dim();
+        let dout = density_mlp.out_dim();
+        let geo = dout - 1;
+        let cin = geo + 9;
+        self.color_grads.reset(color_mlp);
+        self.density_grads.reset(density_mlp);
+        reset_buf(&mut self.d_rgb, n * 3);
+        for (i, d) in d_colors.iter().enumerate() {
+            self.d_rgb[3 * i] = d.x;
+            self.d_rgb[3 * i + 1] = d.y;
+            self.d_rgb[3 * i + 2] = d.z;
+        }
+        reset_buf(&mut self.d_color_in, n * cin);
+        color_mlp.backward_batch(
+            &self.color_in,
+            &self.color,
+            &self.d_rgb,
+            &mut self.d_color_in,
+            &mut self.color_grads,
+        );
+        reset_buf(&mut self.d_raw, n * dout);
+        for (i, &d_sigma) in d_sigmas.iter().enumerate() {
+            // d softplus(x)/dx = sigmoid(x) = 1 - e^{-softplus(x)}.
+            self.d_raw[i * dout] = d_sigma * (1.0 - (-self.sigmas[i]).exp());
+            self.d_raw[i * dout + 1..(i + 1) * dout]
+                .copy_from_slice(&self.d_color_in[i * cin..i * cin + geo]);
+        }
+        reset_buf(&mut self.d_feats, n * fdim);
+        density_mlp.backward_batch(
+            &self.feats,
+            &self.density,
+            &self.d_raw,
+            &mut self.d_feats,
+            &mut self.density_grads,
+        );
+    }
+}
+
+/// Batch-wide cache of the batched engine: the queried points (for the
+/// hash-grid backward scatter) plus per-chunk scratch.
+#[derive(Debug, Clone, Default)]
+struct BatchCache {
+    points: Vec<Vec3>,
+    chunks: Vec<ChunkScratch>,
+}
+
 /// The iNGP / Instant-NeRF model: multi-resolution hash grid → density MLP →
 /// color MLP.
 ///
@@ -135,6 +348,7 @@ pub struct IngpModel {
     density_adam: AdamState,
     color_adam: AdamState,
     cache: Vec<PointCache>,
+    batch: BatchCache,
 }
 
 impl IngpModel {
@@ -176,6 +390,7 @@ impl IngpModel {
             density_adam,
             color_adam,
             cache: Vec::new(),
+            batch: BatchCache::default(),
         }
     }
 
@@ -187,6 +402,16 @@ impl IngpModel {
     /// The underlying hash grid (e.g. for trace generation).
     pub fn grid(&self) -> &HashGrid {
         &self.grid
+    }
+
+    /// The density MLP (read-only; used by equivalence tests).
+    pub fn density_mlp(&self) -> &Mlp {
+        &self.density_mlp
+    }
+
+    /// The color MLP (read-only; used by equivalence tests).
+    pub fn color_mlp(&self) -> &Mlp {
+        &self.color_mlp
     }
 
     fn forward_parts(&self, p: Vec3, d: Vec3) -> (MlpActivations, MlpActivations, f32, Vec3) {
@@ -236,6 +461,7 @@ fn clip_scale(norm_sq: f64, clip: f32) -> f32 {
 impl TrainableField for IngpModel {
     fn begin_batch(&mut self) {
         self.cache.clear();
+        self.batch.points.clear();
         self.grid.zero_grad();
         self.density_mlp.zero_grad();
         self.color_mlp.zero_grad();
@@ -297,6 +523,119 @@ impl TrainableField for IngpModel {
         self.grid.parameters().len()
             + self.density_mlp.parameter_count()
             + self.color_mlp.parameter_count()
+    }
+
+    /// Batched forward: the batch is cut into fixed [`POINT_CHUNK`]-point
+    /// chunks, each encoded and run through both MLPs on a pool worker with
+    /// chunk-local reusable scratch. Per point the arithmetic matches the
+    /// scalar [`TrainableField::query`] path bitwise.
+    fn query_batch(
+        &mut self,
+        points: &[Vec3],
+        dirs: &[Vec3],
+        sigmas: &mut [f32],
+        rgbs: &mut [Vec3],
+        pool: &ThreadPool,
+    ) {
+        let n = points.len();
+        assert_eq!(n, dirs.len(), "points/dirs length mismatch");
+        assert_eq!(n, sigmas.len(), "sigma buffer mismatch");
+        assert_eq!(n, rgbs.len(), "rgb buffer mismatch");
+        self.batch.points.clear();
+        self.batch.points.extend_from_slice(points);
+        let n_chunks = n.div_ceil(POINT_CHUNK);
+        self.batch
+            .chunks
+            .resize_with(n_chunks, ChunkScratch::default);
+        let grid = &self.grid;
+        let density_mlp = &self.density_mlp;
+        let color_mlp = &self.color_mlp;
+        let mut sigma_rest: &mut [f32] = sigmas;
+        let mut rgb_rest: &mut [Vec3] = rgbs;
+        pool.scope(|s| {
+            for (ci, chunk) in self.batch.chunks.iter_mut().enumerate() {
+                let lo = ci * POINT_CHUNK;
+                let hi = (lo + POINT_CHUNK).min(n);
+                let (sigma_c, rest) = std::mem::take(&mut sigma_rest).split_at_mut(hi - lo);
+                sigma_rest = rest;
+                let (rgb_c, rest) = std::mem::take(&mut rgb_rest).split_at_mut(hi - lo);
+                rgb_rest = rest;
+                let pts = &points[lo..hi];
+                let drs = &dirs[lo..hi];
+                s.spawn(move |_| {
+                    chunk.forward(grid, density_mlp, color_mlp, pts, drs, sigma_c, rgb_c);
+                });
+            }
+        });
+    }
+
+    /// Batched backward. Chunks back-propagate through both MLPs in
+    /// parallel (chunk-local gradients); the hash-grid scatter and the MLP
+    /// gradient folds then run sequentially *in chunk order*, which makes
+    /// the accumulated gradients independent of the worker count.
+    fn backward_batch(&mut self, d_sigmas: &[f32], d_colors: &[Vec3], pool: &ThreadPool) {
+        let n = self.batch.points.len();
+        assert!(n > 0, "backward_batch without a cached query_batch");
+        assert_eq!(d_sigmas.len(), n, "sigma gradient length mismatch");
+        assert_eq!(d_colors.len(), n, "color gradient length mismatch");
+        let density_mlp = &self.density_mlp;
+        let color_mlp = &self.color_mlp;
+        pool.scope(|s| {
+            for (ci, chunk) in self.batch.chunks.iter_mut().enumerate() {
+                let lo = ci * POINT_CHUNK;
+                let hi = (lo + POINT_CHUNK).min(n);
+                let ds = &d_sigmas[lo..hi];
+                let dc = &d_colors[lo..hi];
+                s.spawn(move |_| chunk.backward(density_mlp, color_mlp, ds, dc));
+            }
+        });
+        let batch = &self.batch;
+        for (ci, chunk) in batch.chunks.iter().enumerate() {
+            let lo = ci * POINT_CHUNK;
+            let hi = (lo + POINT_CHUNK).min(n);
+            self.grid
+                .backward_batch(&batch.points[lo..hi], &chunk.d_feats);
+            self.density_mlp.accumulate_gradients(&chunk.density_grads);
+            self.color_mlp.accumulate_gradients(&chunk.color_grads);
+        }
+    }
+
+    /// Batched evaluation query: chunked like [`TrainableField::query_batch`]
+    /// but with task-local scratch, since `&self` forbids touching the batch
+    /// cache.
+    fn query_eval_batch(
+        &self,
+        points: &[Vec3],
+        dirs: &[Vec3],
+        sigmas: &mut [f32],
+        rgbs: &mut [Vec3],
+        pool: &ThreadPool,
+    ) {
+        let n = points.len();
+        assert_eq!(n, dirs.len(), "points/dirs length mismatch");
+        assert_eq!(n, sigmas.len(), "sigma buffer mismatch");
+        assert_eq!(n, rgbs.len(), "rgb buffer mismatch");
+        let grid = &self.grid;
+        let density_mlp = &self.density_mlp;
+        let color_mlp = &self.color_mlp;
+        let mut sigma_rest: &mut [f32] = sigmas;
+        let mut rgb_rest: &mut [Vec3] = rgbs;
+        pool.scope(|s| {
+            for ci in 0..n.div_ceil(POINT_CHUNK) {
+                let lo = ci * POINT_CHUNK;
+                let hi = (lo + POINT_CHUNK).min(n);
+                let (sigma_c, rest) = std::mem::take(&mut sigma_rest).split_at_mut(hi - lo);
+                sigma_rest = rest;
+                let (rgb_c, rest) = std::mem::take(&mut rgb_rest).split_at_mut(hi - lo);
+                rgb_rest = rest;
+                let pts = &points[lo..hi];
+                let drs = &dirs[lo..hi];
+                s.spawn(move |_| {
+                    let mut scratch = ChunkScratch::default();
+                    scratch.forward(grid, density_mlp, color_mlp, pts, drs, sigma_c, rgb_c);
+                });
+            }
+        });
     }
 }
 

@@ -1,15 +1,34 @@
 //! The training loop: batches, rendering, loss, backprop, evaluation.
 
+use crate::engine;
 use crate::model::TrainableField;
 use crate::occupancy::OccupancyGrid;
 use crate::streaming::StreamingOrder;
 use inerf_geom::{Aabb, Camera, Ray, Vec3};
 use inerf_render::l2_loss;
-use inerf_render::volume::{composite, composite_backward, SamplePoint};
+use inerf_render::volume::{
+    composite, composite_backward, composite_backward_spans, composite_backward_uniform,
+    composite_spans, composite_uniform, RayBatch, RaySpan, SamplePoint,
+};
 use inerf_scenes::{psnr_from_mse, Dataset, Image};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use rayon::ThreadPool;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Which implementation drives the training/inference hot path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Engine {
+    /// The per-point reference implementation: one `query`/`backward` call
+    /// per sample. Kept as the equivalence baseline for the batched engine.
+    Scalar,
+    /// The batched structure-of-arrays engine: all sample points are
+    /// gathered first, then each stage (encode → MLPs → composite →
+    /// backward) runs over flat buffers with fixed-chunk thread-pool
+    /// parallelism. Deterministic for a fixed seed at any thread count.
+    Batched,
+}
 
 /// Training hyper-parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -22,6 +41,8 @@ pub struct TrainConfig {
     pub order: StreamingOrder,
     /// Samples per ray used when rendering evaluation images.
     pub eval_samples_per_ray: usize,
+    /// Hot-path implementation (batched SoA engine by default).
+    pub engine: Engine,
 }
 
 impl TrainConfig {
@@ -33,6 +54,7 @@ impl TrainConfig {
             samples_per_ray: 128,
             order: StreamingOrder::RayFirst,
             eval_samples_per_ray: 128,
+            engine: Engine::Batched,
         }
     }
 
@@ -43,6 +65,7 @@ impl TrainConfig {
             samples_per_ray: 16,
             order: StreamingOrder::RayFirst,
             eval_samples_per_ray: 24,
+            engine: Engine::Batched,
         }
     }
 
@@ -53,7 +76,14 @@ impl TrainConfig {
             samples_per_ray: 32,
             order: StreamingOrder::RayFirst,
             eval_samples_per_ray: 48,
+            engine: Engine::Batched,
         }
+    }
+
+    /// The same configuration with a different [`Engine`].
+    pub fn with_engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
     }
 
     /// Sampled points per iteration (the paper's "batch size" unit).
@@ -84,6 +114,23 @@ struct OccupancyState {
     iteration: usize,
 }
 
+/// One iteration's gathered sample batch in structure-of-arrays layout,
+/// shared by both engines so they see the *same* sampled points (the rng is
+/// consumed identically).
+struct GatheredBatch {
+    /// Normalized sample positions, ray-major.
+    points: Vec<Vec3>,
+    /// Per-sample view directions (constant within a ray).
+    dirs: Vec<Vec3>,
+    /// Per-surviving-ray sample spans with their uniform step size.
+    spans: Vec<RaySpan>,
+    /// Per-sample step sizes, kept only on the occupancy-filtered path
+    /// (uniform rays use the span's `dt` and skip this allocation).
+    dts: Option<Vec<f32>>,
+    /// Target colors of the surviving rays.
+    targets: Vec<Vec3>,
+}
+
 /// Drives a [`TrainableField`] through the six-step NeRF training pipeline.
 #[derive(Debug, Clone)]
 pub struct Trainer<M> {
@@ -92,10 +139,14 @@ pub struct Trainer<M> {
     rng: SmallRng,
     occupancy: Option<OccupancyState>,
     points_queried: u64,
+    pool: Arc<ThreadPool>,
 }
 
 impl<M: TrainableField> Trainer<M> {
-    /// Creates a trainer. `seed` drives batch selection and jitter.
+    /// Creates a trainer. `seed` drives batch selection and jitter. The
+    /// batched engine uses the process-wide thread pool (sized by the
+    /// `INERF_THREADS` environment variable, default all cores); see
+    /// [`Trainer::with_threads`].
     pub fn new(model: M, config: TrainConfig, seed: u64) -> Self {
         Trainer {
             model,
@@ -103,7 +154,21 @@ impl<M: TrainableField> Trainer<M> {
             rng: SmallRng::seed_from_u64(seed),
             occupancy: None,
             points_queried: 0,
+            pool: engine::default_pool(),
         }
+    }
+
+    /// Replaces the shared thread pool with a dedicated one of exactly
+    /// `threads` workers. Training results are identical at any thread
+    /// count (fixed chunking, ordered reductions); only wall-clock changes.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.pool = engine::build_pool(threads);
+        self
+    }
+
+    /// Worker threads used by the batched engine.
+    pub fn threads(&self) -> usize {
+        self.pool.current_num_threads()
     }
 
     /// Enables iNGP-style empty-space skipping: a `resolution`^3 occupancy
@@ -180,20 +245,39 @@ impl<M: TrainableField> Trainer<M> {
 
     /// Runs one iteration on explicit rays/targets (used by tests and the
     /// hardware-trace generators).
+    ///
+    /// Both engines consume the same gathered sample batch: Step (b) is
+    /// shared, so the scalar reference and the batched SoA engine see
+    /// byte-identical sample points, and only Steps (c)–(f) differ in
+    /// execution strategy.
     pub fn train_on_rays(&mut self, rays: &[Ray], targets: &[Vec3], bounds: &Aabb) -> f64 {
         self.model.begin_batch();
-        let s = self.config.samples_per_ray;
-        // Step (b): sample points per ray; Step (c): query the model in
-        // streaming order. Ray-first is the natural loop order; the Random
-        // order shuffles queries but backprop bookkeeping stays per-ray.
-        struct RayRecord {
-            samples: Vec<SamplePoint>,
-            dts: Vec<f32>,
-            cache_base: usize,
-            target: Vec3,
+        let gathered = self.gather_batch(rays, targets, bounds);
+        if gathered.spans.is_empty() {
+            return 0.0;
         }
-        let mut records: Vec<RayRecord> = Vec::with_capacity(rays.len());
-        let mut cache_idx = 0usize;
+        self.points_queried += gathered.points.len() as u64;
+        let loss = match self.config.engine {
+            Engine::Scalar => self.step_scalar(&gathered),
+            Engine::Batched => self.step_batched(&gathered),
+        };
+        self.model.apply_gradients();
+        loss
+    }
+
+    /// Step (b): samples every ray's points into one structure-of-arrays
+    /// batch. Consumes the rng identically regardless of engine.
+    fn gather_batch(&mut self, rays: &[Ray], targets: &[Vec3], bounds: &Aabb) -> GatheredBatch {
+        let s = self.config.samples_per_ray;
+        let mut gathered = GatheredBatch {
+            points: Vec::with_capacity(rays.len() * s),
+            dirs: Vec::with_capacity(rays.len() * s),
+            spans: Vec::with_capacity(rays.len()),
+            // Only occupancy-filtered rays carry per-sample step sizes; the
+            // uniform case uses the span's `dt` and skips the allocation.
+            dts: self.occupancy.as_ref().map(|_| Vec::new()),
+            targets: Vec::with_capacity(rays.len()),
+        };
         for (ray, &target) in rays.iter().zip(targets) {
             let Some(hit) = bounds.intersect(ray) else {
                 continue;
@@ -211,43 +295,175 @@ impl<M: TrainableField> Trainer<M> {
             if ts.is_empty() {
                 continue;
             }
-            let mut samples = Vec::with_capacity(ts.len());
+            let start = gathered.points.len();
             for &t in &ts {
-                let p = bounds.normalize(ray.at(t));
-                let (sigma, rgb) = self.model.query(p, ray.direction);
-                samples.push(SamplePoint { sigma, color: rgb });
+                gathered.points.push(bounds.normalize(ray.at(t)));
+                gathered.dirs.push(ray.direction);
             }
-            self.points_queried += samples.len() as u64;
-            let n = samples.len();
-            records.push(RayRecord {
-                samples,
-                dts: vec![dt; n],
-                cache_base: cache_idx,
-                target,
+            if let Some(dts) = &mut gathered.dts {
+                dts.resize(dts.len() + ts.len(), dt);
+            }
+            gathered.spans.push(RaySpan {
+                start,
+                len: ts.len(),
+                dt,
             });
-            cache_idx += n;
+            gathered.targets.push(target);
         }
-        if records.is_empty() {
-            return 0.0;
+        gathered
+    }
+
+    /// Steps (c)–(f), per-point reference implementation: one model
+    /// `query`/`backward` call per sample, one composite per ray.
+    fn step_scalar(&mut self, gathered: &GatheredBatch) -> f64 {
+        let n = gathered.points.len();
+        // Step (c): query the model point by point, in streaming order.
+        let mut samples = Vec::with_capacity(n);
+        for (&p, &d) in gathered.points.iter().zip(&gathered.dirs) {
+            let (sigma, rgb) = self.model.query(p, d);
+            samples.push(SamplePoint { sigma, color: rgb });
         }
         // Step (d): volume rendering.
-        let outputs: Vec<_> = records
+        let outputs: Vec<_> = gathered
+            .spans
             .iter()
-            .map(|r| composite(&r.samples, &r.dts))
+            .map(|span| {
+                let ray_samples = &samples[span.start..span.start + span.len];
+                match &gathered.dts {
+                    Some(dts) => composite(ray_samples, &dts[span.start..span.start + span.len]),
+                    None => composite_uniform(ray_samples, span.dt),
+                }
+            })
             .collect();
         // Step (e): loss.
         let predictions: Vec<Vec3> = outputs.iter().map(|o| o.color).collect();
-        let target_colors: Vec<Vec3> = records.iter().map(|r| r.target).collect();
-        let loss = l2_loss(&predictions, &target_colors);
+        let loss = l2_loss(&predictions, &gathered.targets);
         // Step (f): backward through rendering, MLPs and the hash table.
-        for ((record, out), d_pred) in records.iter().zip(&outputs).zip(&loss.d_predictions) {
-            let grads = composite_backward(&record.samples, &record.dts, out, *d_pred);
-            for i in 0..record.samples.len() {
+        for ((span, out), d_pred) in gathered.spans.iter().zip(&outputs).zip(&loss.d_predictions) {
+            let ray_samples = &samples[span.start..span.start + span.len];
+            let grads = match &gathered.dts {
+                Some(dts) => composite_backward(
+                    ray_samples,
+                    &dts[span.start..span.start + span.len],
+                    out,
+                    *d_pred,
+                ),
+                None => composite_backward_uniform(ray_samples, span.dt, out, *d_pred),
+            };
+            for i in 0..span.len {
                 self.model
-                    .backward(record.cache_base + i, grads.d_sigma[i], grads.d_color[i]);
+                    .backward(span.start + i, grads.d_sigma[i], grads.d_color[i]);
             }
         }
-        self.model.apply_gradients();
+        loss.value
+    }
+
+    /// Steps (c)–(f), batched SoA engine: every stage runs over flat
+    /// buffers, parallelized over fixed-size chunks on the thread pool.
+    /// Chunk boundaries and reduction orders are thread-count-independent,
+    /// so a fixed seed gives a bitwise-identical trajectory at any pool
+    /// size.
+    fn step_batched(&mut self, gathered: &GatheredBatch) -> f64 {
+        let n = gathered.points.len();
+        let pool = Arc::clone(&self.pool);
+        // Step (c): batched model query (encode → MLPs), chunk-parallel
+        // inside the model.
+        let mut sigmas = vec![0.0f32; n];
+        let mut rgbs = vec![Vec3::ZERO; n];
+        self.model.query_batch(
+            &gathered.points,
+            &gathered.dirs,
+            &mut sigmas,
+            &mut rgbs,
+            &pool,
+        );
+        // Step (d): volume rendering, parallel over fixed ray chunks.
+        let span_chunks: Vec<&[RaySpan]> = gathered.spans.chunks(engine::RAY_CHUNK).collect();
+        let chunk_samples: Vec<usize> = span_chunks
+            .iter()
+            .map(|c| c.iter().map(|s| s.len).sum())
+            .collect();
+        let m = gathered.spans.len();
+        let mut ray_colors = vec![Vec3::ZERO; m];
+        let mut backgrounds = vec![0.0f32; m];
+        let mut weights = vec![0.0f32; n];
+        let mut trans_after = vec![0.0f32; n];
+        {
+            let ray_color_chunks =
+                engine::split_rows(&mut ray_colors, span_chunks.iter().map(|c| c.len()));
+            let background_chunks =
+                engine::split_rows(&mut backgrounds, span_chunks.iter().map(|c| c.len()));
+            let weight_chunks = engine::split_rows(&mut weights, chunk_samples.iter().copied());
+            let trans_chunks = engine::split_rows(&mut trans_after, chunk_samples.iter().copied());
+            let sigmas = &sigmas;
+            let rgbs = &rgbs;
+            let dts = gathered.dts.as_deref();
+            pool.scope(|s| {
+                for ((((spans, rc), bg), wc), tc) in span_chunks
+                    .iter()
+                    .zip(ray_color_chunks)
+                    .zip(background_chunks)
+                    .zip(weight_chunks)
+                    .zip(trans_chunks)
+                {
+                    s.spawn(move |_| {
+                        let batch = RayBatch {
+                            sigmas,
+                            colors: rgbs,
+                            spans,
+                            dts,
+                            sample_base: spans[0].start,
+                        };
+                        composite_spans(&batch, rc, bg, wc, tc);
+                    });
+                }
+            });
+        }
+        // Step (e): loss.
+        let loss = l2_loss(&ray_colors, &gathered.targets);
+        // Step (f): backward — composite backward in parallel over the same
+        // chunks, then the model's chunked backward with ordered reduction.
+        let mut d_sigmas = vec![0.0f32; n];
+        let mut d_colors = vec![Vec3::ZERO; n];
+        {
+            let d_sigma_chunks = engine::split_rows(&mut d_sigmas, chunk_samples.iter().copied());
+            let d_color_chunks = engine::split_rows(&mut d_colors, chunk_samples.iter().copied());
+            let sigmas = &sigmas;
+            let rgbs = &rgbs;
+            let weights = &weights;
+            let trans_after = &trans_after;
+            let dts = gathered.dts.as_deref();
+            let d_pred_chunks = loss.d_predictions.chunks(engine::RAY_CHUNK);
+            pool.scope(|s| {
+                for (((spans, dp), ds), dc) in span_chunks
+                    .iter()
+                    .zip(d_pred_chunks)
+                    .zip(d_sigma_chunks)
+                    .zip(d_color_chunks)
+                {
+                    s.spawn(move |_| {
+                        let base = spans[0].start;
+                        let count = ds.len();
+                        let batch = RayBatch {
+                            sigmas,
+                            colors: rgbs,
+                            spans,
+                            dts,
+                            sample_base: base,
+                        };
+                        composite_backward_spans(
+                            &batch,
+                            &weights[base..base + count],
+                            &trans_after[base..base + count],
+                            dp,
+                            ds,
+                            dc,
+                        );
+                    });
+                }
+            });
+        }
+        self.model.backward_batch(&d_sigmas, &d_colors, &pool);
         loss.value
     }
 
@@ -267,28 +483,66 @@ impl<M: TrainableField> Trainer<M> {
 
     /// Renders an image from the trained model (no gradient tracking).
     pub fn render_view(&self, camera: &Camera, bounds: &Aabb) -> Image {
-        render_view(
+        render_view_with_pool(
             &self.model,
             camera,
             bounds,
             self.config.eval_samples_per_ray,
+            &self.pool,
         )
     }
 
     /// Mean PSNR over the dataset's held-out test views.
     pub fn eval_psnr(&self, dataset: &Dataset) -> f64 {
-        eval_psnr(&self.model, dataset, self.config.eval_samples_per_ray)
+        eval_psnr_with_pool(
+            &self.model,
+            dataset,
+            self.config.eval_samples_per_ray,
+            &self.pool,
+        )
     }
 }
 
-/// Renders `camera`'s image from any trained field.
+/// Renders `camera`'s image from any trained field on the default pool.
 pub fn render_view<M: TrainableField>(
     model: &M,
     camera: &Camera,
     bounds: &Aabb,
     samples_per_ray: usize,
 ) -> Image {
+    render_view_with_pool(
+        model,
+        camera,
+        bounds,
+        samples_per_ray,
+        &engine::default_pool(),
+    )
+}
+
+/// Pixels per render block: bounds the SoA buffers of
+/// [`render_view_with_pool`] to block-sized batches (a whole-frame batch
+/// would be `width × height × samples_per_ray` samples — gigabytes for a
+/// production-size view) while keeping each block large enough to fill the
+/// model's point chunks.
+const RENDER_PIXEL_BLOCK: usize = 2048;
+
+/// [`render_view`] on an explicit thread pool: gathers sample points into
+/// SoA batches of [`RENDER_PIXEL_BLOCK`] pixels, queries the model once per
+/// block (chunk-parallel for [`crate::model::IngpModel`]), then composites
+/// the block's rays. Block boundaries are fixed, so results do not depend
+/// on the pool size.
+pub fn render_view_with_pool<M: TrainableField>(
+    model: &M,
+    camera: &Camera,
+    bounds: &Aabb,
+    samples_per_ray: usize,
+    pool: &ThreadPool,
+) -> Image {
     let mut img = Image::new(camera.width, camera.height);
+    let mut points = Vec::new();
+    let mut dirs = Vec::new();
+    let mut spans = Vec::new();
+    let mut pixels = Vec::new();
     for py in 0..camera.height {
         for px in 0..camera.width {
             let ray = camera.ray_for_pixel(px, py);
@@ -300,27 +554,88 @@ pub fn render_view<M: TrainableField>(
             }
             let ts = ray.stratified_ts(hit.t_near.max(1e-4), hit.t_far, samples_per_ray, None);
             let dt = (hit.t_far - hit.t_near.max(1e-4)) / samples_per_ray as f32;
-            let samples: Vec<SamplePoint> = ts
-                .iter()
-                .map(|&t| {
-                    let p = bounds.normalize(ray.at(t));
-                    let (sigma, color) = model.query_eval(p, ray.direction);
-                    SamplePoint { sigma, color }
-                })
-                .collect();
-            let out = composite(&samples, &vec![dt; samples_per_ray]);
-            img.set(px, py, out.color);
+            let start = points.len();
+            for &t in &ts {
+                points.push(bounds.normalize(ray.at(t)));
+                dirs.push(ray.direction);
+            }
+            spans.push(RaySpan {
+                start,
+                len: ts.len(),
+                dt,
+            });
+            pixels.push((px, py));
+            if pixels.len() == RENDER_PIXEL_BLOCK {
+                render_pixel_block(model, pool, &mut img, &points, &dirs, &spans, &pixels);
+                points.clear();
+                dirs.clear();
+                spans.clear();
+                pixels.clear();
+            }
         }
     }
+    render_pixel_block(model, pool, &mut img, &points, &dirs, &spans, &pixels);
     img
 }
 
-/// Mean PSNR of a model over a dataset's held-out test views.
+/// Queries, composites, and writes one block of gathered pixels (span
+/// starts are block-relative).
+fn render_pixel_block<M: TrainableField>(
+    model: &M,
+    pool: &ThreadPool,
+    img: &mut Image,
+    points: &[Vec3],
+    dirs: &[Vec3],
+    spans: &[RaySpan],
+    pixels: &[(u32, u32)],
+) {
+    if spans.is_empty() {
+        return;
+    }
+    let n = points.len();
+    let mut sigmas = vec![0.0f32; n];
+    let mut rgbs = vec![Vec3::ZERO; n];
+    model.query_eval_batch(points, dirs, &mut sigmas, &mut rgbs, pool);
+    let mut ray_colors = vec![Vec3::ZERO; spans.len()];
+    let mut backgrounds = vec![0.0f32; spans.len()];
+    let mut weights = vec![0.0f32; n];
+    let mut trans_after = vec![0.0f32; n];
+    composite_spans(
+        &RayBatch {
+            sigmas: &sigmas,
+            colors: &rgbs,
+            spans,
+            dts: None,
+            sample_base: 0,
+        },
+        &mut ray_colors,
+        &mut backgrounds,
+        &mut weights,
+        &mut trans_after,
+    );
+    for (&(px, py), &color) in pixels.iter().zip(&ray_colors) {
+        img.set(px, py, color);
+    }
+}
+
+/// Mean PSNR of a model over a dataset's held-out test views, on the
+/// default pool.
 pub fn eval_psnr<M: TrainableField>(model: &M, dataset: &Dataset, samples_per_ray: usize) -> f64 {
+    eval_psnr_with_pool(model, dataset, samples_per_ray, &engine::default_pool())
+}
+
+/// [`eval_psnr`] on an explicit thread pool.
+pub fn eval_psnr_with_pool<M: TrainableField>(
+    model: &M,
+    dataset: &Dataset,
+    samples_per_ray: usize,
+    pool: &ThreadPool,
+) -> f64 {
     assert!(!dataset.test_views.is_empty(), "dataset has no test views");
     let mut total_mse = 0.0f64;
     for view in &dataset.test_views {
-        let rendered = render_view(model, &view.camera, &dataset.bounds, samples_per_ray);
+        let rendered =
+            render_view_with_pool(model, &view.camera, &dataset.bounds, samples_per_ray, pool);
         total_mse += inerf_scenes::mse(&rendered, &view.image);
     }
     psnr_from_mse(total_mse / dataset.test_views.len() as f64)

@@ -1,0 +1,132 @@
+//! Per-stage timing harness for the batched engine (ns per point for
+//! encode, each MLP pass, the gradient scatter, and the whole model
+//! query/backward). Not part of the suite — run on demand with:
+//!
+//! ```text
+//! cargo test --release -p inerf_trainer --test stage_timing -- --ignored --nocapture
+//! ```
+
+use inerf_encoding::{HashFunction, HashGrid};
+use inerf_geom::Vec3;
+use inerf_mlp::{Mlp, MlpBatchActivations, MlpGradients};
+use inerf_trainer::{IngpModel, ModelConfig, TrainableField};
+use std::time::Instant;
+
+#[test]
+#[ignore]
+fn stage_timing() {
+    let cfg = ModelConfig::small(HashFunction::Morton);
+    let grid = HashGrid::new(cfg.grid, 7);
+    let n = 8192usize;
+    let points: Vec<Vec3> = (0..n)
+        .map(|i| {
+            let t = i as f32 / n as f32;
+            Vec3::new(t, (t * 7.3).fract(), (t * 3.1).fract())
+        })
+        .collect();
+    let dirs: Vec<Vec3> = (0..n).map(|_| Vec3::new(0.0, 0.0, 1.0)).collect();
+    let fdim = grid.config().feature_dim();
+    let mut feats = vec![0.0f32; n * fdim];
+
+    let reps = 20;
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        grid.encode_batch(&points, &mut feats);
+    }
+    println!(
+        "encode_batch: {:.1} ns/pt",
+        t0.elapsed().as_nanos() as f64 / (reps * n) as f64
+    );
+
+    let density = Mlp::new(
+        &[fdim, cfg.density_hidden, cfg.density_out],
+        inerf_mlp::Activation::Relu,
+        inerf_mlp::Activation::Identity,
+        1,
+    );
+    let mut dacts = MlpBatchActivations::default();
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        density.forward_batch(&feats, &mut dacts);
+    }
+    println!(
+        "density fwd: {:.1} ns/pt",
+        t0.elapsed().as_nanos() as f64 / (reps * n) as f64
+    );
+
+    let cin = cfg.density_out - 1 + 9;
+    let color = Mlp::new(
+        &[cin, cfg.color_hidden, cfg.color_hidden, 3],
+        inerf_mlp::Activation::Relu,
+        inerf_mlp::Activation::Sigmoid,
+        2,
+    );
+    let color_in = vec![0.1f32; n * cin];
+    let mut cacts = MlpBatchActivations::default();
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        color.forward_batch(&color_in, &mut cacts);
+    }
+    println!(
+        "color fwd: {:.1} ns/pt",
+        t0.elapsed().as_nanos() as f64 / (reps * n) as f64
+    );
+
+    let mut grads = MlpGradients::zeros(&color);
+    let d_out = vec![0.3f32; n * 3];
+    let mut d_in = vec![0.0f32; n * cin];
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        color.backward_batch(&color_in, &cacts, &d_out, &mut d_in, &mut grads);
+    }
+    println!(
+        "color bwd: {:.1} ns/pt",
+        t0.elapsed().as_nanos() as f64 / (reps * n) as f64
+    );
+
+    let mut dgrads = MlpGradients::zeros(&density);
+    let d_raw = vec![0.2f32; n * cfg.density_out];
+    let mut d_feats = vec![0.0f32; n * fdim];
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        density.backward_batch(&feats, &dacts, &d_raw, &mut d_feats, &mut dgrads);
+    }
+    println!(
+        "density bwd: {:.1} ns/pt",
+        t0.elapsed().as_nanos() as f64 / (reps * n) as f64
+    );
+
+    let mut g2 = grid.clone();
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        g2.backward_batch(&points, &d_feats);
+    }
+    println!(
+        "grid bwd scatter: {:.1} ns/pt",
+        t0.elapsed().as_nanos() as f64 / (reps * n) as f64
+    );
+
+    // Whole model query_batch for comparison.
+    let mut model = IngpModel::new(cfg, 7);
+    let pool = inerf_trainer::engine::build_pool(1);
+    let mut sigmas = vec![0.0f32; n];
+    let mut rgbs = vec![Vec3::ZERO; n];
+    model.begin_batch();
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        model.query_batch(&points, &dirs, &mut sigmas, &mut rgbs, &pool);
+    }
+    println!(
+        "query_batch total: {:.1} ns/pt",
+        t0.elapsed().as_nanos() as f64 / (reps * n) as f64
+    );
+
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        model.backward_batch(&sigmas, &rgbs, &pool);
+    }
+    println!(
+        "backward_batch total: {:.1} ns/pt",
+        t0.elapsed().as_nanos() as f64 / (reps * n) as f64
+    );
+}

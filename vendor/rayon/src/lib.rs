@@ -1,0 +1,395 @@
+//! Offline stand-in for the `rayon` crate, reduced to the scoped
+//! thread-pool subset this workspace uses.
+//!
+//! Provides [`ThreadPoolBuilder`] → [`ThreadPool`] with persistent worker
+//! threads and [`ThreadPool::scope`] / [`Scope::spawn`] for structured
+//! fork-join parallelism over borrowed data. The API signatures match real
+//! rayon's, so swapping the registry crate back in (see `vendor/README.md`)
+//! requires no source changes at the call sites.
+//!
+//! Not implemented: parallel iterators, `join`, work stealing, the global
+//! registry. Tasks are executed FIFO by whichever worker frees up first;
+//! callers that need determinism must make task *outputs* order-independent
+//! (disjoint output slices, ordered reduction after the scope), exactly as
+//! they would with real rayon.
+//!
+//! # Example
+//!
+//! ```
+//! use rayon::ThreadPoolBuilder;
+//!
+//! let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+//! let mut halves = [0u64, 0u64];
+//! let (lo, hi) = halves.split_at_mut(1);
+//! pool.scope(|s| {
+//!     s.spawn(|_| lo[0] = (0..500u64).sum());
+//!     s.spawn(|_| hi[0] = (500..1000u64).sum());
+//! });
+//! assert_eq!(halves[0] + halves[1], (0..1000u64).sum());
+//! ```
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+
+/// A heap-allocated unit of work with all borrows erased to `'static`.
+///
+/// Safety: jobs are only ever enqueued by [`Scope::spawn`], and
+/// [`ThreadPool::scope`] blocks until every job of the scope has finished,
+/// so the erased borrows never outlive the data they point to.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct Shared {
+    queue: Mutex<VecDeque<Job>>,
+    available: Condvar,
+    shutdown: AtomicBool,
+}
+
+impl Shared {
+    fn push(&self, job: Job) {
+        self.queue.lock().unwrap().push_back(job);
+        self.available.notify_one();
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>) {
+    loop {
+        let job = {
+            let mut queue = shared.queue.lock().unwrap();
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    break Some(job);
+                }
+                if shared.shutdown.load(Ordering::Acquire) {
+                    break None;
+                }
+                queue = shared.available.wait(queue).unwrap();
+            }
+        };
+        match job {
+            Some(job) => job(),
+            None => return,
+        }
+    }
+}
+
+/// Error returned by [`ThreadPoolBuilder::build`]. This stand-in can only
+/// fail if the OS refuses to spawn threads, which panics instead, so the
+/// type exists purely for signature compatibility with real rayon.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("thread pool build failed")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for [`ThreadPool`] (mirrors `rayon::ThreadPoolBuilder`).
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with the default thread count (all cores, or
+    /// `RAYON_NUM_THREADS` when set — same convention as real rayon).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the worker count. Zero keeps the default.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Builds the pool, spawning its workers immediately.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let threads = if self.num_threads > 0 {
+            self.num_threads
+        } else {
+            default_num_threads()
+        };
+        Ok(ThreadPool::with_threads(threads))
+    }
+}
+
+fn default_num_threads() -> usize {
+    std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| thread::available_parallelism().map_or(1, |n| n.get()))
+}
+
+/// A pool of persistent worker threads executing scoped tasks.
+pub struct ThreadPool {
+    shared: Arc<Shared>,
+    workers: Vec<thread::JoinHandle<()>>,
+}
+
+impl fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ThreadPool")
+            .field("num_threads", &self.workers.len())
+            .finish()
+    }
+}
+
+impl ThreadPool {
+    fn with_threads(threads: usize) -> Self {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let workers = (0..threads)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                thread::Builder::new()
+                    .name(format!("rayon-worker-{i}"))
+                    .spawn(move || worker_loop(shared))
+                    .expect("failed to spawn pool worker")
+            })
+            .collect();
+        ThreadPool { shared, workers }
+    }
+
+    /// The number of worker threads in this pool.
+    pub fn current_num_threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Runs `op`, allowing it to spawn tasks that borrow from the enclosing
+    /// stack frame; returns once `op` *and every spawned task* completed.
+    ///
+    /// `op` itself runs on the calling thread; spawned tasks run on the
+    /// pool's workers. Do not call `scope` from inside a spawned task: with
+    /// every worker potentially blocked on the inner scope there is nobody
+    /// left to run its tasks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `op` or any spawned task panicked (after all tasks have
+    /// been waited for).
+    pub fn scope<'scope, OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce(&Scope<'scope>) -> R,
+    {
+        let scope = Scope {
+            state: Arc::new(ScopeState {
+                pending: Mutex::new(0),
+                done: Condvar::new(),
+                panicked: AtomicBool::new(false),
+            }),
+            shared: Arc::clone(&self.shared),
+            _marker: PhantomData,
+        };
+        // Run the body, but wait for spawned tasks even if it panics: the
+        // tasks borrow stack data that must stay alive until they finish.
+        let result = catch_unwind(AssertUnwindSafe(|| op(&scope)));
+        scope.state.wait_all();
+        match result {
+            Ok(value) => {
+                if scope.state.panicked.load(Ordering::Acquire) {
+                    panic!("a task spawned in a thread-pool scope panicked");
+                }
+                value
+            }
+            Err(payload) => resume_unwind(payload),
+        }
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.available.notify_all();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+struct ScopeState {
+    pending: Mutex<usize>,
+    done: Condvar,
+    panicked: AtomicBool,
+}
+
+impl ScopeState {
+    fn add_one(&self) {
+        *self.pending.lock().unwrap() += 1;
+    }
+
+    fn finish_one(&self) {
+        let mut pending = self.pending.lock().unwrap();
+        *pending -= 1;
+        if *pending == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    fn wait_all(&self) {
+        let mut pending = self.pending.lock().unwrap();
+        while *pending > 0 {
+            pending = self.done.wait(pending).unwrap();
+        }
+    }
+}
+
+/// Handle for spawning tasks that may borrow data outliving the scope body
+/// (mirrors `rayon::Scope`).
+pub struct Scope<'scope> {
+    state: Arc<ScopeState>,
+    shared: Arc<Shared>,
+    /// Invariant over `'scope`, like real rayon's `Scope`.
+    _marker: PhantomData<fn(&'scope ()) -> &'scope ()>,
+}
+
+impl<'scope> Scope<'scope> {
+    /// Enqueues `f` on the pool. The closure may borrow anything that lives
+    /// at least as long as the scope body.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'scope>) + Send + 'scope,
+    {
+        self.state.add_one();
+        let state = Arc::clone(&self.state);
+        let shared = Arc::clone(&self.shared);
+        let job: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
+            let scope = Scope {
+                state: Arc::clone(&state),
+                shared,
+                _marker: PhantomData,
+            };
+            if catch_unwind(AssertUnwindSafe(|| f(&scope))).is_err() {
+                state.panicked.store(true, Ordering::Release);
+            }
+            state.finish_one();
+        });
+        // SAFETY: `ThreadPool::scope` blocks until `pending` drops to zero
+        // before returning, so this job — and every `'scope` borrow inside
+        // it — is guaranteed to finish executing while the borrowed stack
+        // frame is still alive. Erasing the lifetime is therefore sound.
+        let job: Job = unsafe {
+            std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Box<dyn FnOnce() + Send>>(job)
+        };
+        self.shared.push(job);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    fn pool(n: usize) -> ThreadPool {
+        ThreadPoolBuilder::new().num_threads(n).build().unwrap()
+    }
+
+    #[test]
+    fn builder_reports_thread_count() {
+        assert_eq!(pool(3).current_num_threads(), 3);
+    }
+
+    #[test]
+    fn scope_returns_body_value() {
+        let p = pool(2);
+        let x = p.scope(|_| 42);
+        assert_eq!(x, 42);
+    }
+
+    #[test]
+    fn tasks_write_disjoint_borrowed_slices() {
+        let p = pool(4);
+        let mut data = vec![0usize; 64];
+        p.scope(|s| {
+            for (i, chunk) in data.chunks_mut(8).enumerate() {
+                s.spawn(move |_| {
+                    for (j, v) in chunk.iter_mut().enumerate() {
+                        *v = i * 8 + j;
+                    }
+                });
+            }
+        });
+        assert_eq!(data, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn all_tasks_complete_before_scope_returns() {
+        let p = pool(2);
+        let counter = AtomicUsize::new(0);
+        p.scope(|s| {
+            for _ in 0..100 {
+                s.spawn(|_| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn pool_survives_many_scopes() {
+        let p = pool(2);
+        let mut total = 0u64;
+        for round in 0..50u64 {
+            let mut parts = [0u64; 4];
+            p.scope(|s| {
+                for (i, part) in parts.iter_mut().enumerate() {
+                    s.spawn(move |_| *part = round + i as u64);
+                }
+            });
+            total += parts.iter().sum::<u64>();
+        }
+        assert_eq!(total, (0..50u64).map(|r| 4 * r + 6).sum::<u64>());
+    }
+
+    #[test]
+    fn single_thread_pool_runs_everything() {
+        let p = pool(1);
+        let counter = AtomicUsize::new(0);
+        p.scope(|s| {
+            for _ in 0..10 {
+                s.spawn(|_| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn task_panic_propagates_after_all_tasks_finish() {
+        let p = pool(2);
+        let finished = Arc::new(AtomicUsize::new(0));
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            p.scope(|s| {
+                let f = Arc::clone(&finished);
+                s.spawn(move |_| {
+                    f.fetch_add(1, Ordering::Relaxed);
+                });
+                s.spawn(|_| panic!("boom"));
+            });
+        }));
+        assert!(result.is_err(), "scope must re-panic");
+        assert_eq!(finished.load(Ordering::Relaxed), 1);
+        // The pool stays usable after a panicked scope.
+        let ok = p.scope(|_| true);
+        assert!(ok);
+    }
+
+    #[test]
+    fn drop_joins_workers() {
+        let p = pool(4);
+        drop(p); // must not hang
+    }
+}
