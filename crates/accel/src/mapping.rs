@@ -11,10 +11,12 @@
 //!   converts the >50% of conflicts caused by sequential-address requests
 //!   into subarray-parallel accesses.
 
-use inerf_dram::{AccessKind, DramConfig, PhysAddr, Request};
+use inerf_dram::{AccessKind, DramConfig, DramSim, PhysAddr, Request};
 use inerf_encoding::requests::{row_of_entry, ENTRIES_PER_ROW};
-use inerf_encoding::LookupTrace;
+use inerf_encoding::trace::CubeLookup;
+use inerf_encoding::{LookupTrace, TraceSink};
 use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
 
 /// Inter-level bank-assignment policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -147,74 +149,200 @@ impl HashTableMapping {
 
     /// Generates the DRAM request stream of the HT step for a lookup trace.
     ///
-    /// Mirrors the accelerator datapath: per level, a two-row `r0` register
-    /// pair retains the most recently streamed rows (a cube straddles at
-    /// most two rows under the Morton layout), so a request is emitted only
-    /// when a cube needs a row not already held; the per-level register
-    /// cache additionally skips cubes identical to the previous point's.
-    ///
-    /// `write_back` models HT_b: embedding gradients accumulate in the
-    /// scratchpad during the read sweep and drain as one batched write pass
-    /// over the touched rows afterwards (deduplicated), avoiding per-access
-    /// read/write turnarounds.
+    /// The materialized-trace wrapper over [`RequestStream`]: streams the
+    /// trace's cubes through the same online state machine, so the two
+    /// paths are bit-identical by construction. See [`RequestStream`] for
+    /// the datapath semantics.
     pub fn requests_for_trace(
         &self,
         trace: &LookupTrace,
         dram: &DramConfig,
         write_back: bool,
     ) -> Vec<Request> {
-        let levels = self.assignment.len();
-        let mut last_cube: Vec<Option<u64>> = vec![None; levels];
-        // Two-entry LRU of (subarray, row) per level.
-        let mut r0: Vec<[Option<(u32, u32)>; 2]> = vec![[None; 2]; levels];
         let mut out = Vec::new();
-        let mut touched: Vec<PhysAddr> = Vec::new();
-        let mut touched_keys: std::collections::HashSet<(u32, u32, u32)> =
-            std::collections::HashSet::new();
+        let mut stream = RequestStream::new(self, dram, write_back);
         for cube in trace.cubes() {
-            let li = cube.level as usize;
-            if li >= levels {
+            stream.push_cube(cube, |r| out.push(r));
+        }
+        stream.end_batch(|r| out.push(r));
+        out
+    }
+}
+
+/// Online DRAM-request generation from the streaming trace bus.
+///
+/// Mirrors the accelerator datapath: per level, a two-row `r0` register
+/// pair retains the most recently streamed rows (a cube straddles at most
+/// two rows under the Morton layout), so a request is emitted only when a
+/// cube needs a row not already held; the per-level register cache
+/// additionally skips cubes identical to the previous point's.
+///
+/// With `write_back` (the HT_b model), embedding gradients accumulate in
+/// the scratchpad during the read sweep and drain as one batched write
+/// pass over the touched rows at [`RequestStream::end_batch`]
+/// (deduplicated), avoiding per-access read/write turnarounds. `end_batch`
+/// also resets the per-batch register state, so one stream serves a whole
+/// training run iteration by iteration.
+#[derive(Debug, Clone)]
+pub struct RequestStream {
+    mapping: HashTableMapping,
+    dram: DramConfig,
+    write_back: bool,
+    /// Per-level register-cache state: the previous point's cube id.
+    last_cube: Vec<Option<u64>>,
+    /// Two-entry LRU of (subarray, row) per level — the r0 register pair.
+    r0: Vec<[Option<(u32, u32)>; 2]>,
+    /// Rows touched by the read sweep (write-back drain, insertion order).
+    touched: Vec<PhysAddr>,
+    touched_keys: HashSet<(u32, u32, u32)>,
+}
+
+impl RequestStream {
+    /// Creates an idle stream for one batch sequence.
+    pub fn new(mapping: &HashTableMapping, dram: &DramConfig, write_back: bool) -> Self {
+        let levels = mapping.assignment.len();
+        RequestStream {
+            mapping: mapping.clone(),
+            dram: *dram,
+            write_back,
+            last_cube: vec![None; levels],
+            r0: vec![[None; 2]; levels],
+            touched: Vec::new(),
+            touched_keys: HashSet::new(),
+        }
+    }
+
+    /// Processes one cube, emitting the DRAM read requests it causes.
+    pub fn push_cube(&mut self, cube: &CubeLookup, mut emit: impl FnMut(Request)) {
+        let li = cube.level as usize;
+        if li >= self.last_cube.len() {
+            return;
+        }
+        if self.last_cube[li] == Some(cube.cube_id) {
+            return; // register-cache hit: embeddings already loaded
+        }
+        self.last_cube[li] = Some(cube.cube_id);
+        // Distinct rows of the cube, filtered through the r0 pair.
+        let mut seen = [u32::MAX; 8];
+        let mut n = 0usize;
+        for &e in &cube.entries {
+            let r = row_of_entry(e);
+            if seen[..n].contains(&r) {
                 continue;
             }
-            if last_cube[li] == Some(cube.cube_id) {
-                continue; // register-cache hit: embeddings already loaded
+            seen[n] = r;
+            n += 1;
+            let addr = self.mapping.map_entry(cube.level, e, &self.dram);
+            let key = (addr.subarray, addr.row);
+            if self.r0[li].contains(&Some(key)) {
+                continue; // already resident in a row register
             }
-            last_cube[li] = Some(cube.cube_id);
-            // Distinct rows of the cube, filtered through the r0 pair.
-            let mut seen = [u32::MAX; 8];
-            let mut n = 0usize;
-            for &e in &cube.entries {
-                let r = row_of_entry(e);
-                if seen[..n].contains(&r) {
-                    continue;
-                }
-                seen[n] = r;
-                n += 1;
-                let addr = self.map_entry(cube.level, e, dram);
-                let key = (addr.subarray, addr.row);
-                if r0[li].contains(&Some(key)) {
-                    continue; // already resident in a row register
-                }
-                r0[li][1] = r0[li][0];
-                r0[li][0] = Some(key);
-                out.push(Request::new(addr, AccessKind::Read));
-                if write_back && touched_keys.insert((addr.bank, addr.subarray, addr.row)) {
-                    touched.push(addr);
-                }
+            self.r0[li][1] = self.r0[li][0];
+            self.r0[li][0] = Some(key);
+            emit(Request::new(addr, AccessKind::Read));
+            if self.write_back
+                && self
+                    .touched_keys
+                    .insert((addr.bank, addr.subarray, addr.row))
+            {
+                self.touched.push(addr);
             }
         }
-        if write_back {
-            // Batched gradient drain: one write per touched row, streamed
-            // row-major so consecutive writes round-robin the subarrays and
-            // the drain itself is conflict-light.
-            touched.sort_unstable_by_key(|a| (a.bank, a.row, a.subarray));
-            out.extend(
-                touched
-                    .into_iter()
-                    .map(|a| Request::new(a, AccessKind::Write)),
-            );
+    }
+
+    /// Ends the current batch: emits the batched HT_b gradient drain (one
+    /// write per touched row, streamed row-major so consecutive writes
+    /// round-robin the subarrays and the drain itself is conflict-light)
+    /// and resets the per-batch register state for the next iteration.
+    pub fn end_batch(&mut self, emit: impl FnMut(Request)) {
+        if self.write_back {
+            // Batched gradient drain, deduplicated per touched row.
+            self.touched
+                .sort_unstable_by_key(|a| (a.bank, a.row, a.subarray));
+            self.touched
+                .drain(..)
+                .map(|a| Request::new(a, AccessKind::Write))
+                .for_each(emit);
+            self.touched_keys.clear();
         }
-        out
+        self.last_cube.fill(None);
+        for r in &mut self.r0 {
+            *r = [None; 2];
+        }
+    }
+
+    /// Approximate heap bytes of the stream's mutable state (constant in
+    /// the number of streamed points; the write-back set grows with the
+    /// touched *rows*, which the table size bounds).
+    pub fn state_bytes(&self) -> usize {
+        self.mapping.assignment.capacity() * std::mem::size_of::<u32>()
+            + self.last_cube.capacity() * std::mem::size_of::<Option<u64>>()
+            + self.r0.capacity() * std::mem::size_of::<[Option<(u32, u32)>; 2]>()
+            + self.touched.capacity() * std::mem::size_of::<PhysAddr>()
+            + self.touched_keys.capacity() * std::mem::size_of::<(u32, u32, u32)>()
+    }
+}
+
+/// A destination for streamed DRAM requests.
+pub trait RequestConsumer {
+    /// Accepts one emitted request.
+    fn accept(&mut self, req: Request);
+}
+
+impl RequestConsumer for Vec<Request> {
+    fn accept(&mut self, req: Request) {
+        self.push(req);
+    }
+}
+
+/// Feeding the cycle-level simulator online — the co-simulation path.
+impl RequestConsumer for DramSim {
+    fn accept(&mut self, req: Request) {
+        self.push_request(&req);
+    }
+}
+
+/// [`TraceSink`] adapter pairing a [`RequestStream`] with a
+/// [`RequestConsumer`]: cube events in, mapped DRAM requests out, with the
+/// write-back drain flushed on `end_batch`.
+#[derive(Debug, Clone)]
+pub struct RequestSink<C> {
+    stream: RequestStream,
+    consumer: C,
+}
+
+impl<C: RequestConsumer> RequestSink<C> {
+    /// Builds the adapter.
+    pub fn new(stream: RequestStream, consumer: C) -> Self {
+        RequestSink { stream, consumer }
+    }
+
+    /// The wrapped consumer.
+    pub fn consumer(&self) -> &C {
+        &self.consumer
+    }
+
+    /// Mutable access to the wrapped consumer (e.g. to drain simulator
+    /// statistics between iterations).
+    pub fn consumer_mut(&mut self) -> &mut C {
+        &mut self.consumer
+    }
+
+    /// Approximate heap bytes of the request-generation state.
+    pub fn state_bytes(&self) -> usize {
+        self.stream.state_bytes()
+    }
+}
+
+impl<C: RequestConsumer> TraceSink for RequestSink<C> {
+    fn push_cube(&mut self, cube: &CubeLookup) {
+        let consumer = &mut self.consumer;
+        self.stream.push_cube(cube, |r| consumer.accept(r));
+    }
+
+    fn end_batch(&mut self) {
+        let consumer = &mut self.consumer;
+        self.stream.end_batch(|r| consumer.accept(r));
     }
 }
 
@@ -358,6 +486,37 @@ mod tests {
         assert!(rw[first_write..]
             .iter()
             .all(|r| r.kind == AccessKind::Write));
+    }
+
+    #[test]
+    fn streamed_requests_match_materialized_replay_bitwise() {
+        // The sink path must produce the exact request sequence of
+        // requests_for_trace, batch by batch, including the write drain.
+        let grid = HashGrid::new(HashGridConfig::paper(HashFunction::Morton), 9);
+        let m = HashTableMapping::paper(MappingScheme::Clustered, 8);
+        let dram = DramConfig::paper(8);
+        for write_back in [false, true] {
+            let trace = ray_trace(&grid, 3, 48);
+            let reference = m.requests_for_trace(&trace, &dram, write_back);
+            let mut sink = RequestSink::new(
+                RequestStream::new(&m, &dram, write_back),
+                Vec::<Request>::new(),
+            );
+            use inerf_encoding::TraceSink;
+            for cube in trace.cubes() {
+                sink.push_cube(cube);
+            }
+            sink.end_batch();
+            assert_eq!(&reference, sink.consumer(), "write_back={write_back}");
+            // A second identical batch through the same stream must repeat
+            // the sequence exactly (end_batch reset the register state).
+            for cube in trace.cubes() {
+                sink.push_cube(cube);
+            }
+            sink.end_batch();
+            assert_eq!(sink.consumer().len(), 2 * reference.len());
+            assert_eq!(&sink.consumer()[reference.len()..], &reference[..]);
+        }
     }
 
     #[test]

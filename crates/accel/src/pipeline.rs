@@ -11,11 +11,12 @@
 //! also reported for the no-pipelining ablation.
 
 use crate::config::AccelConfig;
-use crate::mapping::HashTableMapping;
+use crate::mapping::{HashTableMapping, RequestSink, RequestStream};
 use crate::microarch::{bank_compute_cycles, cycles_to_seconds};
 use crate::parallel::{bus_bytes, ParallelismPlan};
-use inerf_dram::DramSim;
-use inerf_encoding::LookupTrace;
+use inerf_dram::{DramSim, SimStats};
+use inerf_encoding::trace::CubeLookup;
+use inerf_encoding::{LookupTrace, TraceSink};
 use inerf_trainer::workload::{mlp_combined_sizes, Step};
 use inerf_trainer::ModelConfig;
 use serde::{Deserialize, Serialize};
@@ -116,11 +117,49 @@ impl PipelineModel {
         &self.accel
     }
 
+    /// Builds the streaming sink that feeds one iteration's cube events
+    /// into the two incremental DRAM replays the estimate needs (HT read
+    /// sweep and HT_b read + write-back). Stream a batch through it, then
+    /// call [`PipelineModel::estimate_streamed`] — constant memory in the
+    /// number of points, reusable across iterations.
+    pub fn iteration_sink(&self) -> IterationSink {
+        let dram_cfg = self.accel.nmp_dram(self.subarrays);
+        IterationSink {
+            ht: RequestSink::new(
+                RequestStream::new(&self.mapping, &dram_cfg, false),
+                DramSim::new(dram_cfg),
+            ),
+            htb: RequestSink::new(
+                RequestStream::new(&self.mapping, &dram_cfg, true),
+                DramSim::new(dram_cfg),
+            ),
+            points: 0,
+        }
+    }
+
+    /// Drains `sink`'s accumulated iteration (write-back flush + simulator
+    /// statistics) and produces the estimate, leaving the sink ready for
+    /// the next iteration. The streamed point count is used as the trace
+    /// sample size (an empty stream behaves like a one-point empty trace:
+    /// all-zero DRAM occupancy).
+    pub fn estimate_streamed(
+        &self,
+        sink: &mut IterationSink,
+        batch_points: u64,
+    ) -> IterationEstimate {
+        let (ht_stats, htb_stats, points) = sink.drain();
+        self.estimate_iteration_from_stats(&ht_stats, &htb_stats, points.max(1), batch_points)
+    }
+
     /// Estimates one training iteration from a sampled lookup trace.
     ///
     /// `trace` covers `trace_points` sample points; results are scaled to
     /// the full `batch_points` batch (DRAM makespans scale linearly in the
     /// request count at fixed locality, which the trace preserves).
+    ///
+    /// This is the materialized wrapper over the streaming path: the trace
+    /// is replayed through [`PipelineModel::iteration_sink`], so buffered
+    /// and online estimates are bit-identical.
     ///
     /// # Panics
     ///
@@ -132,14 +171,34 @@ impl PipelineModel {
         batch_points: u64,
     ) -> IterationEstimate {
         assert!(trace_points > 0, "need a non-empty trace sample");
+        let mut sink = self.iteration_sink();
+        for cube in trace.cubes() {
+            sink.push_cube(cube);
+        }
+        let (ht_stats, htb_stats, _) = sink.drain();
+        self.estimate_iteration_from_stats(&ht_stats, &htb_stats, trace_points, batch_points)
+    }
+
+    /// Assembles the iteration estimate from already-simulated HT/HT_b
+    /// DRAM statistics covering `trace_points` sample points — the core
+    /// both the buffered and the online co-simulation paths share.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trace_points` is zero.
+    pub fn estimate_iteration_from_stats(
+        &self,
+        ht_stats: &SimStats,
+        htb_stats: &SimStats,
+        trace_points: u64,
+        batch_points: u64,
+    ) -> IterationEstimate {
+        assert!(trace_points > 0, "need a non-empty trace sample");
         let scale = batch_points as f64 / trace_points as f64;
         let dram_cfg = self.accel.nmp_dram(self.subarrays);
         let banks_used = self.mapping.banks_used().max(1) as u64;
 
-        // --- HT forward: replay the mapped request stream. ---
-        let ht_reqs = self.mapping.requests_for_trace(trace, &dram_cfg, false);
-        let mut sim = DramSim::new(dram_cfg);
-        let ht_stats = sim.run(&ht_reqs);
+        // --- HT forward: the mapped request stream's replay. ---
         let ht_dram = ht_stats.seconds(dram_cfg.cycle_seconds()) * scale;
         let ht_compute = cycles_to_seconds(
             &self.accel,
@@ -147,9 +206,6 @@ impl PipelineModel {
         );
 
         // --- HT backward: read-modify-write stream. ---
-        let htb_reqs = self.mapping.requests_for_trace(trace, &dram_cfg, true);
-        sim.reset();
-        let htb_stats = sim.run(&htb_reqs);
         let htb_dram = htb_stats.seconds(dram_cfg.cycle_seconds()) * scale;
         let htb_compute = cycles_to_seconds(
             &self.accel,
@@ -225,6 +281,71 @@ impl PipelineModel {
             training_seconds: seconds,
             training_joules: accel_joules + dram_joules,
         }
+    }
+}
+
+/// The trace-bus sink behind [`PipelineModel::estimate_streamed`]: fans
+/// each cube event into the HT read replay and the HT_b read+write-back
+/// replay, each driving its own incremental [`DramSim`], and counts the
+/// streamed points. Memory is constant in the number of points.
+///
+/// `end_batch` flushes the HT_b write-back drain and resets the per-batch
+/// register state (per the bus protocol), but the simulator statistics
+/// keep accumulating until [`PipelineModel::estimate_streamed`] drains
+/// them — so a multi-batch stream yields one aggregate estimate. For
+/// *per-iteration* estimates over a training run, use
+/// [`crate::cosim::CosimSink`], which drains at every batch boundary.
+#[derive(Debug, Clone)]
+pub struct IterationSink {
+    ht: RequestSink<DramSim>,
+    htb: RequestSink<DramSim>,
+    points: u64,
+}
+
+impl IterationSink {
+    /// Points streamed since the last drain.
+    pub fn points(&self) -> u64 {
+        self.points
+    }
+
+    /// Approximate heap bytes of the full co-simulation state (request
+    /// generation + both simulators).
+    pub fn state_bytes(&self) -> usize {
+        self.ht.state_bytes()
+            + self.htb.state_bytes()
+            + self.ht.consumer().state_bytes()
+            + self.htb.consumer().state_bytes()
+    }
+
+    /// Flushes the write-back drain and returns `(ht, htb, points)` since
+    /// the last drain, resetting the sink for the next iteration.
+    pub(crate) fn drain(&mut self) -> (SimStats, SimStats, u64) {
+        TraceSink::end_batch(&mut self.ht);
+        TraceSink::end_batch(&mut self.htb);
+        let ht = self.ht.consumer_mut().drain_stats();
+        let htb = self.htb.consumer_mut().drain_stats();
+        let points = self.points;
+        self.points = 0;
+        (ht, htb, points)
+    }
+}
+
+impl TraceSink for IterationSink {
+    fn push_cube(&mut self, cube: &CubeLookup) {
+        self.ht.push_cube(cube);
+        self.htb.push_cube(cube);
+    }
+
+    fn end_point(&mut self) {
+        self.points += 1;
+    }
+
+    fn end_batch(&mut self) {
+        // Flush the write-back drain and reset the register state at the
+        // batch boundary; idempotent, so the drain in estimate_streamed
+        // may follow immediately.
+        self.ht.end_batch();
+        self.htb.end_batch();
     }
 }
 

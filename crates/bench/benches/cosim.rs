@@ -1,0 +1,82 @@
+//! Online co-simulation benchmark: trains the Tab. II "small" workload
+//! with the NMP memory system simulated per iteration through the
+//! streaming trace bus, against the buffered-trace reference. Writes
+//! `BENCH_cosim.json` at the repo root recording, for both engines and
+//! both paths, training throughput and the peak trace-memory footprint —
+//! the constant-memory claim, measured run over run. CI runs it in quick
+//! mode (`INERF_BENCH_QUICK=1`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use inerf_trainer::Engine;
+use instant_nerf::experiments::cosim;
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct CosimReport {
+    workload: String,
+    iterations: usize,
+    points_per_iteration: usize,
+    batched: cosim::CosimResult,
+    scalar: cosim::CosimResult,
+}
+
+fn quick_mode() -> bool {
+    std::env::var("INERF_BENCH_QUICK").is_ok_and(|v| v != "0")
+}
+
+fn bench(c: &mut Criterion) {
+    let iters = if quick_mode() { 4 } else { 16 };
+    let batched = cosim::run(Engine::Batched, iters, 7);
+    let scalar = cosim::run(Engine::Scalar, iters, 7);
+    for r in [&batched, &scalar] {
+        assert!(
+            r.stats_match,
+            "{} engine: streamed stats diverged from the buffered reference",
+            r.engine
+        );
+        println!(
+            "cosim ({} engine, {iters} iterations): streamed {:.0} pts/s @ {} peak bytes | buffered {:.0} pts/s @ {} peak bytes | sim {:.3} ms | stats identical",
+            r.engine,
+            r.streamed.points_per_sec,
+            r.streamed.peak_trace_bytes,
+            r.buffered.points_per_sec,
+            r.buffered.peak_trace_bytes,
+            r.streamed.sim_pipelined_seconds * 1e3,
+        );
+    }
+    let report = CosimReport {
+        workload: "tab2-small".to_string(),
+        iterations: iters,
+        points_per_iteration: batched.points_per_iteration,
+        batched,
+        scalar,
+    };
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_cosim.json");
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(path, json + "\n").expect("write BENCH_cosim.json");
+    println!("wrote {path}");
+
+    // A tracked criterion kernel: one co-simulated training step.
+    use inerf_encoding::HashFunction;
+    use inerf_scenes::{zoo, DatasetConfig};
+    use inerf_trainer::{IngpModel, ModelConfig, TrainConfig, Trainer};
+    let scene = zoo::scene(zoo::SceneKind::Lego);
+    let dataset = DatasetConfig::tiny().generate(&scene);
+    let model_cfg = ModelConfig::small(HashFunction::Morton);
+    let mut trainer = Trainer::new(IngpModel::new(model_cfg, 7), TrainConfig::small(), 3);
+    let mut sink = inerf_accel::CosimSink::new(
+        inerf_accel::PipelineModel::paper(model_cfg),
+        TrainConfig::small().points_per_iteration() as u64,
+    );
+    trainer.train_with_sink(&dataset, 1, &mut sink);
+    c.bench_function("cosim/train_step_online", |b| {
+        b.iter(|| trainer.train_step_with_sink(&dataset, Some(&mut sink)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,7 +1,7 @@
 //! Fig. 11: per-scene speedup and energy efficiency of the Instant-NeRF
 //! accelerator over the TX2 and XNX edge GPUs.
 
-use super::traces::{gpu_scene_factor, scene_trace};
+use super::traces::{gpu_scene_factor, scene_trace_into};
 use crate::report;
 use inerf_accel::PipelineModel;
 use inerf_encoding::{HashFunction, HashGrid};
@@ -33,6 +33,8 @@ pub struct Fig11Row {
 
 /// Runs Fig. 11 over the given scenes, collecting at least `target_points`
 /// occupied points per scene trace (`samples` stratified samples per ray).
+/// Each scene's access stream feeds the accelerator's DRAM replays online
+/// through the trace bus — no per-scene trace is materialized.
 pub fn run(scenes: &[SceneKind], target_points: usize, samples: usize, seed: u64) -> Vec<Fig11Row> {
     let iterations = super::fig1::PAPER_ITERATIONS;
     let batch = super::fig1::PAPER_BATCH;
@@ -40,12 +42,13 @@ pub fn run(scenes: &[SceneKind], target_points: usize, samples: usize, seed: u64
     let gpu_model = ModelConfig::paper(HashFunction::Original); // iNGP on GPU
     let grid = HashGrid::new(ours_model.grid, seed);
     let pipeline = PipelineModel::paper(ours_model);
+    let mut sink = pipeline.iteration_sink();
     scenes
         .iter()
         .map(|&kind| {
             let scene = zoo::scene(kind);
-            let st = scene_trace(&scene, &grid, target_points, samples, seed);
-            let iter = pipeline.estimate_iteration(&st.trace, st.points.max(1), batch);
+            let st = scene_trace_into(&scene, &grid, target_points, samples, seed, &mut sink);
+            let iter = pipeline.estimate_streamed(&mut sink, batch);
             let accel = pipeline.scene_estimate(&iter, iterations);
             let factor = gpu_scene_factor(&st);
             let xnx =

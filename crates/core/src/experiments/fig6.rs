@@ -2,9 +2,9 @@
 //! plus the Sec. III-A requests-per-cube statistic (1.58 vs 4.02).
 
 use crate::report;
-use inerf_encoding::locality::{index_distance_histogram, DISTANCE_BUCKET_LABELS};
-use inerf_encoding::requests::mean_requests_per_cube;
-use inerf_encoding::{HashFunction, HashGrid, HashGridConfig, LookupTrace};
+use inerf_encoding::locality::{LocalitySink, DISTANCE_BUCKET_LABELS};
+use inerf_encoding::requests::MeanRequestSink;
+use inerf_encoding::{HashFunction, HashGrid, HashGridConfig};
 use inerf_geom::Vec3;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -21,27 +21,24 @@ pub struct Fig6Row {
     pub requests_per_cube: f64,
 }
 
-fn batch_trace(grid: &HashGrid, points: usize, seed: u64) -> LookupTrace {
-    let mut rng = SmallRng::seed_from_u64(seed);
-    let mut trace = LookupTrace::new();
-    for _ in 0..points {
-        let p = Vec3::new(rng.gen(), rng.gen(), rng.gen());
-        trace.push_point(&grid.cube_lookups(p));
-    }
-    trace
-}
-
-/// Runs the Fig. 6 experiment with `points` random batch points.
+/// Runs the Fig. 6 experiment with `points` random batch points, streaming
+/// each point's cube lookups straight into the two statistics sinks — no
+/// materialized trace.
 pub fn run(points: usize, seed: u64) -> Vec<Fig6Row> {
     [HashFunction::Morton, HashFunction::Original]
         .into_iter()
         .map(|hash| {
             let grid = HashGrid::new(HashGridConfig::paper(hash), seed);
-            let trace = batch_trace(&grid, points, seed ^ 0x5EED);
+            let mut rng = SmallRng::seed_from_u64(seed ^ 0x5EED);
+            let mut sinks = (LocalitySink::new(0), MeanRequestSink::new());
+            for _ in 0..points {
+                let p = Vec3::new(rng.gen(), rng.gen(), rng.gen());
+                grid.stream_point(p, &mut sinks);
+            }
             Fig6Row {
                 label: hash.label().to_string(),
-                histogram: index_distance_histogram(&trace),
-                requests_per_cube: mean_requests_per_cube(&trace),
+                histogram: sinks.0.histogram(),
+                requests_per_cube: sinks.1.mean(),
             }
         })
         .collect()

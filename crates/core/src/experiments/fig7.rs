@@ -2,11 +2,11 @@
 //! improvement per level (b).
 
 use crate::report;
-use inerf_encoding::locality::points_sharing_cube_per_level;
-use inerf_encoding::requests::{effective_bandwidth_improvement, replay_with_register_cache};
+use inerf_encoding::locality::LocalitySink;
+use inerf_encoding::requests::{effective_bandwidth_improvement, RegisterCacheSink};
 use inerf_encoding::{HashFunction, HashGrid, HashGridConfig};
 use inerf_geom::{Aabb, Ray, Vec3};
-use inerf_trainer::streaming::{build_point_batch, trace_batch, StreamingOrder};
+use inerf_trainer::streaming::{build_point_batch, stream_batch, StreamingOrder};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -39,7 +39,9 @@ fn orbit_rays(n: usize, seed: u64) -> Vec<Ray> {
         .collect()
 }
 
-/// Runs the Fig. 7 experiment with `rays` rays × `samples` points.
+/// Runs the Fig. 7 experiment with `rays` rays × `samples` points: both
+/// point batches stream straight into the locality / register-cache sinks
+/// (one fan-out pass per configuration, no materialized traces).
 pub fn run(rays: usize, samples: usize, seed: u64) -> Fig7 {
     let bounds = Aabb::new(Vec3::splat(-1.0), Vec3::splat(1.0));
     let ray_set = orbit_rays(rays, seed);
@@ -49,15 +51,17 @@ pub fn run(rays: usize, samples: usize, seed: u64) -> Fig7 {
 
     let ours_batch = build_point_batch(&ray_set, &bounds, samples, StreamingOrder::RayFirst, seed);
     let base_batch = build_point_batch(&ray_set, &bounds, samples, StreamingOrder::Random, seed);
-    let ours_trace = trace_batch(&morton, &ours_batch);
-    let base_trace = trace_batch(&original, &base_batch);
+    let mut ours_sinks = (LocalitySink::new(levels), RegisterCacheSink::new(levels));
+    stream_batch(&morton, &ours_batch, &mut ours_sinks);
+    let mut base_sink = RegisterCacheSink::new(levels);
+    stream_batch(&original, &base_batch, &mut base_sink);
 
-    let sharing = points_sharing_cube_per_level(&ours_trace, levels);
-    let ours_stats = replay_with_register_cache(&ours_trace, levels);
-    let base_stats = replay_with_register_cache(&base_trace, levels);
     Fig7 {
-        sharing_per_level: sharing,
-        bandwidth_improvement: effective_bandwidth_improvement(&base_stats, &ours_stats),
+        sharing_per_level: ours_sinks.0.sharing_per_level(),
+        bandwidth_improvement: effective_bandwidth_improvement(
+            &base_sink.stats(),
+            &ours_sinks.1.stats(),
+        ),
     }
 }
 

@@ -1,10 +1,12 @@
 //! Fig. 9: normalized bank conflicts per hash-table level vs subarray count.
 
 use crate::report;
-use inerf_accel::{AccelConfig, HashTableMapping, MappingScheme};
-use inerf_dram::DramSim;
+use inerf_accel::{
+    AccelConfig, HashTableMapping, MappingScheme, RequestConsumer, RequestSink, RequestStream,
+};
+use inerf_dram::{DramSim, Request};
 use inerf_encoding::trace::CubeLookup;
-use inerf_encoding::{HashFunction, HashGrid, HashGridConfig, LookupTrace};
+use inerf_encoding::{HashFunction, HashGrid, HashGridConfig, TraceSink};
 use inerf_geom::Vec3;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -23,57 +25,106 @@ pub struct Fig9 {
     pub raw_conflicts: Vec<Vec<u64>>,
 }
 
-fn single_level_trace(full: &LookupTrace, level: u32) -> LookupTrace {
-    let mut t = LookupTrace::new();
-    let cubes: Vec<CubeLookup> = full.level_cubes(level).copied().collect();
-    for c in &cubes {
-        t.push_point(std::slice::from_ref(c));
+/// An incremental simulator whose streaming clock advances a fixed cadence
+/// per request: the 32-point-parallel front end issues at the sustainable
+/// tFAW-limited spacing (~3 DRAM cycles), so only genuine serialization
+/// shows up as a conflict.
+struct CadencedSim {
+    sim: DramSim,
+    cadence: u64,
+}
+
+impl RequestConsumer for CadencedSim {
+    fn accept(&mut self, req: Request) {
+        self.sim.push_request(&req);
+        self.sim.tick(self.cadence);
     }
-    t
+}
+
+/// Routes each cube event to its level's private request stream +
+/// simulator lane, so one pass over the point stream produces every
+/// level's isolated conflict count — the streamed replacement for
+/// materializing and re-filtering a full trace per level.
+struct LevelDemux {
+    lanes: Vec<RequestSink<CadencedSim>>,
+}
+
+impl TraceSink for LevelDemux {
+    fn push_cube(&mut self, cube: &CubeLookup) {
+        if let Some(lane) = self.lanes.get_mut(cube.level as usize) {
+            lane.push_cube(cube);
+        }
+    }
+}
+
+/// Fans one cube stream out to every subarray configuration's demux, so
+/// the whole Tab. III sweep consumes a single pass over the workload.
+struct SweepFan {
+    configs: Vec<LevelDemux>,
+}
+
+impl TraceSink for SweepFan {
+    fn push_cube(&mut self, cube: &CubeLookup) {
+        for demux in &mut self.configs {
+            demux.push_cube(cube);
+        }
+    }
 }
 
 /// Runs the Fig. 9 sweep with a ray-first workload of `rays × samples`
 /// points (the paper processes 32 points in parallel; request interleaving
-/// is captured by the trace order).
+/// is captured by the stream order). The workload is hashed once and
+/// streamed to every sweep configuration simultaneously, at constant
+/// memory.
 pub fn run(rays: usize, samples: usize, seed: u64) -> Fig9 {
     let grid = HashGrid::new(HashGridConfig::paper(HashFunction::Morton), seed);
+    let accel = AccelConfig::paper();
+    let levels = grid.config().levels;
+    let mut fan = SweepFan {
+        configs: SUBARRAY_SWEEP
+            .iter()
+            .map(|&sa| {
+                let dram = accel.nmp_dram(sa);
+                let mapping = HashTableMapping::paper(MappingScheme::Clustered, sa);
+                LevelDemux {
+                    lanes: (0..levels)
+                        .map(|_| {
+                            RequestSink::new(
+                                RequestStream::new(&mapping, &dram, false),
+                                CadencedSim {
+                                    sim: DramSim::new(dram),
+                                    cadence: 3,
+                                },
+                            )
+                        })
+                        .collect(),
+                }
+            })
+            .collect(),
+    };
     let mut rng = SmallRng::seed_from_u64(seed);
-    let mut trace = LookupTrace::new();
     for _ in 0..rays {
         let y: f32 = rng.gen();
         let z: f32 = rng.gen();
         for s in 0..samples {
             let x = (s as f32 + 0.5) / samples as f32;
-            trace.push_point(&grid.cube_lookups(Vec3::new(x, y, z)));
+            grid.stream_point(Vec3::new(x, y, z), &mut fan);
         }
     }
-    let accel = AccelConfig::paper();
-    let levels = grid.config().levels;
-    let mut raw = Vec::with_capacity(SUBARRAY_SWEEP.len());
-    for &sa in &SUBARRAY_SWEEP {
-        let dram = accel.nmp_dram(sa);
-        let mapping = HashTableMapping::paper(MappingScheme::Clustered, sa);
-        let mut per_level = Vec::with_capacity(levels as usize);
-        for level in 0..levels {
-            let lt = single_level_trace(&trace, level);
-            // The 32-point-parallel front end issues requests at the
-            // sustainable tFAW-limited cadence (~3 DRAM cycles); arrivals
-            // carry that cadence so only genuine serialization shows up as
-            // a conflict.
-            let reqs: Vec<_> = mapping
-                .requests_for_trace(&lt, &dram, false)
-                .into_iter()
-                .enumerate()
-                .map(|(i, mut r)| {
-                    r.arrival = 3 * i as u64;
-                    r
+    let raw: Vec<Vec<u64>> = fan
+        .configs
+        .iter_mut()
+        .map(|demux| {
+            demux
+                .lanes
+                .iter_mut()
+                .map(|lane| {
+                    lane.end_batch();
+                    lane.consumer_mut().sim.drain_stats().bank_conflicts
                 })
-                .collect();
-            let stats = DramSim::new(dram).run(&reqs);
-            per_level.push(stats.bank_conflicts);
-        }
-        raw.push(per_level);
-    }
+                .collect()
+        })
+        .collect();
     let max = raw.iter().flatten().copied().max().unwrap_or(1).max(1) as f64;
     let normalized = raw
         .iter()

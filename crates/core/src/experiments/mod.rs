@@ -5,6 +5,7 @@
 //! `paper_figures` example and the bench harness. The per-experiment index
 //! in DESIGN.md maps paper artifacts to these modules.
 
+pub mod cosim;
 pub mod extension;
 pub mod fig1;
 pub mod fig11;

@@ -7,18 +7,17 @@
 //! probes, as the occupancy grid itself must be maintained). The result is
 //! the scene-specific access stream behind the per-scene spread in Fig. 11.
 
-use inerf_encoding::{HashGrid, LookupTrace};
+use inerf_encoding::trace::CubeLookup;
+use inerf_encoding::{BufferSink, HashGrid, LookupTrace, TraceSink};
 use inerf_geom::{Camera, Pose};
 use inerf_scenes::{RadianceField, Scene};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-/// A scene-conditioned lookup trace plus its summary statistics.
-#[derive(Debug, Clone)]
-pub struct SceneTrace {
-    /// The lookup trace (one cube per level per kept point).
-    pub trace: LookupTrace,
-    /// Points recorded in the trace.
+/// Summary statistics of a scene-conditioned access stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SceneTraceStats {
+    /// Points streamed (kept by the emulated occupancy grid).
     pub points: u64,
     /// Fraction of sampled points that were in occupied space.
     pub occupancy: f64,
@@ -31,28 +30,63 @@ pub struct SceneTrace {
     pub unique_fine_ratio: f64,
 }
 
-/// Generates the scene's lookup trace, sampling orbit rays (with `samples`
-/// stratified points each, ray-first order) until at least `target_points`
-/// occupied points are collected or a ray budget is exhausted.
+/// A scene-conditioned lookup trace plus its summary statistics — the
+/// materialized form kept for tests and offline inspection;
+/// [`scene_trace_into`] is the constant-memory streaming path.
+#[derive(Debug, Clone)]
+pub struct SceneTrace {
+    /// The lookup trace (one cube per level per kept point).
+    pub trace: LookupTrace,
+    /// Points recorded in the trace.
+    pub points: u64,
+    /// Fraction of sampled points that were in occupied space.
+    pub occupancy: f64,
+    /// Fraction of consecutive kept points landing in distinct finest-level
+    /// cubes.
+    pub fine_spread: f64,
+    /// Distinct finest-level cubes divided by kept points.
+    pub unique_fine_ratio: f64,
+}
+
+impl SceneTrace {
+    /// The summary statistics alone.
+    pub fn stats(&self) -> SceneTraceStats {
+        SceneTraceStats {
+            points: self.points,
+            occupancy: self.occupancy,
+            fine_spread: self.fine_spread,
+            unique_fine_ratio: self.unique_fine_ratio,
+        }
+    }
+}
+
+/// Streams the scene's access stream into `sink`, sampling orbit rays
+/// (with `samples` stratified points each, ray-first order) until at least
+/// `target_points` occupied points are collected or a ray budget is
+/// exhausted. Does not emit `end_batch` — the caller owns batch
+/// boundaries.
 ///
 /// Points in empty space are skipped entirely — iNGP's occupancy grid
-/// prevents them from ever reaching the hash table — so the trace is the
-/// scene-conditioned access stream the accelerator actually sees.
-pub fn scene_trace(
+/// prevents them from ever reaching the hash table — so the stream is the
+/// scene-conditioned access sequence the accelerator actually sees. Apart
+/// from the sink the function holds one reused cube buffer: memory is
+/// constant in the stream length.
+pub fn scene_trace_into(
     scene: &Scene,
     grid: &HashGrid,
     target_points: usize,
     samples: usize,
     seed: u64,
-) -> SceneTrace {
+    sink: &mut (impl TraceSink + ?Sized),
+) -> SceneTraceStats {
     let mut rng = SmallRng::seed_from_u64(seed);
-    let mut trace = LookupTrace::new();
     let mut kept = 0u64;
     let mut occupied = 0u64;
     let mut total = 0u64;
     let mut last_fine: Option<u64> = None;
     let mut fine_changes = 0u64;
     let mut fine_set = std::collections::HashSet::new();
+    let mut cubes: Vec<CubeLookup> = Vec::new();
     let center = scene.bounds.center();
     let max_rays = 64 * target_points.div_ceil(samples).max(1);
     let mut r = 0usize;
@@ -75,7 +109,7 @@ pub fn scene_trace(
             }
             occupied += 1;
             kept += 1;
-            let cubes = grid.cube_lookups(scene.bounds.normalize(p));
+            grid.cube_lookups_into(scene.bounds.normalize(p), &mut cubes);
             if let Some(fine) = cubes.last() {
                 if last_fine != Some(fine.cube_id) {
                     fine_changes += 1;
@@ -83,11 +117,13 @@ pub fn scene_trace(
                 }
                 fine_set.insert(fine.cube_id);
             }
-            trace.push_point(&cubes);
+            for cube in &cubes {
+                sink.push_cube(cube);
+            }
+            sink.end_point();
         }
     }
-    SceneTrace {
-        trace,
+    SceneTraceStats {
         points: kept,
         occupancy: if total == 0 {
             0.0
@@ -107,6 +143,26 @@ pub fn scene_trace(
     }
 }
 
+/// [`scene_trace_into`] with a materializing [`BufferSink`] — the buffered
+/// reference used by tests and offline inspection.
+pub fn scene_trace(
+    scene: &Scene,
+    grid: &HashGrid,
+    target_points: usize,
+    samples: usize,
+    seed: u64,
+) -> SceneTrace {
+    let mut trace = BufferSink::new();
+    let stats = scene_trace_into(scene, grid, target_points, samples, seed, &mut trace);
+    SceneTrace {
+        trace,
+        points: stats.points,
+        occupancy: stats.occupancy,
+        fine_spread: stats.fine_spread,
+        unique_fine_ratio: stats.unique_fine_ratio,
+    }
+}
+
 /// Maps a scene's access statistics to the GPU locality factor used by the
 /// cost model's hash-table steps.
 ///
@@ -116,7 +172,7 @@ pub fn scene_trace(
 /// small edge-GPU cache; sparse scenes (Mic, Ficus) concentrate their
 /// lookups on a small working set. Returns a factor in roughly
 /// `[0.8, 2.1]` (1.0 ≈ an average scene).
-pub fn gpu_scene_factor(st: &SceneTrace) -> f64 {
+pub fn gpu_scene_factor(st: &SceneTraceStats) -> f64 {
     (0.7 + 8.0 * st.occupancy).clamp(0.6, 2.2)
 }
 
@@ -159,9 +215,21 @@ mod tests {
         let g = grid();
         for kind in SceneKind::ALL {
             let st = scene_trace(&zoo::scene(kind), &g, 200, 48, 5);
-            let f = gpu_scene_factor(&st);
+            let f = gpu_scene_factor(&st.stats());
             assert!((0.5..2.5).contains(&f), "{kind}: factor {f}");
         }
+    }
+
+    #[test]
+    fn streamed_scene_trace_matches_buffered() {
+        let g = grid();
+        let scene = zoo::scene(SceneKind::Hotdog);
+        let buffered = scene_trace(&scene, &g, 200, 32, 7);
+        let mut sink = inerf_encoding::CountingSink::default();
+        let stats = scene_trace_into(&scene, &g, 200, 32, 7, &mut sink);
+        assert_eq!(stats, buffered.stats());
+        assert_eq!(sink.points, buffered.points);
+        assert_eq!(sink.cubes as usize, buffered.trace.cubes().len());
     }
 
     #[test]

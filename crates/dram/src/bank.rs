@@ -79,6 +79,20 @@ impl BankTimeline {
         }
     }
 
+    /// Returns the bank to its idle state without reallocating the
+    /// subarray vector — the incremental-simulation reuse path.
+    pub fn reset(&mut self) {
+        for sa in &mut self.subarrays {
+            *sa = SubarrayState {
+                open_row: None,
+                act_at: 0,
+                ready_at: 0,
+                last_write_end: 0,
+            };
+        }
+        self.col_ready = 0;
+    }
+
     /// Classifies how serving `row` in `subarray` will interact with the row
     /// buffer, without mutating state.
     pub fn classify(&self, subarray: u32, row: u32) -> RowOutcome {
@@ -192,6 +206,12 @@ impl RankActTracker {
     /// Creates an idle tracker.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Returns the tracker to idle, keeping the ACT-window allocation.
+    pub fn reset(&mut self) {
+        self.last_act = None;
+        self.recent_acts.clear();
     }
 
     /// Earliest cycle a new ACT may issue.

@@ -14,6 +14,18 @@ use crate::stats::SimStats;
 /// different banks and channels proceed in parallel subject to the rank
 /// ACT constraints (tRRD, tFAW) and, optionally, the shared channel data
 /// bus.
+///
+/// # Incremental frontend
+///
+/// Besides the batch-replay [`DramSim::run`], the simulator exposes an
+/// online frontend for co-simulation: [`DramSim::push_request`] serves one
+/// request and folds it into the running statistics, [`DramSim::tick`]
+/// advances the arrival clock streamed requests inherit, and
+/// [`DramSim::drain_stats`] finalizes the accumulated statistics and
+/// returns the simulator to idle *in place* — bank state is cleared, never
+/// reallocated, so per-iteration co-simulation costs no allocation. `run`
+/// is literally `push_request` over the slice followed by `drain_stats`,
+/// which is what makes the streamed and batch paths bit-identical.
 #[derive(Debug, Clone)]
 pub struct DramSim {
     config: DramConfig,
@@ -23,6 +35,14 @@ pub struct DramSim {
     channel_bus_free: Vec<u64>,
     log: Vec<CommandRecord>,
     keep_log: bool,
+    /// Running statistics since the last drain.
+    stats: SimStats,
+    /// Latest data-burst completion cycle since the last drain.
+    makespan: u64,
+    /// Channel-bus bursts since the last drain (energy accounting).
+    io_bursts: u64,
+    /// Arrival clock for streamed requests (advanced by [`DramSim::tick`]).
+    now: u64,
 }
 
 impl DramSim {
@@ -40,6 +60,10 @@ impl DramSim {
             config,
             log: Vec::new(),
             keep_log: false,
+            stats: SimStats::default(),
+            makespan: 0,
+            io_bursts: 0,
+            now: 0,
         }
     }
 
@@ -55,112 +79,172 @@ impl DramSim {
     }
 
     /// The issued-command log (empty unless [`DramSim::with_command_log`]).
+    /// Unlike the timing state, the log survives [`DramSim::drain_stats`]
+    /// (it is a diagnostic artifact); [`DramSim::reset`] clears it.
     pub fn command_log(&self) -> &[CommandRecord] {
         &self.log
     }
 
-    /// Resets all bank/bus state (keeps configuration).
-    pub fn reset(&mut self) {
-        *self = if self.keep_log {
-            DramSim::new(self.config).with_command_log()
-        } else {
-            DramSim::new(self.config)
-        };
+    /// The current arrival clock of the streaming frontend.
+    pub fn now(&self) -> u64 {
+        self.now
     }
 
-    /// Replays `requests` and returns aggregate statistics.
+    /// Advances the arrival clock: requests subsequently pushed via
+    /// [`DramSim::push_request`] arrive no earlier than the clock. Models a
+    /// request source with a known issue cadence (e.g. the 32-point-parallel
+    /// front end's tFAW-limited ~3-cycle spacing).
+    pub fn tick(&mut self, cycles: u64) {
+        self.now += cycles;
+    }
+
+    /// Resets all bank/bus/statistics state *in place* (keeps configuration
+    /// and allocations; clears the command log).
+    pub fn reset(&mut self) {
+        self.reset_timing();
+        self.log.clear();
+    }
+
+    /// Clears timing/statistics state but preserves the command log.
+    fn reset_timing(&mut self) {
+        for b in &mut self.banks {
+            b.reset();
+        }
+        for r in &mut self.rank_acts {
+            r.reset();
+        }
+        self.channel_bus_free.fill(0);
+        self.stats = SimStats::default();
+        self.makespan = 0;
+        self.io_bursts = 0;
+        self.now = 0;
+    }
+
+    /// Approximate heap bytes of the simulator's mutable state — the
+    /// constant-memory footprint of the online co-simulation path.
+    pub fn state_bytes(&self) -> usize {
+        self.banks.capacity() * std::mem::size_of::<BankTimeline>()
+            + self.banks.len()
+                * self.config.subarrays_per_bank as usize
+                * std::mem::size_of::<u64>()
+                * 4
+            + self.rank_acts.capacity() * std::mem::size_of::<RankActTracker>()
+            + self.channel_bus_free.capacity() * std::mem::size_of::<u64>()
+            + self.log.capacity() * std::mem::size_of::<CommandRecord>()
+    }
+
+    /// Serves one request online, folding it into the running statistics.
+    /// The effective arrival is the later of the request's own arrival and
+    /// the streaming clock (see [`DramSim::tick`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address lies outside the configured organization.
+    pub fn push_request(&mut self, req: &Request) {
+        let a = req.addr;
+        assert!(
+            a.channel < self.config.channels,
+            "address channel out of range"
+        );
+        assert!(
+            a.bank < self.config.banks_per_channel,
+            "address bank out of range"
+        );
+        assert!(
+            a.subarray < self.config.subarrays_per_bank,
+            "address subarray out of range"
+        );
+        self.stats.requests += 1;
+        let gb = a.global_bank(self.config.banks_per_channel) as usize;
+        let rank_ok = self.rank_acts[a.channel as usize].earliest(&self.config.timing);
+        let is_write = req.kind == AccessKind::Write;
+        let served = self.banks[gb].serve(
+            a.subarray,
+            a.row,
+            is_write,
+            req.arrival.max(self.now),
+            rank_ok,
+            &self.config.timing,
+            &self.config,
+        );
+        match served.outcome {
+            RowOutcome::Hit => self.stats.row_hits += 1,
+            RowOutcome::Miss => self.stats.row_misses += 1,
+            // A conflict that did not stall behaves like a miss whose
+            // precharge was hidden in idle time; Fig. 9 counts stalls.
+            RowOutcome::Conflict if served.stalled => self.stats.bank_conflicts += 1,
+            RowOutcome::Conflict => self.stats.row_misses += 1,
+        }
+        if let Some(t) = served.pre_at {
+            self.stats.pres += 1;
+            self.record(t, CommandKind::Pre, gb as u32, a.subarray, 0);
+        }
+        if let Some(t) = served.act_at {
+            self.stats.acts += 1;
+            self.rank_acts[a.channel as usize].record(t);
+            self.record(t, CommandKind::Act, gb as u32, a.subarray, a.row);
+        }
+        if is_write {
+            self.stats.writes += 1;
+            self.record(
+                served.col_at,
+                CommandKind::Write,
+                gb as u32,
+                a.subarray,
+                a.row,
+            );
+        } else {
+            self.stats.reads += 1;
+            self.record(
+                served.col_at,
+                CommandKind::Read,
+                gb as u32,
+                a.subarray,
+                a.row,
+            );
+        }
+        let mut done = served.data_done;
+        if self.config.use_channel_bus {
+            // Data must also cross the shared channel I/O bus.
+            let bus = &mut self.channel_bus_free[a.channel as usize];
+            let start = done.max(*bus);
+            *bus = start + self.config.burst_cycles;
+            done = start + self.config.burst_cycles;
+            self.io_bursts += 1;
+        }
+        self.makespan = self.makespan.max(done);
+    }
+
+    /// Finalizes and returns the statistics accumulated since the last
+    /// drain, then resets the timing state in place (no reallocation; the
+    /// command log is preserved). The simulator is immediately ready for
+    /// the next stream — e.g. the next training iteration.
+    pub fn drain_stats(&mut self) -> SimStats {
+        let mut stats = std::mem::take(&mut self.stats);
+        stats.total_cycles = self.makespan;
+        stats.energy_pj = self.energy.total_pj(
+            &stats,
+            self.io_bursts,
+            self.config.total_banks(),
+            self.config.cycle_seconds(),
+        );
+        self.reset_timing();
+        stats
+    }
+
+    /// Replays `requests` and returns aggregate statistics. Equivalent to
+    /// [`DramSim::push_request`] over the slice followed by
+    /// [`DramSim::drain_stats`]; the simulator is left reset, ready for the
+    /// next stream.
     ///
     /// # Panics
     ///
     /// Panics if any address lies outside the configured organization.
     pub fn run(&mut self, requests: &[Request]) -> SimStats {
-        let mut stats = SimStats {
-            requests: requests.len() as u64,
-            ..Default::default()
-        };
-        let mut makespan = 0u64;
-        let mut io_bursts = 0u64;
         for req in requests {
-            let a = req.addr;
-            assert!(
-                a.channel < self.config.channels,
-                "address channel out of range"
-            );
-            assert!(
-                a.bank < self.config.banks_per_channel,
-                "address bank out of range"
-            );
-            assert!(
-                a.subarray < self.config.subarrays_per_bank,
-                "address subarray out of range"
-            );
-            let gb = a.global_bank(self.config.banks_per_channel) as usize;
-            let rank_ok = self.rank_acts[a.channel as usize].earliest(&self.config.timing);
-            let is_write = req.kind == AccessKind::Write;
-            let served = self.banks[gb].serve(
-                a.subarray,
-                a.row,
-                is_write,
-                req.arrival,
-                rank_ok,
-                &self.config.timing,
-                &self.config,
-            );
-            match served.outcome {
-                RowOutcome::Hit => stats.row_hits += 1,
-                RowOutcome::Miss => stats.row_misses += 1,
-                // A conflict that did not stall behaves like a miss whose
-                // precharge was hidden in idle time; Fig. 9 counts stalls.
-                RowOutcome::Conflict if served.stalled => stats.bank_conflicts += 1,
-                RowOutcome::Conflict => stats.row_misses += 1,
-            }
-            if let Some(t) = served.pre_at {
-                stats.pres += 1;
-                self.record(t, CommandKind::Pre, gb as u32, a.subarray, 0);
-            }
-            if let Some(t) = served.act_at {
-                stats.acts += 1;
-                self.rank_acts[a.channel as usize].record(t);
-                self.record(t, CommandKind::Act, gb as u32, a.subarray, a.row);
-            }
-            if is_write {
-                stats.writes += 1;
-                self.record(
-                    served.col_at,
-                    CommandKind::Write,
-                    gb as u32,
-                    a.subarray,
-                    a.row,
-                );
-            } else {
-                stats.reads += 1;
-                self.record(
-                    served.col_at,
-                    CommandKind::Read,
-                    gb as u32,
-                    a.subarray,
-                    a.row,
-                );
-            }
-            let mut done = served.data_done;
-            if self.config.use_channel_bus {
-                // Data must also cross the shared channel I/O bus.
-                let bus = &mut self.channel_bus_free[a.channel as usize];
-                let start = done.max(*bus);
-                *bus = start + self.config.burst_cycles;
-                done = start + self.config.burst_cycles;
-                io_bursts += 1;
-            }
-            makespan = makespan.max(done);
+            self.push_request(req);
         }
-        stats.total_cycles = makespan;
-        stats.energy_pj = self.energy.total_pj(
-            &stats,
-            io_bursts,
-            self.config.total_banks(),
-            self.config.cycle_seconds(),
-        );
-        stats
+        self.drain_stats()
     }
 
     fn record(&mut self, cycle: u64, kind: CommandKind, bank: u32, subarray: u32, row: u32) {
@@ -264,6 +348,73 @@ mod tests {
             e_conf > e_hits,
             "conflicts burn ACT/PRE energy: {e_conf} vs {e_hits}"
         );
+    }
+
+    #[test]
+    fn incremental_push_drain_matches_run_bitwise() {
+        let cfg = DramConfig::paper(4);
+        let mut rng = SmallRng::seed_from_u64(17);
+        let reqs: Vec<Request> = (0..300)
+            .map(|_| {
+                let kind = if rng.gen_bool(0.25) {
+                    AccessKind::Write
+                } else {
+                    AccessKind::Read
+                };
+                Request::new(
+                    cfg.address(
+                        rng.gen_range(0..cfg.channels),
+                        rng.gen_range(0..cfg.banks_per_channel),
+                        rng.gen_range(0..cfg.subarrays_per_bank),
+                        rng.gen_range(0..32),
+                        0,
+                    ),
+                    kind,
+                )
+            })
+            .collect();
+        let batch = DramSim::new(cfg).run(&reqs);
+        let mut streamed_sim = DramSim::new(cfg);
+        for r in &reqs {
+            streamed_sim.push_request(r);
+        }
+        let streamed = streamed_sim.drain_stats();
+        assert_eq!(batch, streamed);
+    }
+
+    #[test]
+    fn tick_cadence_matches_explicit_arrivals() {
+        let cfg = DramConfig::paper(2);
+        // Explicit arrivals at a 3-cycle cadence...
+        let explicit: Vec<Request> = (0..40)
+            .map(|i| {
+                let mut r = req(&cfg, 0, (i % 4) as u32, 0, (i % 8) as u32);
+                r.arrival = 3 * i as u64;
+                r
+            })
+            .collect();
+        let reference = DramSim::new(cfg).run(&explicit);
+        // ...must equal ticking the streaming clock between pushes.
+        let mut sim = DramSim::new(cfg);
+        for i in 0..40 {
+            sim.push_request(&req(&cfg, 0, (i % 4) as u32, 0, (i % 8) as u32));
+            sim.tick(3);
+        }
+        assert_eq!(reference, sim.drain_stats());
+    }
+
+    #[test]
+    fn drain_leaves_sim_reusable_without_reallocation() {
+        let cfg = DramConfig::paper(4);
+        let mut sim = DramSim::new(cfg);
+        let reqs: Vec<Request> = (0..32).map(|i| req(&cfg, 0, i % 8, 0, i % 4)).collect();
+        let first = sim.run(&reqs);
+        // After the implicit drain the next identical stream must see a
+        // cold memory system again: bit-identical stats, iteration over
+        // iteration.
+        let second = sim.run(&reqs);
+        assert_eq!(first, second);
+        assert!(sim.state_bytes() > 0);
     }
 
     /// Protocol legality on random workloads, checked from the command log.

@@ -15,11 +15,15 @@
 //! It also implements the measurement machinery behind the paper's
 //! characterization figures:
 //!
+//! * [`sink`] — the streaming trace bus ([`TraceSink`]): the online
+//!   event interface between the algorithm and every hardware consumer.
 //! * [`locality`] — index-distance histograms between cube-neighbour
-//!   vertices (Fig. 6) and cube-sharing statistics along rays (Fig. 7a).
+//!   vertices (Fig. 6) and cube-sharing statistics along rays (Fig. 7a),
+//!   available as streaming sinks.
 //! * [`requests`] — DRAM row-granularity memory-request counting (the
-//!   1.58-vs-4.02 requests/cube statistic and Fig. 7b).
-//! * [`trace`] — lookup traces consumed by the accelerator simulator.
+//!   1.58-vs-4.02 requests/cube statistic and Fig. 7b), available as
+//!   streaming sinks.
+//! * [`trace`] — materialized lookup traces (the buffered reference path).
 //!
 //! # Example
 //!
@@ -37,10 +41,12 @@ pub mod config;
 pub mod hash;
 pub mod locality;
 pub mod requests;
+pub mod sink;
 pub mod table;
 pub mod trace;
 
 pub use config::HashGridConfig;
 pub use hash::HashFunction;
+pub use sink::{BatchBufferSink, BufferSink, CountingSink, TraceSink};
 pub use table::{HashGrid, LookupCache};
 pub use trace::{LookupEvent, LookupTrace};

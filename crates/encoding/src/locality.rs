@@ -1,6 +1,12 @@
 //! Locality statistics behind the paper's Fig. 6 and Fig. 7(a).
+//!
+//! [`LocalitySink`] accumulates both statistics online from the streaming
+//! trace bus; [`index_distance_histogram`] and
+//! [`points_sharing_cube_per_level`] are the materialized-trace wrappers
+//! (bit-identical: they feed the trace through the same sink).
 
-use crate::trace::LookupTrace;
+use crate::sink::TraceSink;
+use crate::trace::{CubeLookup, LookupTrace};
 
 /// Histogram bucket labels used by Fig. 6 (index distance between two
 /// neighbouring vertices of one 3D cube).
@@ -32,27 +38,92 @@ pub fn cube_edges() -> impl Iterator<Item = (usize, usize)> {
     })
 }
 
+/// Per-level cube-run state of [`LocalitySink`].
+#[derive(Debug, Clone, Copy, Default)]
+struct LevelRuns {
+    runs: u64,
+    points: u64,
+    last_id: Option<u64>,
+}
+
+/// Streaming accumulator of the Fig. 6 index-distance histogram and the
+/// Fig. 7(a) consecutive-cube-sharing statistic.
+///
+/// Consumes the trace bus online at constant memory; the materialized
+/// wrappers below replay a [`LookupTrace`] through it, so both paths are
+/// bit-identical by construction.
+#[derive(Debug, Clone)]
+pub struct LocalitySink {
+    counts: [u64; 5],
+    levels: Vec<LevelRuns>,
+}
+
+impl LocalitySink {
+    /// Creates a sink tracking cube sharing for `levels` hash-table levels
+    /// (cubes at higher levels still count toward the histogram).
+    pub fn new(levels: u32) -> Self {
+        LocalitySink {
+            counts: [0; 5],
+            levels: vec![LevelRuns::default(); levels as usize],
+        }
+    }
+
+    /// The Fig. 6 breakdown: percentage of cube-edge index distances per
+    /// bucket (sums to ~100; all zeros before any cube arrived).
+    pub fn histogram(&self) -> [f64; 5] {
+        let total: u64 = self.counts.iter().sum();
+        if total == 0 {
+            return [0.0; 5];
+        }
+        let mut out = [0.0; 5];
+        for (o, c) in out.iter_mut().zip(self.counts) {
+            *o = 100.0 * c as f64 / total as f64;
+        }
+        out
+    }
+
+    /// Fig. 7(a): per level, the mean number of consecutive points sharing
+    /// one interpolation cube under the streamed order.
+    pub fn sharing_per_level(&self) -> Vec<f64> {
+        self.levels
+            .iter()
+            .map(|l| {
+                if l.runs == 0 {
+                    0.0
+                } else {
+                    l.points as f64 / l.runs as f64
+                }
+            })
+            .collect()
+    }
+}
+
+impl TraceSink for LocalitySink {
+    fn push_cube(&mut self, cube: &CubeLookup) {
+        for (a, b) in cube_edges() {
+            let d = cube.entries[a].abs_diff(cube.entries[b]);
+            self.counts[distance_bucket(d)] += 1;
+        }
+        if let Some(l) = self.levels.get_mut(cube.level as usize) {
+            l.points += 1;
+            if l.last_id != Some(cube.cube_id) {
+                l.runs += 1;
+                l.last_id = Some(cube.cube_id);
+            }
+        }
+    }
+}
+
 /// Computes the Fig. 6 breakdown: the percentage of cube-edge index
 /// distances falling into each bucket, over all cubes in the trace.
 ///
 /// Returns percentages summing to ~100 (all zeros for an empty trace).
 pub fn index_distance_histogram(trace: &LookupTrace) -> [f64; 5] {
-    let mut counts = [0u64; 5];
+    let mut sink = LocalitySink::new(0);
     for cube in trace.cubes() {
-        for (a, b) in cube_edges() {
-            let d = cube.entries[a].abs_diff(cube.entries[b]);
-            counts[distance_bucket(d)] += 1;
-        }
+        sink.push_cube(cube);
     }
-    let total: u64 = counts.iter().sum();
-    if total == 0 {
-        return [0.0; 5];
-    }
-    let mut out = [0.0; 5];
-    for (o, c) in out.iter_mut().zip(counts) {
-        *o = 100.0 * c as f64 / total as f64;
-    }
-    out
+    sink.histogram()
 }
 
 /// Fig. 7(a): for each level, the mean number of *consecutive* points that
@@ -62,25 +133,11 @@ pub fn index_distance_histogram(trace: &LookupTrace) -> [f64; 5] {
 /// cube before the stream moves on — exactly the register-reuse opportunity
 /// the ray-first streaming order creates.
 pub fn points_sharing_cube_per_level(trace: &LookupTrace, levels: u32) -> Vec<f64> {
-    (0..levels)
-        .map(|level| {
-            let mut runs = 0u64;
-            let mut total_points = 0u64;
-            let mut last_id: Option<u64> = None;
-            for cube in trace.level_cubes(level) {
-                total_points += 1;
-                if last_id != Some(cube.cube_id) {
-                    runs += 1;
-                    last_id = Some(cube.cube_id);
-                }
-            }
-            if runs == 0 {
-                0.0
-            } else {
-                total_points as f64 / runs as f64
-            }
-        })
-        .collect()
+    let mut sink = LocalitySink::new(levels);
+    for cube in trace.cubes() {
+        sink.push_cube(cube);
+    }
+    sink.sharing_per_level()
 }
 
 #[cfg(test)]

@@ -9,6 +9,7 @@
 //! the effective memory bandwidth improves **3.27×–35.9×** per level
 //! (Fig. 7b).
 
+use crate::sink::TraceSink;
 use crate::trace::{CubeLookup, LookupTrace};
 use serde::{Deserialize, Serialize};
 
@@ -40,18 +41,45 @@ pub fn cube_row_requests(cube: &CubeLookup) -> u32 {
     n as u32
 }
 
+/// Streaming accumulator of the mean-row-requests-per-cube statistic
+/// (the paper's 1.58-vs-4.02 number), fed by the trace bus.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MeanRequestSink {
+    cubes: u64,
+    total_requests: u64,
+}
+
+impl MeanRequestSink {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Mean row requests per cube seen so far (0.0 before any cube).
+    pub fn mean(&self) -> f64 {
+        if self.cubes == 0 {
+            0.0
+        } else {
+            self.total_requests as f64 / self.cubes as f64
+        }
+    }
+}
+
+impl TraceSink for MeanRequestSink {
+    fn push_cube(&mut self, cube: &CubeLookup) {
+        self.cubes += 1;
+        self.total_requests += cube_row_requests(cube) as u64;
+    }
+}
+
 /// Mean row requests per cube over a whole trace (the paper's 1.58-vs-4.02
 /// statistic).
 pub fn mean_requests_per_cube(trace: &LookupTrace) -> f64 {
-    if trace.cubes().is_empty() {
-        return 0.0;
+    let mut sink = MeanRequestSink::new();
+    for cube in trace.cubes() {
+        sink.push_cube(cube);
     }
-    let total: u64 = trace
-        .cubes()
-        .iter()
-        .map(|c| cube_row_requests(c) as u64)
-        .sum();
-    total as f64 / trace.cubes().len() as f64
+    sink.mean()
 }
 
 /// Per-level statistics of replaying a trace through the local register
@@ -94,37 +122,68 @@ impl StreamStats {
     }
 }
 
-/// Replays `trace` through the per-level register cache: if a point's cube
-/// at some level equals the previous point's cube at that level, its eight
-/// embeddings are already in registers and no DRAM request is issued;
-/// otherwise the cube's distinct rows are fetched. Additionally, a row
-/// fetched for the current cube is reused for all entries in it (row-buffer
-/// granularity).
-pub fn replay_with_register_cache(trace: &LookupTrace, levels: u32) -> StreamStats {
-    let mut stats: Vec<LevelStreamStats> = (0..levels)
-        .map(|level| LevelStreamStats {
-            level,
-            cubes: 0,
-            register_hits: 0,
-            row_requests: 0,
-        })
-        .collect();
-    let mut last_id: Vec<Option<u64>> = vec![None; levels as usize];
-    for cube in trace.cubes() {
-        let li = cube.level as usize;
-        if li >= stats.len() {
-            continue;
+/// Streaming register-cache replay: consumes the trace bus online and
+/// maintains the same per-level statistics [`replay_with_register_cache`]
+/// derives from a materialized trace. If a point's cube at some level
+/// equals the previous point's cube at that level, its eight embeddings
+/// are already in registers and no DRAM request is issued; otherwise the
+/// cube's distinct rows are fetched (row-buffer granularity).
+#[derive(Debug, Clone)]
+pub struct RegisterCacheSink {
+    stats: Vec<LevelStreamStats>,
+    last_id: Vec<Option<u64>>,
+}
+
+impl RegisterCacheSink {
+    /// Creates a sink covering `levels` hash-table levels (cubes at higher
+    /// levels are ignored, matching the materialized replay).
+    pub fn new(levels: u32) -> Self {
+        RegisterCacheSink {
+            stats: (0..levels)
+                .map(|level| LevelStreamStats {
+                    level,
+                    cubes: 0,
+                    register_hits: 0,
+                    row_requests: 0,
+                })
+                .collect(),
+            last_id: vec![None; levels as usize],
         }
-        let s = &mut stats[li];
+    }
+
+    /// The statistics accumulated so far.
+    pub fn stats(&self) -> StreamStats {
+        StreamStats {
+            levels: self.stats.clone(),
+        }
+    }
+}
+
+impl TraceSink for RegisterCacheSink {
+    fn push_cube(&mut self, cube: &CubeLookup) {
+        let li = cube.level as usize;
+        if li >= self.stats.len() {
+            return;
+        }
+        let s = &mut self.stats[li];
         s.cubes += 1;
-        if last_id[li] == Some(cube.cube_id) {
+        if self.last_id[li] == Some(cube.cube_id) {
             s.register_hits += 1;
         } else {
             s.row_requests += cube_row_requests(cube) as u64;
-            last_id[li] = Some(cube.cube_id);
+            self.last_id[li] = Some(cube.cube_id);
         }
     }
-    StreamStats { levels: stats }
+}
+
+/// Replays `trace` through the per-level register cache (the materialized
+/// wrapper over [`RegisterCacheSink`]).
+pub fn replay_with_register_cache(trace: &LookupTrace, levels: u32) -> StreamStats {
+    let mut sink = RegisterCacheSink::new(levels);
+    for cube in trace.cubes() {
+        sink.push_cube(cube);
+    }
+    sink.stats()
 }
 
 /// Fig. 7(b): per-level effective-memory-bandwidth improvement of `ours`

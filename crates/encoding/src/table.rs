@@ -2,6 +2,7 @@
 
 use crate::config::HashGridConfig;
 use crate::hash::{cube_level_indices, level_index};
+use crate::sink::TraceSink;
 use crate::trace::{CubeLookup, LookupTrace};
 use inerf_geom::grid::GridLevel;
 use inerf_geom::morton::morton_encode;
@@ -195,6 +196,22 @@ impl HashGrid {
         out: &mut [f32],
         trace: &mut LookupTrace,
     ) {
+        self.encode_batch_with_sink(points, out, trace);
+    }
+
+    /// [`HashGrid::encode_batch`] that streams each point's cube lookups
+    /// into `sink`, in point order, at constant memory. Does *not* emit
+    /// `end_batch` — the caller owns iteration boundaries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != points.len() * feature_dim()`.
+    pub fn encode_batch_with_sink(
+        &self,
+        points: &[Vec3],
+        out: &mut [f32],
+        sink: &mut (impl TraceSink + ?Sized),
+    ) {
         let dim = self.config.feature_dim();
         assert_eq!(
             out.len(),
@@ -202,7 +219,7 @@ impl HashGrid {
             "feature matrix size mismatch"
         );
         for (p, row) in points.iter().zip(out.chunks_exact_mut(dim)) {
-            self.encode_with_trace(*p, row, trace);
+            self.encode_with_sink(*p, row, sink);
         }
     }
 
@@ -312,30 +329,65 @@ impl HashGrid {
 
     /// Encodes a point while appending its cube lookups to `trace`.
     pub fn encode_with_trace(&self, p: Vec3, out: &mut [f32], trace: &mut LookupTrace) {
+        self.encode_with_sink(p, out, trace);
+    }
+
+    /// Encodes a point while streaming its cube lookups into `sink`
+    /// (one `push_cube` per level plus one `end_point`), without any
+    /// per-point allocation.
+    pub fn encode_with_sink(&self, p: Vec3, out: &mut [f32], sink: &mut (impl TraceSink + ?Sized)) {
         self.encode_into(p, out);
-        let cubes = self.cube_lookups(p);
-        trace.push_point(&cubes);
+        self.stream_point(p, sink);
+    }
+
+    /// The cube lookup of `p` at level index `li` — the building block of
+    /// every trace path.
+    #[inline]
+    fn cube_lookup_at(&self, li: usize, p: Vec3) -> CubeLookup {
+        let t = self.config.table_size();
+        let level = &self.levels[li];
+        let (base, _) = level.cube_of(p);
+        let mut entries = [0u32; 8];
+        for (c, e) in entries.iter_mut().enumerate() {
+            *e = level_index(self.config.hash, level, base.corner(c as u8), t);
+        }
+        CubeLookup {
+            level: level.index,
+            entries,
+            cube_id: morton_encode(base.x, base.y, base.z) | ((level.index as u64) << 58),
+        }
+    }
+
+    /// Streams one point's cube lookups into `sink` without allocating:
+    /// `push_cube` per level (in level order), then `end_point`.
+    pub fn stream_point(&self, p: Vec3, sink: &mut (impl TraceSink + ?Sized)) {
+        for li in 0..self.levels.len() {
+            sink.push_cube(&self.cube_lookup_at(li, p));
+        }
+        sink.end_point();
+    }
+
+    /// Streams a whole point batch through `sink` in point order. Does
+    /// *not* emit `end_batch` — the caller owns iteration boundaries.
+    pub fn stream_batch(&self, points: &[Vec3], sink: &mut (impl TraceSink + ?Sized)) {
+        for &p in points {
+            self.stream_point(p, sink);
+        }
     }
 
     /// Computes the per-level cube lookups (entry indices) of a point without
     /// touching the embedding data — the address stream of the HT step.
     pub fn cube_lookups(&self, p: Vec3) -> Vec<CubeLookup> {
-        let t = self.config.table_size();
-        self.levels
-            .iter()
-            .map(|level| {
-                let (base, _) = level.cube_of(p);
-                let mut entries = [0u32; 8];
-                for (c, e) in entries.iter_mut().enumerate() {
-                    *e = level_index(self.config.hash, level, base.corner(c as u8), t);
-                }
-                CubeLookup {
-                    level: level.index,
-                    entries,
-                    cube_id: morton_encode(base.x, base.y, base.z) | ((level.index as u64) << 58),
-                }
-            })
-            .collect()
+        let mut out = Vec::with_capacity(self.levels.len());
+        self.cube_lookups_into(p, &mut out);
+        out
+    }
+
+    /// [`HashGrid::cube_lookups`] into a caller-owned buffer (cleared and
+    /// refilled), so a point loop reuses one allocation for its lifetime.
+    pub fn cube_lookups_into(&self, p: Vec3, out: &mut Vec<CubeLookup>) {
+        out.clear();
+        out.extend((0..self.levels.len()).map(|li| self.cube_lookup_at(li, p)));
     }
 
     /// Backward pass ("HT_b"): scatter-adds `d_features` (length `L*F`) into

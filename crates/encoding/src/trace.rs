@@ -49,6 +49,23 @@ impl LookupTrace {
         self.points += 1;
     }
 
+    /// Appends one cube of the current point (streaming form of
+    /// [`LookupTrace::push_point`]; pair with [`LookupTrace::end_point`]).
+    pub fn push_cube(&mut self, cube: &CubeLookup) {
+        self.cubes.push(*cube);
+    }
+
+    /// Marks the current point's cubes complete (streaming form).
+    pub fn end_point(&mut self) {
+        self.points += 1;
+    }
+
+    /// Approximate heap bytes held by the materialized trace — the
+    /// quantity the streaming trace bus exists to eliminate.
+    pub fn heap_bytes(&self) -> usize {
+        self.cubes.capacity() * std::mem::size_of::<CubeLookup>()
+    }
+
     /// All recorded cube lookups, in processing order.
     pub fn cubes(&self) -> &[CubeLookup] {
         &self.cubes

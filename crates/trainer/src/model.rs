@@ -1,6 +1,6 @@
 //! The iNGP model (hash grid + two small MLPs) and the trainable-field trait.
 
-use inerf_encoding::{HashFunction, HashGrid, HashGridConfig, LookupCache};
+use inerf_encoding::{HashFunction, HashGrid, HashGridConfig, LookupCache, TraceSink};
 use inerf_geom::Vec3;
 use inerf_mlp::{Activation, AdamState, Mlp, MlpActivations, MlpBatchActivations, MlpGradients};
 use rayon::ThreadPool;
@@ -110,6 +110,16 @@ pub trait TrainableField {
             rgbs[i] = rgb;
         }
     }
+
+    /// Streams the memory-access events this model would generate for a
+    /// batch of sample points into the trace bus — the algorithm→hardware
+    /// boundary the co-simulation path hooks into. One `push_cube` per
+    /// hash-table level per point (in point order) plus one `end_point`
+    /// per point; the caller owns `end_batch`.
+    ///
+    /// The default is a no-op: models without a hash-table access stream
+    /// (the Tab. IV baselines) generate no trace events.
+    fn stream_lookups(&self, _points: &[Vec3], _sink: &mut dyn TraceSink) {}
 }
 
 /// Architecture hyper-parameters of [`IngpModel`].
@@ -598,6 +608,13 @@ impl TrainableField for IngpModel {
             self.density_mlp.accumulate_gradients(&chunk.density_grads);
             self.color_mlp.accumulate_gradients(&chunk.color_grads);
         }
+    }
+
+    /// The hash-grid address stream of the batch, on the trace bus. Both
+    /// trainer engines call this with the same gathered point batch, so
+    /// the streamed events are engine-independent by construction.
+    fn stream_lookups(&self, points: &[Vec3], sink: &mut dyn TraceSink) {
+        self.grid.stream_batch(points, sink);
     }
 
     /// Batched evaluation query: chunked like [`TrainableField::query_batch`]

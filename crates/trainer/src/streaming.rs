@@ -11,7 +11,7 @@
 //!   modelling the scattered order a GPU warp scheduler produces (the iNGP
 //!   baseline).
 
-use inerf_encoding::{HashGrid, LookupTrace};
+use inerf_encoding::{HashGrid, LookupTrace, TraceSink};
 use inerf_geom::{Aabb, Ray, Vec3};
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
@@ -91,13 +91,18 @@ pub fn build_point_batch(
     PointBatch { points, provenance }
 }
 
+/// Streams a point batch through the hash grid's address generation into
+/// a trace-bus sink — the constant-memory path the hardware consumers use.
+/// Does not emit `end_batch`; the caller owns iteration boundaries.
+pub fn stream_batch(grid: &HashGrid, batch: &PointBatch, sink: &mut (impl TraceSink + ?Sized)) {
+    grid.stream_batch(&batch.points, sink);
+}
+
 /// Replays a point batch through the hash grid's address generation,
-/// producing the lookup trace the hardware models consume.
+/// producing the materialized lookup trace (the buffered reference path).
 pub fn trace_batch(grid: &HashGrid, batch: &PointBatch) -> LookupTrace {
     let mut trace = LookupTrace::new();
-    for &p in &batch.points {
-        trace.push_point(&grid.cube_lookups(p));
-    }
+    stream_batch(grid, batch, &mut trace);
     trace
 }
 

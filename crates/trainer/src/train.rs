@@ -4,6 +4,7 @@ use crate::engine;
 use crate::model::TrainableField;
 use crate::occupancy::OccupancyGrid;
 use crate::streaming::StreamingOrder;
+use inerf_encoding::TraceSink;
 use inerf_geom::{Aabb, Camera, Ray, Vec3};
 use inerf_render::l2_loss;
 use inerf_render::volume::{
@@ -223,6 +224,19 @@ impl<M: TrainableField> Trainer<M> {
     /// Runs one training iteration on a random pixel batch; returns the
     /// batch loss.
     pub fn train_step(&mut self, dataset: &Dataset) -> f64 {
+        self.train_step_with_sink(dataset, None)
+    }
+
+    /// [`Trainer::train_step`] with the trace-bus slot filled: the
+    /// iteration's hash-table access stream is pushed into `sink` (cube
+    /// events in gathered point order, then one `end_batch`) while the
+    /// iteration executes — the hook online hardware co-simulation plugs
+    /// into. Identical for both engines, which share the gathered batch.
+    pub fn train_step_with_sink(
+        &mut self,
+        dataset: &Dataset,
+        sink: Option<&mut (dyn TraceSink + '_)>,
+    ) -> f64 {
         if let Some(occ) = &mut self.occupancy {
             if occ.iteration % occ.refresh_every == 0 {
                 occ.grid.refresh(&self.model, occ.threshold, 2);
@@ -240,7 +254,7 @@ impl<M: TrainableField> Trainer<M> {
             rays.push(dataset.train_views[vi].camera.ray_for_pixel(px, py));
             targets.push(color);
         }
-        self.train_on_rays(&rays, &targets, &dataset.bounds)
+        self.train_on_rays_with_sink(&rays, &targets, &dataset.bounds, sink)
     }
 
     /// Runs one iteration on explicit rays/targets (used by tests and the
@@ -251,12 +265,35 @@ impl<M: TrainableField> Trainer<M> {
     /// byte-identical sample points, and only Steps (c)–(f) differ in
     /// execution strategy.
     pub fn train_on_rays(&mut self, rays: &[Ray], targets: &[Vec3], bounds: &Aabb) -> f64 {
+        self.train_on_rays_with_sink(rays, targets, bounds, None)
+    }
+
+    /// [`Trainer::train_on_rays`] with the trace-bus slot filled: before
+    /// the engine executes, the model streams the gathered batch's
+    /// hash-table access events into `sink` (cubes per point, `end_point`
+    /// per point), then the iteration is closed with one `end_batch`. The
+    /// stream depends only on the gathered points, so Scalar and Batched
+    /// engines emit byte-identical event sequences for the same seed.
+    pub fn train_on_rays_with_sink(
+        &mut self,
+        rays: &[Ray],
+        targets: &[Vec3],
+        bounds: &Aabb,
+        sink: Option<&mut (dyn TraceSink + '_)>,
+    ) -> f64 {
         self.model.begin_batch();
         let gathered = self.gather_batch(rays, targets, bounds);
         if gathered.spans.is_empty() {
+            if let Some(sink) = sink {
+                sink.end_batch(); // an empty iteration still closes a batch
+            }
             return 0.0;
         }
         self.points_queried += gathered.points.len() as u64;
+        if let Some(sink) = sink {
+            self.model.stream_lookups(&gathered.points, sink);
+            sink.end_batch();
+        }
         let loss = match self.config.engine {
             Engine::Scalar => self.step_scalar(&gathered),
             Engine::Batched => self.step_batched(&gathered),
@@ -469,9 +506,31 @@ impl<M: TrainableField> Trainer<M> {
 
     /// Trains for `iterations` steps, returning the loss trajectory.
     pub fn train(&mut self, dataset: &Dataset, iterations: usize) -> TrainReport {
+        self.train_loop(dataset, iterations, None)
+    }
+
+    /// [`Trainer::train`] with the trace-bus slot filled: every iteration
+    /// streams its access events into `sink` and closes with `end_batch`,
+    /// so a hardware co-simulation (e.g. `inerf_accel`'s `CosimSink`) runs
+    /// online over the whole training run at constant memory.
+    pub fn train_with_sink(
+        &mut self,
+        dataset: &Dataset,
+        iterations: usize,
+        sink: &mut dyn TraceSink,
+    ) -> TrainReport {
+        self.train_loop(dataset, iterations, Some(sink))
+    }
+
+    fn train_loop(
+        &mut self,
+        dataset: &Dataset,
+        iterations: usize,
+        mut sink: Option<&mut dyn TraceSink>,
+    ) -> TrainReport {
         let mut losses = Vec::with_capacity(iterations);
         for _ in 0..iterations {
-            losses.push(self.train_step(dataset));
+            losses.push(self.train_step_with_sink(dataset, sink.as_deref_mut()));
         }
         TrainReport {
             iterations,

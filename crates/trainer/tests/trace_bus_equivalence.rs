@@ -1,0 +1,130 @@
+//! Equivalence suite for the streaming trace bus: statistics computed
+//! online by the sinks must be bit-identical to the materialized
+//! `LookupTrace` reference path, on identical inputs, for both trainer
+//! engines and both hash functions.
+
+use inerf_encoding::locality::{
+    index_distance_histogram, points_sharing_cube_per_level, LocalitySink,
+};
+use inerf_encoding::requests::{
+    mean_requests_per_cube, replay_with_register_cache, MeanRequestSink, RegisterCacheSink,
+};
+use inerf_encoding::{BufferSink, CountingSink, HashFunction};
+use inerf_scenes::{zoo, Dataset, DatasetConfig};
+use inerf_trainer::{Engine, IngpModel, ModelConfig, TrainConfig, Trainer};
+
+const ENGINES: [Engine; 2] = [Engine::Scalar, Engine::Batched];
+const HASHES: [HashFunction; 2] = [HashFunction::Morton, HashFunction::Original];
+
+fn dataset() -> Dataset {
+    DatasetConfig::tiny().generate(&zoo::scene(zoo::SceneKind::Lego))
+}
+
+fn trained_trace(dataset: &Dataset, hash: HashFunction, engine: Engine) -> BufferSink {
+    let model = IngpModel::new(ModelConfig::small(hash), 21);
+    let mut trainer = Trainer::new(model, TrainConfig::tiny().with_engine(engine), 13);
+    let mut buffer = BufferSink::new();
+    trainer.train_with_sink(dataset, 2, &mut buffer);
+    buffer
+}
+
+#[test]
+fn engines_emit_identical_trace_streams() {
+    // Scalar and Batched engines share the gathered batch, so the access
+    // stream on the bus must be byte-identical for a fixed seed.
+    let ds = dataset();
+    for hash in HASHES {
+        let scalar = trained_trace(&ds, hash, Engine::Scalar);
+        let batched = trained_trace(&ds, hash, Engine::Batched);
+        assert!(scalar.point_count() > 0, "{hash:?}: empty trace");
+        assert_eq!(scalar, batched, "{hash:?}: engines diverged on the bus");
+    }
+}
+
+#[test]
+fn streamed_stats_match_buffered_replay_bitwise() {
+    // Train with a fan-out sink: one lane materializes the trace, the
+    // other lanes accumulate statistics online. Afterwards the online
+    // stats must equal the wrappers replaying the materialized trace.
+    let ds = dataset();
+    for hash in HASHES {
+        for engine in ENGINES {
+            let cfg = ModelConfig::small(hash);
+            let levels = cfg.grid.levels;
+            let model = IngpModel::new(cfg, 21);
+            let mut trainer = Trainer::new(model, TrainConfig::tiny().with_engine(engine), 13);
+            let mut sinks = (
+                BufferSink::new(),
+                (
+                    LocalitySink::new(levels),
+                    (RegisterCacheSink::new(levels), MeanRequestSink::new()),
+                ),
+            );
+            trainer.train_with_sink(&ds, 2, &mut sinks);
+            let (buffer, (locality, (register, mean))) = sinks;
+            let tag = format!("{hash:?}/{engine:?}");
+            assert!(buffer.point_count() > 0, "{tag}: empty trace");
+            assert_eq!(
+                locality.histogram(),
+                index_distance_histogram(&buffer),
+                "{tag}: histogram diverged"
+            );
+            assert_eq!(
+                locality.sharing_per_level(),
+                points_sharing_cube_per_level(&buffer, levels),
+                "{tag}: sharing diverged"
+            );
+            let streamed = register.stats();
+            let replayed = replay_with_register_cache(&buffer, levels);
+            assert_eq!(streamed, replayed, "{tag}: register-cache stats diverged");
+            assert_eq!(
+                streamed.total_row_requests(),
+                replayed.total_row_requests(),
+                "{tag}: row requests diverged"
+            );
+            for (s, r) in streamed.levels.iter().zip(&replayed.levels) {
+                assert_eq!(s.hit_rate(), r.hit_rate(), "{tag}: hit rate diverged");
+            }
+            assert_eq!(
+                mean.mean(),
+                mean_requests_per_cube(&buffer),
+                "{tag}: requests/cube diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn stream_shape_follows_the_bus_protocol() {
+    // One end_batch per iteration, one end_point per kept sample point,
+    // levels cubes per point.
+    let ds = dataset();
+    let cfg = ModelConfig::small(HashFunction::Morton);
+    let model = IngpModel::new(cfg, 21);
+    let mut trainer = Trainer::new(model, TrainConfig::tiny(), 13);
+    let mut counter = CountingSink::default();
+    trainer.train_with_sink(&ds, 3, &mut counter);
+    assert_eq!(counter.batches, 3);
+    assert_eq!(counter.points, trainer.points_queried());
+    assert_eq!(counter.cubes, counter.points * cfg.grid.levels as u64);
+}
+
+#[test]
+fn sink_slot_does_not_change_training() {
+    // Filling the trace-bus slot must not perturb the math: identical
+    // losses with and without a sink.
+    let ds = dataset();
+    for engine in ENGINES {
+        let mk = || {
+            Trainer::new(
+                IngpModel::new(ModelConfig::small(HashFunction::Morton), 21),
+                TrainConfig::tiny().with_engine(engine),
+                13,
+            )
+        };
+        let plain = mk().train(&ds, 3);
+        let mut sink = CountingSink::default();
+        let traced = mk().train_with_sink(&ds, 3, &mut sink);
+        assert_eq!(plain.losses, traced.losses, "{engine:?}: sink changed math");
+    }
+}

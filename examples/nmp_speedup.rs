@@ -61,7 +61,7 @@ fn main() -> Result<(), Box<dyn Error>> {
         ITERS, accel_scene.training_seconds, accel_scene.training_joules
     );
 
-    let factor = gpu_scene_factor(&st);
+    let factor = gpu_scene_factor(&st.stats());
     let gpu_model = ModelConfig::paper(HashFunction::Original);
     for spec in [GpuSpec::xnx(), GpuSpec::tx2()] {
         let cost = TrainingCost::estimate(&spec, &gpu_model, BATCH, ITERS, factor);

@@ -1,0 +1,104 @@
+//! End-to-end equivalence of the online co-simulation pipeline: training
+//! with the NMP memory system simulated live (streaming trace bus →
+//! request generation → incremental cycle-level DRAM simulation) must be
+//! bit-identical to materializing per-iteration traces and replaying them
+//! offline — for both trainer engines and both hash functions.
+
+use instant_nerf::accel::{CosimSink, PipelineModel};
+use instant_nerf::encoding::{BatchBufferSink, HashFunction};
+use instant_nerf::experiments::{cosim, traces};
+use instant_nerf::prelude::*;
+use instant_nerf::scenes::zoo::scene;
+use instant_nerf::trainer::Engine;
+
+#[test]
+fn online_cosim_matches_buffered_replay_for_all_combinations() {
+    let dataset = DatasetConfig::tiny().generate(&scene(SceneKind::Mic));
+    for hash in [HashFunction::Morton, HashFunction::Original] {
+        for engine in [Engine::Scalar, Engine::Batched] {
+            let model_cfg = ModelConfig::small(hash);
+            let config = TrainConfig::tiny().with_engine(engine);
+            let batch = config.points_per_iteration() as u64;
+            let pipeline = PipelineModel::paper(model_cfg);
+
+            // Online path.
+            let mut cosim_sink = CosimSink::new(pipeline.clone(), batch);
+            let mut trainer = Trainer::new(IngpModel::new(model_cfg, 3), config, 17);
+            trainer.train_with_sink(&dataset, 2, &mut cosim_sink);
+
+            // Buffered reference on the identical trajectory.
+            let mut buffer = BatchBufferSink::new();
+            let mut trainer = Trainer::new(IngpModel::new(model_cfg, 3), config, 17);
+            trainer.train_with_sink(&dataset, 2, &mut buffer);
+
+            let tag = format!("{hash:?}/{engine:?}");
+            let stats = cosim_sink.stats();
+            let mut pipelined = 0.0f64;
+            let mut energy = 0.0f64;
+            let mut iterations = 0u64;
+            for trace in buffer.batches() {
+                if trace.point_count() == 0 {
+                    continue;
+                }
+                let est = pipeline.estimate_iteration(trace, trace.point_count() as u64, batch);
+                pipelined += est.pipelined_seconds;
+                energy += est.dram_energy_pj;
+                iterations += 1;
+            }
+            assert_eq!(stats.iterations, iterations, "{tag}: iteration count");
+            assert_eq!(
+                stats.pipelined_seconds, pipelined,
+                "{tag}: pipelined seconds diverged"
+            );
+            assert_eq!(stats.dram_energy_pj, energy, "{tag}: DRAM energy diverged");
+            assert!(
+                stats.peak_state_bytes > 0 && stats.peak_state_bytes < buffer.heap_bytes().max(1),
+                "{tag}: online state {} bytes should undercut the {} byte buffer",
+                stats.peak_state_bytes,
+                buffer.heap_bytes()
+            );
+        }
+    }
+}
+
+#[test]
+fn streamed_pipeline_estimate_matches_offline_trace_replay() {
+    // The Fig. 11 data path: scene access stream → iteration sink →
+    // estimate, against the materialized scene trace → estimate_iteration.
+    let model = ModelConfig::paper(HashFunction::Morton);
+    let grid = HashGrid::new(model.grid, 5);
+    let sc = scene(SceneKind::Drums);
+    let pipeline = PipelineModel::paper(model);
+
+    let st = traces::scene_trace(&sc, &grid, 300, 48, 5);
+    let offline = pipeline.estimate_iteration(&st.trace, st.points.max(1), 256 * 1024);
+
+    let mut sink = pipeline.iteration_sink();
+    let stats = traces::scene_trace_into(&sc, &grid, 300, 48, 5, &mut sink);
+    assert_eq!(stats, st.stats());
+    let online = pipeline.estimate_streamed(&mut sink, 256 * 1024);
+    assert_eq!(offline, online);
+}
+
+#[test]
+fn cosim_experiment_runs_constant_memory_with_identical_stats() {
+    // The acceptance-criteria check: a training run of the Tab. II small
+    // workload co-simulates online with bit-identical stats and a trace
+    // footprint that does not scale with run length.
+    let r = cosim::run(Engine::Batched, 3, 7);
+    assert!(r.stats_match, "streamed/buffered stats diverged");
+    assert!(r.streamed.sim_pipelined_seconds > 0.0);
+    assert!(
+        r.streamed.peak_trace_bytes * 10 < r.buffered.peak_trace_bytes,
+        "streamed {} vs buffered {} bytes",
+        r.streamed.peak_trace_bytes,
+        r.buffered.peak_trace_bytes
+    );
+    // Longer runs must not grow the streamed footprint.
+    let longer = cosim::run(Engine::Batched, 6, 7);
+    assert_eq!(
+        longer.streamed.peak_trace_bytes, r.streamed.peak_trace_bytes,
+        "co-simulation state grew with run length"
+    );
+    assert!(longer.buffered.peak_trace_bytes > r.buffered.peak_trace_bytes);
+}

@@ -83,7 +83,7 @@ fn scene_traces_feed_both_hardware_models() {
     let pipeline = PipelineModel::paper(model);
     let est = pipeline.estimate_iteration(&st.trace, st.points, 256 * 1024);
     assert!(est.pipelined_seconds > 0.0 && est.pipelined_seconds < 0.1);
-    let factor = traces::gpu_scene_factor(&st);
+    let factor = traces::gpu_scene_factor(&st.stats());
     assert!((0.5..2.5).contains(&factor));
 }
 
