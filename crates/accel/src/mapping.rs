@@ -12,9 +12,8 @@
 //!   into subarray-parallel accesses.
 
 use inerf_dram::{AccessKind, DramConfig, DramSim, PhysAddr, Request};
-use inerf_encoding::requests::{row_of_entry, ENTRIES_PER_ROW};
 use inerf_encoding::trace::CubeLookup;
-use inerf_encoding::{LookupTrace, TraceSink};
+use inerf_encoding::{EntryLayout, LookupTrace, TraceSink};
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 
@@ -40,6 +39,9 @@ pub struct HashTableMapping {
     assignment: Vec<u32>,
     /// Subarrays per bank used by the intra-level spread.
     subarrays: u32,
+    /// Row geometry at the table's storage width: 4 B entries for the
+    /// paper's fp16 pairs (the default), 8 B for f32 storage.
+    layout: EntryLayout,
 }
 
 impl HashTableMapping {
@@ -83,12 +85,30 @@ impl HashTableMapping {
             scheme,
             assignment,
             subarrays,
+            layout: EntryLayout::default(),
         }
+    }
+
+    /// The same mapping with `entry_bytes`-wide table entries — how the
+    /// storage precision reaches the DRAM row model (f32 entries are
+    /// twice the default fp16 width, so fewer entries share a row).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entry_bytes` is zero or exceeds the row size.
+    pub fn with_entry_bytes(mut self, entry_bytes: u32) -> Self {
+        self.layout = EntryLayout::new(entry_bytes);
+        self
     }
 
     /// The active scheme.
     pub fn scheme(&self) -> MappingScheme {
         self.scheme
+    }
+
+    /// The row geometry (bytes per table entry) this mapping assumes.
+    pub fn layout(&self) -> EntryLayout {
+        self.layout
     }
 
     /// The bank storing `level`.
@@ -124,8 +144,9 @@ impl HashTableMapping {
             .count() as u32;
         let share = (self.subarrays / co_resident).max(1);
         let sa_base = (stack_index * share) % self.subarrays;
-        let rows_per_level = (1u32 << 19) / ENTRIES_PER_ROW; // paper table: 2^19 entries
-        let row_idx = row_of_entry(entry);
+        let entries_per_row = self.layout.entries_per_row();
+        let rows_per_level = (1u32 << 19) / entries_per_row; // paper table: 2^19 entries
+        let row_idx = self.layout.row_of_entry(entry);
         let (subarray, row) = match self.scheme {
             MappingScheme::ClusteredNoSpread => {
                 // Sequential rows stay sequential inside one subarray.
@@ -143,7 +164,7 @@ impl HashTableMapping {
             bank: bank % dram.banks_per_channel,
             subarray: subarray % dram.subarrays_per_bank,
             row: row % dram.rows_per_subarray,
-            col: (entry % ENTRIES_PER_ROW) * 4,
+            col: (entry % entries_per_row) * self.layout.entry_bytes(),
         }
     }
 
@@ -223,10 +244,11 @@ impl RequestStream {
         }
         self.last_cube[li] = Some(cube.cube_id);
         // Distinct rows of the cube, filtered through the r0 pair.
+        let layout = self.mapping.layout();
         let mut seen = [u32::MAX; 8];
         let mut n = 0usize;
         for &e in &cube.entries {
-            let r = row_of_entry(e);
+            let r = layout.row_of_entry(e);
             if seen[..n].contains(&r) {
                 continue;
             }
@@ -349,6 +371,7 @@ impl<C: RequestConsumer> TraceSink for RequestSink<C> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use inerf_encoding::requests::ENTRIES_PER_ROW;
     use inerf_encoding::{HashFunction, HashGrid, HashGridConfig};
     use inerf_geom::Vec3;
 
@@ -517,6 +540,31 @@ mod tests {
             assert_eq!(sink.consumer().len(), 2 * reference.len());
             assert_eq!(&sink.consumer()[reference.len()..], &reference[..]);
         }
+    }
+
+    #[test]
+    fn f32_entries_widen_rows_and_increase_requests() {
+        let grid = HashGrid::new(HashGridConfig::paper(HashFunction::Morton), 3);
+        let trace = ray_trace(&grid, 4, 64);
+        let dram = DramConfig::paper(8);
+        let fp16 = HashTableMapping::paper(MappingScheme::Clustered, 8);
+        let f32m = HashTableMapping::paper(MappingScheme::Clustered, 8).with_entry_bytes(8);
+        assert_eq!(fp16.layout().entry_bytes(), 4);
+        assert_eq!(f32m.layout().entry_bytes(), 8);
+        // Same entry, twice the column offset and half the entries per row.
+        let a = fp16.map_entry(12, 100, &dram);
+        let b = f32m.map_entry(12, 100, &dram);
+        assert_eq!(b.col, 2 * a.col);
+        // On the same lookup stream, wider entries scatter cubes over more
+        // rows, so the request stream grows.
+        let r16 = fp16.requests_for_trace(&trace, &dram, false);
+        let r32 = f32m.requests_for_trace(&trace, &dram, false);
+        assert!(
+            r32.len() > r16.len(),
+            "f32 rows {} should exceed fp16 rows {}",
+            r32.len(),
+            r16.len()
+        );
     }
 
     #[test]

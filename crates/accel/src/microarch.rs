@@ -7,34 +7,54 @@
 //! modelled as a per-layer reload overhead.
 
 use crate::config::AccelConfig;
-use inerf_trainer::workload::{step_ops, Step};
-use inerf_trainer::ModelConfig;
+use inerf_trainer::workload::{step_ops_at, Step};
+use inerf_trainer::{ModelConfig, Precision};
 
-/// Compute cycles one bank needs to process `points` points of `step`.
-///
-/// PEs are throughput-1: one INT op or one FP MAC (2 FLOPs) per cycle. The
-/// INT and FP groups run concurrently, so the step's compute time is the
-/// maximum of the two pipelines.
+/// Compute cycles one bank needs to process `points` points of `step`, at
+/// the paper's fp16 storage convention.
 pub fn bank_compute_cycles(
     accel: &AccelConfig,
     model: &ModelConfig,
     step: Step,
     points: u64,
 ) -> u64 {
-    let ops = step_ops(model, step);
+    bank_compute_cycles_at(accel, model, step, points, Precision::Fp16)
+}
+
+/// [`bank_compute_cycles`] with weights stored at `precision`.
+///
+/// PEs are throughput-1: one INT op or one FP MAC (2 FLOPs) per cycle. The
+/// INT and FP groups run concurrently, so the step's compute time is the
+/// maximum of the two pipelines. The op counts are precision-independent
+/// (computation runs in FP32/INT32 either way); only the weight-tile
+/// reload traffic scales with the storage width.
+pub fn bank_compute_cycles_at(
+    accel: &AccelConfig,
+    model: &ModelConfig,
+    step: Step,
+    points: u64,
+    precision: Precision,
+) -> u64 {
+    let ops = step_ops_at(model, step, precision);
     let int_cycles = (ops.int_ops * points).div_ceil(accel.int_pes as u64);
     let fp_cycles = (ops.fp_ops * points).div_ceil(2 * accel.fp_pes as u64);
     let compute = int_cycles.max(fp_cycles);
-    compute + weight_reload_cycles(accel, model, step, points)
+    compute + weight_reload_cycles(accel, model, step, points, precision)
 }
 
 /// Extra cycles spent re-streaming MLP weight tiles that exceed the
 /// scratchpad. HT steps keep their working set (hash registers + one cube)
 /// on chip and pay nothing.
-fn weight_reload_cycles(accel: &AccelConfig, model: &ModelConfig, step: Step, points: u64) -> u64 {
+fn weight_reload_cycles(
+    accel: &AccelConfig,
+    model: &ModelConfig,
+    step: Step,
+    points: u64,
+    precision: Precision,
+) -> u64 {
     let weight_bytes = match step {
         Step::MlpD | Step::MlpDB | Step::MlpC | Step::MlpCB => {
-            inerf_trainer::workload::mlp_param_bytes(model) / 2
+            inerf_trainer::workload::mlp_param_bytes_at(model, precision) / 2
         }
         Step::Ht | Step::HtB => return 0,
     };
@@ -58,6 +78,7 @@ pub fn cycles_to_seconds(accel: &AccelConfig, cycles: u64) -> f64 {
 mod tests {
     use super::*;
     use inerf_encoding::HashFunction;
+    use inerf_trainer::workload::step_ops;
 
     fn setup() -> (AccelConfig, ModelConfig) {
         (

@@ -9,8 +9,8 @@
 //! (the 0.014 MB weights are duplicated; the 16 MB activations are split).
 
 use crate::config::AccelConfig;
-use inerf_trainer::workload::{mlp_combined_sizes, step_sizes, Step};
-use inerf_trainer::ModelConfig;
+use inerf_trainer::workload::{mlp_combined_sizes_at, step_sizes_at, Step};
+use inerf_trainer::{ModelConfig, Precision};
 use serde::{Deserialize, Serialize};
 
 /// Inter-bank parallelization of one step.
@@ -102,9 +102,21 @@ pub fn movement_bytes(
     points: u64,
     banks: u64,
 ) -> MovementBreakdown {
-    let ht = step_sizes(model, Step::Ht, points);
-    let mlp = mlp_combined_sizes(model, points);
-    let ht_b = step_sizes(model, Step::HtB, points);
+    movement_bytes_at(model, plan, points, banks, Precision::Fp16)
+}
+
+/// [`movement_bytes`] with parameters/activations stored at `precision`
+/// (the argument-free version keeps the paper's fp16 convention).
+pub fn movement_bytes_at(
+    model: &ModelConfig,
+    plan: &ParallelismPlan,
+    points: u64,
+    banks: u64,
+    precision: Precision,
+) -> MovementBreakdown {
+    let ht = step_sizes_at(model, Step::Ht, points, precision);
+    let mlp = mlp_combined_sizes_at(model, points, precision);
+    let ht_b = step_sizes_at(model, Step::HtB, points, precision);
     let mut m = MovementBreakdown::default();
 
     // Category 1 — duplication.
@@ -160,9 +172,21 @@ pub fn movement_bytes(
 /// banks in one bus pass, while a gradient all-reduce collects one partial
 /// per bank.
 pub fn bus_bytes(model: &ModelConfig, plan: &ParallelismPlan, points: u64, banks: u64) -> u64 {
-    let ht = step_sizes(model, Step::Ht, points);
-    let mlp = mlp_combined_sizes(model, points);
-    let ht_b = step_sizes(model, Step::HtB, points);
+    bus_bytes_at(model, plan, points, banks, Precision::Fp16)
+}
+
+/// [`bus_bytes`] with parameters/activations stored at `precision` —
+/// f32 storage doubles the bytes crossing the shared I/O.
+pub fn bus_bytes_at(
+    model: &ModelConfig,
+    plan: &ParallelismPlan,
+    points: u64,
+    banks: u64,
+    precision: Precision,
+) -> u64 {
+    let ht = step_sizes_at(model, Step::Ht, points, precision);
+    let mlp = mlp_combined_sizes_at(model, points, precision);
+    let ht_b = step_sizes_at(model, Step::HtB, points, precision);
     let mut bytes = 0u64;
     // Category 1 (broadcast once).
     bytes += match plan.ht {
@@ -201,6 +225,7 @@ pub fn bus_bytes(model: &ModelConfig, plan: &ParallelismPlan, points: u64, banks
 mod tests {
     use super::*;
     use inerf_encoding::HashFunction;
+    use inerf_trainer::workload::{mlp_combined_sizes, step_sizes};
 
     const POINTS: u64 = 256 * 1024;
     const BANKS: u64 = 16;

@@ -12,12 +12,12 @@
 
 use crate::config::AccelConfig;
 use crate::mapping::{HashTableMapping, RequestSink, RequestStream};
-use crate::microarch::{bank_compute_cycles, cycles_to_seconds};
-use crate::parallel::{bus_bytes, ParallelismPlan};
+use crate::microarch::{bank_compute_cycles_at, cycles_to_seconds};
+use crate::parallel::{bus_bytes_at, ParallelismPlan};
 use inerf_dram::{DramSim, SimStats};
 use inerf_encoding::trace::CubeLookup;
-use inerf_encoding::{LookupTrace, TraceSink};
-use inerf_trainer::workload::{mlp_combined_sizes, Step};
+use inerf_encoding::{LookupTrace, Precision, TraceSink};
+use inerf_trainer::workload::{mlp_combined_sizes_at, Step};
 use inerf_trainer::ModelConfig;
 use serde::{Deserialize, Serialize};
 
@@ -83,27 +83,54 @@ pub struct PipelineModel {
     mapping: HashTableMapping,
     plan: ParallelismPlan,
     subarrays: u32,
+    /// Storage precision of hash-table entries and activations — sets the
+    /// entry width of the DRAM row model and the byte volumes of the MLP
+    /// streaming model. The paper's datapath is fp16.
+    precision: Precision,
 }
 
 impl PipelineModel {
     /// The paper's design point: clustered mapping, 32 subarrays (Tab. III
     /// sweeps 1–64; Fig. 9 shows conflicts still dropping up to 32–64),
-    /// heterogeneous parallelism.
+    /// heterogeneous parallelism, fp16 storage (`F × 2` bytes per entry —
+    /// 4 B at the paper's `F = 2`).
     pub fn paper(model: ModelConfig) -> Self {
+        let precision = Precision::Fp16;
         PipelineModel {
             accel: AccelConfig::paper(),
+            mapping: HashTableMapping::paper(crate::mapping::MappingScheme::Clustered, 32)
+                .with_entry_bytes(model.grid.entry_bytes(precision)),
             model,
-            mapping: HashTableMapping::paper(crate::mapping::MappingScheme::Clustered, 32),
             plan: ParallelismPlan::paper(),
             subarrays: 32,
+            precision,
         }
     }
 
-    /// Replaces the mapping (ablations).
+    /// Replaces the mapping (ablations). The mapping's entry width is
+    /// normalized to this model's storage precision, so scheme ablations
+    /// and [`PipelineModel::with_precision`] compose in either order.
     pub fn with_mapping(mut self, mapping: HashTableMapping, subarrays: u32) -> Self {
-        self.mapping = mapping;
+        self.mapping = mapping.with_entry_bytes(self.model.grid.entry_bytes(self.precision));
         self.subarrays = subarrays;
         self
+    }
+
+    /// Models the hash table stored at `precision`: the mapping's entry
+    /// width becomes `F × bytes_per_param` (8 B for f32 vs the paper's
+    /// 4 B fp16 pairs, `F = 2`) and the MLP byte volumes scale with the
+    /// activation width — so f32 storage touches more rows, moves more
+    /// bytes, and costs more energy on the same lookup stream.
+    pub fn with_precision(mut self, precision: Precision) -> Self {
+        self.precision = precision;
+        let entry_bytes = self.model.grid.entry_bytes(precision);
+        self.mapping = self.mapping.with_entry_bytes(entry_bytes);
+        self
+    }
+
+    /// The modeled storage precision.
+    pub fn precision(&self) -> Precision {
+        self.precision
     }
 
     /// Replaces the parallelism plan (ablations).
@@ -202,14 +229,26 @@ impl PipelineModel {
         let ht_dram = ht_stats.seconds(dram_cfg.cycle_seconds()) * scale;
         let ht_compute = cycles_to_seconds(
             &self.accel,
-            bank_compute_cycles(&self.accel, &self.model, Step::Ht, batch_points) / banks_used,
+            bank_compute_cycles_at(
+                &self.accel,
+                &self.model,
+                Step::Ht,
+                batch_points,
+                self.precision,
+            ) / banks_used,
         );
 
         // --- HT backward: read-modify-write stream. ---
         let htb_dram = htb_stats.seconds(dram_cfg.cycle_seconds()) * scale;
         let htb_compute = cycles_to_seconds(
             &self.accel,
-            bank_compute_cycles(&self.accel, &self.model, Step::HtB, batch_points) / banks_used,
+            bank_compute_cycles_at(
+                &self.accel,
+                &self.model,
+                Step::HtB,
+                batch_points,
+                self.precision,
+            ) / banks_used,
         );
 
         // --- MLP steps: data-parallel across all banks; activations stream
@@ -217,7 +256,7 @@ impl PipelineModel {
         let banks = self.accel.banks as u64;
         let per_bank_points = batch_points.div_ceil(banks);
         let internal_bw = 16.0 * dram_cfg.clock_mhz as f64 * 1e6; // bytes/s per bank
-        let mlp_sizes = mlp_combined_sizes(&self.model, batch_points);
+        let mlp_sizes = mlp_combined_sizes_at(&self.model, batch_points, self.precision);
         let mlp_local_bytes = (mlp_sizes.input_bytes
             + mlp_sizes.output_bytes
             + 2 * mlp_sizes.intermediate_bytes) as f64
@@ -231,7 +270,13 @@ impl PipelineModel {
         for step in [Step::MlpD, Step::MlpC, Step::MlpCB, Step::MlpDB] {
             let compute = cycles_to_seconds(
                 &self.accel,
-                bank_compute_cycles(&self.accel, &self.model, step, per_bank_points),
+                bank_compute_cycles_at(
+                    &self.accel,
+                    &self.model,
+                    step,
+                    per_bank_points,
+                    self.precision,
+                ),
             );
             steps.push(StepTime {
                 step,
@@ -245,7 +290,8 @@ impl PipelineModel {
             compute_seconds: htb_compute,
         });
 
-        let bus_seconds = bus_bytes(&self.model, &self.plan, batch_points, banks) as f64
+        let bus_seconds = bus_bytes_at(&self.model, &self.plan, batch_points, banks, self.precision)
+            as f64
             / self.accel.interbank_bw_bytes_per_s;
 
         // Resource occupancies: table banks (HT + HT_b), compute banks (the
@@ -452,6 +498,38 @@ mod tests {
             cs <= cn,
             "intra-level spreading should not increase conflicts: {cs} vs {cn}"
         );
+    }
+
+    #[test]
+    fn fp16_storage_is_the_default_and_f32_costs_more() {
+        let (pm, trace, n) = paper_setup();
+        assert_eq!(pm.precision(), Precision::Fp16);
+        let fp16 = pm.clone().estimate_iteration(&trace, n, 256 * 1024);
+        // Asking for fp16 explicitly is a no-op: the paper model already
+        // assumes 4-byte entries.
+        let explicit = pm
+            .clone()
+            .with_precision(Precision::Fp16)
+            .estimate_iteration(&trace, n, 256 * 1024);
+        assert_eq!(explicit, fp16);
+        // f32 storage doubles the entry width: more rows touched on the
+        // same stream, more bytes streamed, more energy.
+        let f32e = pm
+            .with_precision(Precision::F32)
+            .estimate_iteration(&trace, n, 256 * 1024);
+        assert!(
+            f32e.dram_energy_pj > fp16.dram_energy_pj,
+            "f32 energy {} should exceed fp16 {}",
+            f32e.dram_energy_pj,
+            fp16.dram_energy_pj
+        );
+        assert!(f32e.step_seconds(Step::Ht) >= fp16.step_seconds(Step::Ht));
+        assert!(
+            f32e.bus_seconds > fp16.bus_seconds,
+            "f32 doubles the bytes crossing the shared I/O"
+        );
+        assert!(f32e.serial_seconds > fp16.serial_seconds);
+        assert!(f32e.pipelined_seconds >= fp16.pipelined_seconds);
     }
 
     #[test]

@@ -1,0 +1,83 @@
+//! Mixed-precision benchmark: trains the Tab. II "small" workload with
+//! parameters stored as f32 and as fp16 (f32 master weights), the NMP
+//! memory system co-simulated online at the matching entry width. Writes
+//! `BENCH_precision.json` at the repo root recording, per precision,
+//! PSNR, modeled table bytes, DRAM requests/payload and the simulated
+//! iteration time — the storage-precision axis, measured run over run.
+//! CI runs it in quick mode (`INERF_BENCH_QUICK=1`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use instant_nerf::experiments::precision;
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct PrecisionReport {
+    workload: String,
+    result: precision::PrecisionResult,
+}
+
+fn quick_mode() -> bool {
+    std::env::var("INERF_BENCH_QUICK").is_ok_and(|v| v != "0")
+}
+
+fn bench(c: &mut Criterion) {
+    let iters = if quick_mode() { 12 } else { 60 };
+    let result = precision::run(iters, 7);
+    assert_eq!(
+        2 * result.half.table_bytes,
+        result.full.table_bytes,
+        "fp16 must halve the modeled table bytes"
+    );
+    assert_eq!(
+        2 * result.half.request_payload_bytes,
+        result.full.request_payload_bytes,
+        "fp16 must halve the per-run DRAM payload bytes"
+    );
+    assert!(
+        result.psnr_gap_db.abs() < 0.5,
+        "fp16 PSNR gap {:.3} dB exceeds the 0.5 dB budget",
+        result.psnr_gap_db
+    );
+    for p in [&result.full, &result.half] {
+        println!(
+            "precision {} ({iters} iterations): PSNR {:.2} dB | table {} B | {} DRAM req | {} payload B | sim {:.3} ms/iter | {:.3} mJ",
+            p.precision,
+            p.psnr_db,
+            p.table_bytes,
+            p.dram_requests,
+            p.request_payload_bytes,
+            p.sim_seconds_per_iteration * 1e3,
+            p.sim_dram_energy_pj * 1e-9,
+        );
+    }
+    let report = PrecisionReport {
+        workload: "tab2-small".to_string(),
+        result,
+    };
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_precision.json");
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(path, json + "\n").expect("write BENCH_precision.json");
+    println!("wrote {path}");
+
+    // A tracked criterion kernel: one fp16 training step (quantized
+    // encode + MLPs + master-weight Adam + RNE commit).
+    use inerf_encoding::HashFunction;
+    use inerf_scenes::{zoo, DatasetConfig};
+    use inerf_trainer::{IngpModel, ModelConfig, Precision, TrainConfig, Trainer};
+    let scene = zoo::scene(zoo::SceneKind::Lego);
+    let dataset = DatasetConfig::tiny().generate(&scene);
+    let model_cfg = ModelConfig::small(HashFunction::Morton);
+    let config = TrainConfig::small().with_precision(Precision::Fp16);
+    let mut trainer = Trainer::new(IngpModel::for_config(model_cfg, &config, 7), config, 3);
+    trainer.train(&dataset, 1);
+    c.bench_function("precision/train_step_fp16", |b| {
+        b.iter(|| trainer.train_step(&dataset))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -13,6 +13,7 @@ pub mod fig4;
 pub mod fig6;
 pub mod fig7;
 pub mod fig9;
+pub mod precision;
 pub mod psnr;
 pub mod tables;
 pub mod traces;

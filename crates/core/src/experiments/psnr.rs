@@ -72,6 +72,7 @@ impl PsnrBudget {
             order: inerf_trainer::StreamingOrder::RayFirst,
             eval_samples_per_ray: 2 * self.samples_per_ray,
             engine: inerf_trainer::Engine::Batched,
+            precision: inerf_trainer::Precision::F32,
         }
     }
 }

@@ -2,6 +2,7 @@
 
 use crate::hash::HashFunction;
 use inerf_geom::grid::{build_levels, GridLevel};
+use inerf_mlp::Precision;
 use serde::{Deserialize, Serialize};
 
 /// Configuration of the multi-resolution hash grid.
@@ -78,6 +79,13 @@ impl HashGridConfig {
     #[inline]
     pub const fn level_bytes(&self, bytes_per_entry: usize) -> usize {
         self.table_size() as usize * bytes_per_entry
+    }
+
+    /// Bytes of one table entry (`F` features) stored at `precision`:
+    /// 4 B for the paper's fp16 pairs, 8 B for f32 storage.
+    #[inline]
+    pub const fn entry_bytes(&self, precision: Precision) -> u32 {
+        self.features * precision.bytes_per_param() as u32
     }
 
     /// Builds the per-level grid descriptors.

@@ -47,6 +47,12 @@ pub mod trace;
 
 pub use config::HashGridConfig;
 pub use hash::HashFunction;
+pub use requests::EntryLayout;
 pub use sink::{BatchBufferSink, BufferSink, CountingSink, TraceSink};
 pub use table::{HashGrid, LookupCache};
 pub use trace::{LookupEvent, LookupTrace};
+
+// The mixed-precision parameter backend the embedding table sits behind,
+// re-exported so hardware-model crates can name the storage precision
+// without depending on `inerf_mlp` directly.
+pub use inerf_mlp::{ParamStore, Precision};

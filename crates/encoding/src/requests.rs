@@ -13,46 +13,129 @@ use crate::sink::TraceSink;
 use crate::trace::{CubeLookup, LookupTrace};
 use serde::{Deserialize, Serialize};
 
-/// Bytes per hash-table entry (one 32-bit embedding vector, paper Sec. I).
+/// Default bytes per hash-table entry (one 32-bit vector of two FP16
+/// features, paper Sec. I) — the paper's hardware storage width, kept as
+/// the `const` default so precision-agnostic call sites stay unchanged.
 pub const ENTRY_BYTES: u32 = 4;
 /// DRAM row-buffer size in bytes (LPDDR4, paper Sec. II-C).
 pub const ROW_BYTES: u32 = 1024;
-/// Entries per DRAM row.
+/// Entries per DRAM row at the default entry width.
 pub const ENTRIES_PER_ROW: u32 = ROW_BYTES / ENTRY_BYTES;
 
-/// The DRAM row holding a given table entry.
+/// Row geometry of the hash table in DRAM at a chosen entry width — the
+/// parameter the storage precision decision flows through: f32 entries
+/// are twice as wide as fp16 entries, so fewer fit a row and a cube's
+/// vertices scatter over more rows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct EntryLayout {
+    /// Bytes per table entry (all `F` features of one vertex).
+    entry_bytes: u32,
+    /// Cached `ROW_BYTES / entry_bytes`: [`EntryLayout::row_of_entry`]
+    /// sits in the per-entry request-generation hot path, where the old
+    /// code divided by a compile-time constant.
+    entries_per_row: u32,
+}
+
+impl Default for EntryLayout {
+    /// The paper's 4-byte (FP16×2) entries.
+    fn default() -> Self {
+        Self::new(ENTRY_BYTES)
+    }
+}
+
+impl EntryLayout {
+    /// A layout with `entry_bytes`-wide entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entry_bytes` is zero or exceeds the row size.
+    pub fn new(entry_bytes: u32) -> Self {
+        assert!(
+            entry_bytes > 0 && entry_bytes <= ROW_BYTES,
+            "entry width must be in 1..={ROW_BYTES} bytes"
+        );
+        EntryLayout {
+            entry_bytes,
+            entries_per_row: ROW_BYTES / entry_bytes,
+        }
+    }
+
+    /// Bytes per table entry.
+    #[inline]
+    pub const fn entry_bytes(self) -> u32 {
+        self.entry_bytes
+    }
+
+    /// Entries per DRAM row at this width.
+    #[inline]
+    pub const fn entries_per_row(self) -> u32 {
+        self.entries_per_row
+    }
+
+    /// The DRAM row holding a given table entry.
+    #[inline]
+    pub const fn row_of_entry(self, entry: u32) -> u32 {
+        entry / self.entries_per_row
+    }
+
+    /// Number of distinct DRAM rows the eight vertices of `cube` occupy —
+    /// the row requests needed to gather one cube with no reuse.
+    pub fn cube_row_requests(self, cube: &CubeLookup) -> u32 {
+        let mut rows = [u32::MAX; 8];
+        let mut n = 0usize;
+        for &e in &cube.entries {
+            let r = self.row_of_entry(e);
+            if !rows[..n].contains(&r) {
+                rows[n] = r;
+                n += 1;
+            }
+        }
+        n as u32
+    }
+
+    /// Embedding payload bytes a cube's eight vertices carry at this
+    /// width (what the DRAM rows must deliver; scales linearly with the
+    /// entry width, unlike the row count).
+    #[inline]
+    pub const fn cube_payload_bytes(self) -> u32 {
+        8 * self.entry_bytes
+    }
+}
+
+/// The DRAM row holding a given table entry (default entry width).
 #[inline]
 pub const fn row_of_entry(entry: u32) -> u32 {
     entry / ENTRIES_PER_ROW
 }
 
-/// Number of distinct DRAM rows the eight vertices of `cube` occupy — the
-/// row requests needed to gather one cube with no reuse.
+/// Number of distinct DRAM rows the eight vertices of `cube` occupy at
+/// the default entry width — the row requests needed to gather one cube
+/// with no reuse.
 pub fn cube_row_requests(cube: &CubeLookup) -> u32 {
-    let mut rows = [u32::MAX; 8];
-    let mut n = 0usize;
-    for &e in &cube.entries {
-        let r = row_of_entry(e);
-        if !rows[..n].contains(&r) {
-            rows[n] = r;
-            n += 1;
-        }
-    }
-    n as u32
+    EntryLayout::default().cube_row_requests(cube)
 }
 
 /// Streaming accumulator of the mean-row-requests-per-cube statistic
 /// (the paper's 1.58-vs-4.02 number), fed by the trace bus.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct MeanRequestSink {
+    layout: EntryLayout,
     cubes: u64,
     total_requests: u64,
 }
 
 impl MeanRequestSink {
-    /// Creates an empty accumulator.
+    /// Creates an empty accumulator at the default entry width.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an empty accumulator counting rows at `layout`'s width.
+    pub fn with_layout(layout: EntryLayout) -> Self {
+        MeanRequestSink {
+            layout,
+            ..Self::default()
+        }
     }
 
     /// Mean row requests per cube seen so far (0.0 before any cube).
@@ -68,7 +151,7 @@ impl MeanRequestSink {
 impl TraceSink for MeanRequestSink {
     fn push_cube(&mut self, cube: &CubeLookup) {
         self.cubes += 1;
-        self.total_requests += cube_row_requests(cube) as u64;
+        self.total_requests += self.layout.cube_row_requests(cube) as u64;
     }
 }
 
@@ -130,15 +213,23 @@ impl StreamStats {
 /// cube's distinct rows are fetched (row-buffer granularity).
 #[derive(Debug, Clone)]
 pub struct RegisterCacheSink {
+    layout: EntryLayout,
     stats: Vec<LevelStreamStats>,
     last_id: Vec<Option<u64>>,
 }
 
 impl RegisterCacheSink {
-    /// Creates a sink covering `levels` hash-table levels (cubes at higher
-    /// levels are ignored, matching the materialized replay).
+    /// Creates a sink covering `levels` hash-table levels at the default
+    /// entry width (cubes at higher levels are ignored, matching the
+    /// materialized replay).
     pub fn new(levels: u32) -> Self {
+        Self::with_layout(levels, EntryLayout::default())
+    }
+
+    /// [`RegisterCacheSink::new`] counting rows at `layout`'s entry width.
+    pub fn with_layout(levels: u32, layout: EntryLayout) -> Self {
         RegisterCacheSink {
+            layout,
             stats: (0..levels)
                 .map(|level| LevelStreamStats {
                     level,
@@ -170,16 +261,25 @@ impl TraceSink for RegisterCacheSink {
         if self.last_id[li] == Some(cube.cube_id) {
             s.register_hits += 1;
         } else {
-            s.row_requests += cube_row_requests(cube) as u64;
+            s.row_requests += self.layout.cube_row_requests(cube) as u64;
             self.last_id[li] = Some(cube.cube_id);
         }
     }
 }
 
 /// Replays `trace` through the per-level register cache (the materialized
-/// wrapper over [`RegisterCacheSink`]).
+/// wrapper over [`RegisterCacheSink`]) at the default entry width.
 pub fn replay_with_register_cache(trace: &LookupTrace, levels: u32) -> StreamStats {
-    let mut sink = RegisterCacheSink::new(levels);
+    replay_with_register_cache_layout(trace, levels, EntryLayout::default())
+}
+
+/// [`replay_with_register_cache`] counting rows at `layout`'s entry width.
+pub fn replay_with_register_cache_layout(
+    trace: &LookupTrace,
+    levels: u32,
+    layout: EntryLayout,
+) -> StreamStats {
+    let mut sink = RegisterCacheSink::with_layout(levels, layout);
     for cube in trace.cubes() {
         sink.push_cube(cube);
     }
@@ -241,6 +341,45 @@ mod tests {
         assert_eq!(row_of_entry(0), 0);
         assert_eq!(row_of_entry(255), 0);
         assert_eq!(row_of_entry(256), 1);
+    }
+
+    #[test]
+    fn entry_layout_widths() {
+        // fp16 F=2 entries (the default) vs their f32 twins.
+        let fp16 = EntryLayout::default();
+        let f32w = EntryLayout::new(8);
+        assert_eq!(fp16.entries_per_row(), 256);
+        assert_eq!(f32w.entries_per_row(), 128);
+        // The same entry index lands in a different row once entries widen.
+        assert_eq!(fp16.row_of_entry(200), 0);
+        assert_eq!(f32w.row_of_entry(200), 1);
+        // Payload scales exactly with the width; the row count does not
+        // shrink when entries widen.
+        assert_eq!(f32w.cube_payload_bytes(), 2 * fp16.cube_payload_bytes());
+        let spread = cube_with_entries([0, 120, 250, 380, 500, 600, 760, 900], 7);
+        assert!(f32w.cube_row_requests(&spread) >= fp16.cube_row_requests(&spread));
+    }
+
+    #[test]
+    #[should_panic(expected = "entry width")]
+    fn zero_entry_width_rejected() {
+        EntryLayout::new(0);
+    }
+
+    #[test]
+    fn layout_sinks_match_default_helpers() {
+        let grid = HashGrid::new(HashGridConfig::paper(HashFunction::Morton), 5);
+        let t = random_trace(&grid, 64, 3);
+        let mut def = MeanRequestSink::new();
+        let mut lay = MeanRequestSink::with_layout(EntryLayout::new(ENTRY_BYTES));
+        for cube in t.cubes() {
+            def.push_cube(cube);
+            lay.push_cube(cube);
+        }
+        assert_eq!(def.mean(), lay.mean());
+        let a = replay_with_register_cache(&t, grid.config().levels);
+        let b = replay_with_register_cache_layout(&t, grid.config().levels, EntryLayout::default());
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -7,16 +7,18 @@ use crate::trace::{CubeLookup, LookupTrace};
 use inerf_geom::grid::GridLevel;
 use inerf_geom::morton::morton_encode;
 use inerf_geom::Vec3;
+use inerf_mlp::{ParamStore, Precision};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 /// The multi-resolution hash grid of trainable embedding vectors.
 ///
-/// Stores `L × T × F` f32 parameters plus a same-shaped gradient buffer.
-/// `encode*` implements the forward pass (hash → gather → trilinear
-/// interpolation → concatenate); [`HashGrid::backward`] scatter-adds the
-/// output gradient back into the embedding gradients (the paper's "HT_b"
-/// step).
+/// Stores `L × T × F` parameters behind a [`ParamStore`] (f32, or fp16
+/// with f32 master weights — the paper's hardware storage format) plus an
+/// f32 gradient buffer of the same shape. `encode*` implements the
+/// forward pass (hash → gather → trilinear interpolation → concatenate);
+/// [`HashGrid::backward`] scatter-adds the output gradient back into the
+/// embedding gradients (the paper's "HT_b" step).
 ///
 /// # Example
 ///
@@ -36,7 +38,7 @@ use rand::{Rng, SeedableRng};
 pub struct HashGrid {
     config: HashGridConfig,
     levels: Vec<GridLevel>,
-    embeddings: Vec<f32>,
+    store: ParamStore,
     gradients: Vec<f32>,
 }
 
@@ -73,15 +75,24 @@ impl LookupCache {
 }
 
 impl HashGrid {
-    /// Creates a grid with iNGP's uniform init in `[-1e-4, 1e-4]`.
+    /// Creates an f32-stored grid with iNGP's uniform init in
+    /// `[-1e-4, 1e-4]` (the pre-mixed-precision behavior, bit-identical).
     pub fn new(config: HashGridConfig, seed: u64) -> Self {
+        Self::with_precision(config, seed, Precision::F32)
+    }
+
+    /// [`HashGrid::new`] with the embedding table stored at `precision`.
+    /// The initialization draws are identical; an fp16 grid quantizes them
+    /// into its working copy and keeps the exact f32 master weights for
+    /// the optimizer.
+    pub fn with_precision(config: HashGridConfig, seed: u64, precision: Precision) -> Self {
         let mut rng = SmallRng::seed_from_u64(seed);
         let n = config.parameter_count();
         let embeddings = (0..n).map(|_| rng.gen_range(-1e-4f32..1e-4)).collect();
         HashGrid {
             config,
             levels: config.build_levels(),
-            embeddings,
+            store: ParamStore::new(precision, embeddings),
             gradients: vec![0.0; n],
         }
     }
@@ -91,19 +102,44 @@ impl HashGrid {
         &self.config
     }
 
+    /// The storage precision of the embedding table.
+    pub fn precision(&self) -> Precision {
+        self.store.precision()
+    }
+
+    /// Modeled bytes of the stored table at this grid's precision — the
+    /// footprint the DRAM-traffic and table-size models consume. Half the
+    /// f32 value for fp16 grids.
+    pub fn storage_bytes(&self) -> usize {
+        self.store.storage_bytes()
+    }
+
+    /// Modeled bytes of one table entry (`F` features at this precision),
+    /// the row-geometry parameter of the DRAM request models.
+    pub fn entry_bytes(&self) -> u32 {
+        self.config.entry_bytes(self.precision())
+    }
+
     /// Per-level grid descriptors.
     pub fn levels(&self) -> &[GridLevel] {
         &self.levels
     }
 
-    /// All trainable parameters (row-major: level, entry, feature).
+    /// The working parameter values compute reads (row-major: level,
+    /// entry, feature) — quantized for fp16 grids.
     pub fn parameters(&self) -> &[f32] {
-        &self.embeddings
+        self.store.values()
     }
 
-    /// Mutable parameters (for the optimizer).
-    pub fn parameters_mut(&mut self) -> &mut [f32] {
-        &mut self.embeddings
+    /// The parameter store (master weights + precision backend).
+    pub fn parameter_store(&self) -> &ParamStore {
+        &self.store
+    }
+
+    /// Mutable parameter store, for direct edits outside the optimizer
+    /// path (tests, tooling).
+    pub fn parameter_store_mut(&mut self) -> &mut ParamStore {
+        &mut self.store
     }
 
     /// Accumulated gradients, same layout as [`HashGrid::parameters`].
@@ -111,10 +147,18 @@ impl HashGrid {
         &self.gradients
     }
 
-    /// Parameters and gradients together (for optimizer steps that need
-    /// simultaneous mutable/shared access).
+    /// Master weights and gradients together, for an optimizer step that
+    /// needs simultaneous mutable/shared access. Callers must follow the
+    /// sweep with [`HashGrid::commit_parameters`] so fp16 grids
+    /// re-quantize their working copy (a no-op for f32 grids).
     pub fn parameters_and_gradients_mut(&mut self) -> (&mut [f32], &[f32]) {
-        (&mut self.embeddings, &self.gradients)
+        (self.store.master_mut(), &self.gradients)
+    }
+
+    /// Re-quantizes the working copy after a master-weight sweep (RNE
+    /// through the fp16 storage path); no-op for f32 grids.
+    pub fn commit_parameters(&mut self) {
+        self.store.commit();
     }
 
     /// Clears accumulated gradients.
@@ -149,6 +193,7 @@ impl HashGrid {
         );
         let f = self.config.features as usize;
         let t = self.config.table_size();
+        let emb = self.store.values();
         for (li, level) in self.levels.iter().enumerate() {
             let (base, frac) = level.cube_of(p);
             let slot = &mut out[li * f..(li + 1) * f];
@@ -161,7 +206,7 @@ impl HashGrid {
                 let entry = level_index(self.config.hash, level, base.corner(c), t);
                 let off = self.base_offset(li as u32, entry);
                 for (k, s) in slot.iter_mut().enumerate() {
-                    *s += w * self.embeddings[off + k];
+                    *s += w * emb[off + k];
                 }
             }
         }
@@ -263,6 +308,7 @@ impl HashGrid {
         );
         let f = self.config.features as usize;
         let t = self.config.table_size();
+        let emb = self.store.values();
         cache.reset(self.levels.len(), points.len());
         for (pi, (p, row)) in points.iter().zip(out.chunks_exact_mut(dim)).enumerate() {
             for (li, level) in self.levels.iter().enumerate() {
@@ -282,7 +328,7 @@ impl HashGrid {
                     }
                     let off = self.base_offset(li as u32, entries[c as usize]);
                     for (k, s) in slot.iter_mut().enumerate() {
-                        *s += w * self.embeddings[off + k];
+                        *s += w * emb[off + k];
                     }
                 }
             }
@@ -461,8 +507,8 @@ mod tests {
         let entry = lookups[0].entries[0];
         let f = g.config().features as usize;
         let off = entry as usize * f; // level 0 offset
-        g.embeddings[off] = 0.5;
-        g.embeddings[off + 1] = -0.25;
+        g.store.set(off, 0.5);
+        g.store.set(off + 1, -0.25);
         let feats = g.encode(p);
         assert!((feats[0] - 0.5).abs() < 1e-6);
         assert!((feats[1] + 0.25).abs() < 1e-6);
@@ -509,12 +555,12 @@ mod tests {
             .expect("some gradient");
         let analytic = g.gradients()[j];
         let eps = 1e-3f32;
-        let orig = g.embeddings[j];
-        g.embeddings[j] = orig + eps;
+        let orig = g.parameters()[j];
+        g.store.set(j, orig + eps);
         let up = g.encode(p)[k];
-        g.embeddings[j] = orig - eps;
+        g.store.set(j, orig - eps);
         let down = g.encode(p)[k];
-        g.embeddings[j] = orig;
+        g.store.set(j, orig);
         let numeric = (up - down) / (2.0 * eps);
         assert!(
             (analytic - numeric).abs() < 1e-3,
@@ -618,6 +664,67 @@ mod tests {
         plain.backward_batch(&points, &d);
         cached.backward_batch_cached(&cache, &d);
         assert_eq!(plain.gradients(), cached.gradients());
+    }
+
+    #[test]
+    fn fp16_grid_quantizes_storage_and_halves_modeled_bytes() {
+        let full = grid(HashFunction::Morton);
+        let half = HashGrid::with_precision(
+            HashGridConfig::tiny(HashFunction::Morton),
+            7,
+            Precision::Fp16,
+        );
+        assert_eq!(half.precision(), Precision::Fp16);
+        // Same init draws; the working copy is the RNE fp16 image.
+        for (i, (&f, &h)) in full.parameters().iter().zip(half.parameters()).enumerate() {
+            assert_eq!(h, inerf_mlp::fp16::quantize_f16(f), "entry {i}");
+        }
+        // The modeled storage and entry width are exactly half.
+        assert_eq!(2 * half.storage_bytes(), full.storage_bytes());
+        assert_eq!(full.entry_bytes(), 8); // F=2 x 4 B
+        assert_eq!(half.entry_bytes(), 4); // F=2 x 2 B, the paper's width
+                                           // Encoding still interpolates the (quantized) table sensibly.
+        let p = Vec3::new(0.3, 0.6, 0.9);
+        let ff = full.encode(p);
+        let hf = half.encode(p);
+        for (a, b) in ff.iter().zip(&hf) {
+            assert!((a - b).abs() <= 2.0f32.powi(-11) * a.abs().max(1e-4));
+        }
+    }
+
+    #[test]
+    fn fp16_grid_master_weights_accumulate_small_updates() {
+        let mut g = HashGrid::with_precision(
+            HashGridConfig::tiny(HashFunction::Morton),
+            3,
+            Precision::Fp16,
+        );
+        // Pin the slot to an exactly fp16-representable value: at 0.5 the
+        // fp16 ulp is 2^-12, so 50 steps of 1e-6 stay below the rounding
+        // tie and must not commit, while their master-side sum survives.
+        g.parameter_store_mut().set(0, 0.5);
+        let before = g.parameters()[0];
+        assert_eq!(before, 0.5);
+        for _ in 0..50 {
+            let (params, _) = g.parameters_and_gradients_mut();
+            params[0] += 1e-6;
+            g.commit_parameters();
+        }
+        assert_eq!(
+            g.parameters()[0],
+            before,
+            "sub-resolution steps commit late"
+        );
+        assert!(g.parameter_store().master()[0] > 0.5);
+        for _ in 0..1_000 {
+            let (params, _) = g.parameters_and_gradients_mut();
+            params[0] += 1e-6;
+        }
+        g.commit_parameters();
+        assert!(
+            g.parameters()[0] > before,
+            "accumulated master updates must eventually surface"
+        );
     }
 
     #[test]

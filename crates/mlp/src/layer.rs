@@ -1,5 +1,6 @@
 //! Dense layers with explicit forward/backward passes.
 
+use crate::store::{ParamStore, Precision};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -67,25 +68,45 @@ const FWD_BLOCK: usize = 16;
 /// A dense layer `y = act(W x + b)` with gradient accumulation buffers.
 ///
 /// Weights are stored row-major: `w[o * in_dim + i]` connects input `i` to
-/// output `o`.
+/// output `o`. Both parameter groups live behind a [`ParamStore`], so the
+/// storage precision (f32, or fp16 with f32 master weights) is a
+/// constructor parameter; gradients always accumulate in f32.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct DenseLayer {
     in_dim: usize,
     out_dim: usize,
     activation: Activation,
-    weights: Vec<f32>,
-    bias: Vec<f32>,
+    weights: ParamStore,
+    bias: ParamStore,
     grad_weights: Vec<f32>,
     grad_bias: Vec<f32>,
 }
 
 impl DenseLayer {
-    /// Creates a layer with He-style uniform initialization.
+    /// Creates an f32-stored layer with He-style uniform initialization
+    /// (the pre-mixed-precision behavior, bit-identical).
     ///
     /// # Panics
     ///
     /// Panics if either dimension is zero.
     pub fn new(in_dim: usize, out_dim: usize, activation: Activation, seed: u64) -> Self {
+        Self::with_precision(in_dim, out_dim, activation, seed, Precision::F32)
+    }
+
+    /// Creates a layer whose parameters are stored at `precision`. The
+    /// initialization draws are identical to [`DenseLayer::new`]; fp16
+    /// layers quantize them into the working copy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn with_precision(
+        in_dim: usize,
+        out_dim: usize,
+        activation: Activation,
+        seed: u64,
+        precision: Precision,
+    ) -> Self {
         assert!(
             in_dim > 0 && out_dim > 0,
             "layer dimensions must be positive"
@@ -99,8 +120,8 @@ impl DenseLayer {
             in_dim,
             out_dim,
             activation,
-            weights,
-            bias: vec![0.0; out_dim],
+            weights: ParamStore::new(precision, weights),
+            bias: ParamStore::new(precision, vec![0.0; out_dim]),
             grad_weights: vec![0.0; in_dim * out_dim],
             grad_bias: vec![0.0; out_dim],
         }
@@ -121,9 +142,19 @@ impl DenseLayer {
         self.activation
     }
 
+    /// The storage precision of the layer's parameters.
+    pub fn precision(&self) -> Precision {
+        self.weights.precision()
+    }
+
     /// Number of trainable parameters (weights + biases).
     pub fn parameter_count(&self) -> usize {
         self.weights.len() + self.bias.len()
+    }
+
+    /// Modeled parameter-storage bytes at the layer's precision.
+    pub fn parameter_bytes(&self) -> usize {
+        self.weights.storage_bytes() + self.bias.storage_bytes()
     }
 
     /// Forward pass: writes pre-activations into `pre` and activated outputs
@@ -136,9 +167,11 @@ impl DenseLayer {
         assert_eq!(input.len(), self.in_dim, "input size mismatch");
         assert_eq!(pre.len(), self.out_dim, "pre-activation buffer mismatch");
         assert_eq!(out.len(), self.out_dim, "output buffer mismatch");
+        let weights = self.weights.values();
+        let bias = self.bias.values();
         for o in 0..self.out_dim {
-            let row = &self.weights[o * self.in_dim..(o + 1) * self.in_dim];
-            let mut acc = self.bias[o];
+            let row = &weights[o * self.in_dim..(o + 1) * self.in_dim];
+            let mut acc = bias[o];
             for (w, x) in row.iter().zip(input) {
                 acc += w * x;
             }
@@ -162,13 +195,14 @@ impl DenseLayer {
         assert_eq!(d_out.len(), self.out_dim, "output gradient size mismatch");
         assert_eq!(d_input.len(), self.in_dim, "input gradient buffer mismatch");
         d_input.fill(0.0);
+        let weights = self.weights.values();
         for o in 0..self.out_dim {
             let d_pre = d_out[o] * self.activation.derivative(pre[o], out[o]);
             if d_pre == 0.0 {
                 continue;
             }
             self.grad_bias[o] += d_pre;
-            let row_w = &self.weights[o * self.in_dim..(o + 1) * self.in_dim];
+            let row_w = &weights[o * self.in_dim..(o + 1) * self.in_dim];
             let row_g = &mut self.grad_weights[o * self.in_dim..(o + 1) * self.in_dim];
             for i in 0..self.in_dim {
                 row_g[i] += d_pre * input[i];
@@ -180,7 +214,7 @@ impl DenseLayer {
     /// Batched forward pass over `n` row-major points: `inputs` is
     /// `n × in_dim`, `pres`/`outs` are `n × out_dim`.
     ///
-    /// Works on transposed [`FWD_BLOCK`]-point blocks so the inner loop runs
+    /// Works on transposed `FWD_BLOCK`-point blocks so the inner loop runs
     /// *across points* — contiguous, reduction-free, SIMD-friendly — while
     /// each point still accumulates bias-then-inputs in ascending order, so
     /// every result is bitwise-identical to [`DenseLayer::forward_into`] on
@@ -199,6 +233,8 @@ impl DenseLayer {
             "pre-activation matrix mismatch"
         );
         assert_eq!(outs.len(), n * self.out_dim, "output matrix mismatch");
+        let weights = self.weights.values();
+        let bias = self.bias.values();
         let mut transposed = vec![0.0f32; self.in_dim * FWD_BLOCK];
         let mut block_start = 0;
         while block_start < n {
@@ -213,8 +249,8 @@ impl DenseLayer {
                 }
             }
             for o in 0..self.out_dim {
-                let weight_row = &self.weights[o * self.in_dim..(o + 1) * self.in_dim];
-                let mut acc = [self.bias[o]; FWD_BLOCK];
+                let weight_row = &weights[o * self.in_dim..(o + 1) * self.in_dim];
+                let mut acc = [bias[o]; FWD_BLOCK];
                 for (i, &w) in weight_row.iter().enumerate() {
                     let lane = &transposed[i * FWD_BLOCK..(i + 1) * FWD_BLOCK];
                     for p in 0..FWD_BLOCK {
@@ -271,6 +307,7 @@ impl DenseLayer {
             self.out_dim,
             "bias gradient buffer mismatch"
         );
+        let weights = self.weights.values();
         for r in 0..n {
             let input = &inputs[r * self.in_dim..(r + 1) * self.in_dim];
             let pre = &pres[r * self.out_dim..(r + 1) * self.out_dim];
@@ -284,7 +321,7 @@ impl DenseLayer {
                     continue;
                 }
                 grad_bias[o] += d_pre;
-                let row_w = &self.weights[o * self.in_dim..(o + 1) * self.in_dim];
+                let row_w = &weights[o * self.in_dim..(o + 1) * self.in_dim];
                 let row_g = &mut grad_weights[o * self.in_dim..(o + 1) * self.in_dim];
                 for i in 0..self.in_dim {
                     row_g[i] += d_pre * input[i];
@@ -318,9 +355,10 @@ impl DenseLayer {
         self.grad_bias.fill(0.0);
     }
 
-    /// Flattened view of all parameters: weights then biases.
+    /// Flattened view of the *working* parameter values (what compute
+    /// reads — quantized for fp16 layers): weights then biases.
     pub fn parameters(&self) -> impl Iterator<Item = &f32> {
-        self.weights.iter().chain(self.bias.iter())
+        self.weights.values().iter().chain(self.bias.values())
     }
 
     /// Flattened view of the accumulated gradients, parallel to
@@ -329,15 +367,29 @@ impl DenseLayer {
         self.grad_weights.iter().chain(self.grad_bias.iter())
     }
 
-    /// Applies `f(param, grad)` to every parameter/gradient pair (the
-    /// optimizer hook).
+    /// Applies `f(param, grad)` to every master-weight/gradient pair (the
+    /// optimizer hook), then commits both stores so fp16 layers
+    /// re-quantize their working copy. For f32 layers this is exactly the
+    /// pre-store in-place sweep.
     pub fn for_each_param_mut(&mut self, mut f: impl FnMut(&mut f32, f32)) {
-        for (w, g) in self.weights.iter_mut().zip(&self.grad_weights) {
+        for (w, g) in self.weights.master_mut().iter_mut().zip(&self.grad_weights) {
             f(w, *g);
         }
-        for (b, g) in self.bias.iter_mut().zip(&self.grad_bias) {
+        for (b, g) in self.bias.master_mut().iter_mut().zip(&self.grad_bias) {
             f(b, *g);
         }
+        self.weights.commit();
+        self.bias.commit();
+    }
+
+    /// The weight store (test/tooling hook for direct parameter edits).
+    pub fn weights_mut(&mut self) -> &mut ParamStore {
+        &mut self.weights
+    }
+
+    /// The bias store (test/tooling hook for direct parameter edits).
+    pub fn bias_mut(&mut self) -> &mut ParamStore {
+        &mut self.bias
     }
 }
 
@@ -379,8 +431,8 @@ mod tests {
     #[test]
     fn forward_known_values() {
         let mut layer = DenseLayer::new(2, 1, Activation::Identity, 0);
-        layer.weights = vec![2.0, -1.0];
-        layer.bias = vec![0.5];
+        layer.weights = ParamStore::f32(vec![2.0, -1.0]);
+        layer.bias = ParamStore::f32(vec![0.5]);
         let mut pre = [0.0];
         let mut out = [0.0];
         layer.forward_into(&[3.0, 4.0], &mut pre, &mut out);
@@ -410,9 +462,10 @@ mod tests {
         let eps = 1e-3;
         for wi in 0..6 {
             let mut pert = layer.clone();
-            pert.weights[wi] += eps;
+            let w = pert.weights.values()[wi];
+            pert.weights.set(wi, w + eps);
             let up = loss(&pert);
-            pert.weights[wi] -= 2.0 * eps;
+            pert.weights.set(wi, w - eps);
             let down = loss(&pert);
             let numeric = (up - down) / (2.0 * eps);
             assert!(
@@ -461,5 +514,33 @@ mod tests {
         let layer = DenseLayer::new(4, 3, Activation::Relu, 2);
         assert_eq!(layer.parameter_count(), 4 * 3 + 3);
         assert_eq!(layer.parameters().count(), 15);
+        assert_eq!(layer.parameter_bytes(), 15 * 4);
+        assert_eq!(layer.precision(), Precision::F32);
+    }
+
+    #[test]
+    fn fp16_layer_stores_quantized_weights_with_exact_masters() {
+        let full = DenseLayer::new(3, 2, Activation::Identity, 11);
+        let mut half = DenseLayer::with_precision(3, 2, Activation::Identity, 11, Precision::Fp16);
+        assert_eq!(half.precision(), Precision::Fp16);
+        // Same init draws; the fp16 layer's working copy is the RNE image.
+        for (f, h) in full.parameters().zip(half.parameters()) {
+            assert_eq!(*h, crate::fp16::quantize_f16(*f));
+        }
+        assert_eq!(2 * half.parameter_bytes(), full.parameter_bytes());
+        // Optimizer steps below fp16 resolution accumulate in the master
+        // weights instead of vanishing: the working copy is unchanged, but
+        // the sweep keeps compounding on the f32 side.
+        let before: Vec<f32> = half.parameters().copied().collect();
+        for _ in 0..3 {
+            half.for_each_param_mut(|p, _| *p *= 1.0 + 1e-6);
+        }
+        let after: Vec<f32> = half.parameters().copied().collect();
+        assert_eq!(before, after, "sub-resolution updates must not commit");
+        for _ in 0..20_000 {
+            half.for_each_param_mut(|p, _| *p *= 1.0 + 1e-6);
+        }
+        let moved: Vec<f32> = half.parameters().copied().collect();
+        assert_ne!(before, moved, "accumulated master updates must surface");
     }
 }

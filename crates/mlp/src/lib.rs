@@ -9,6 +9,9 @@
 //! * [`adam`] — the Adam optimizer used by iNGP.
 //! * [`fp16`] — IEEE 754 half-precision conversion, modelling the paper's
 //!   mixed-precision storage path (FP16 table entries, FP32 accumulation).
+//! * [`store`] — the [`ParamStore`] mixed-precision parameter backend
+//!   (f32, or fp16 storage with f32 master weights) every trainable
+//!   parameter group sits behind.
 //!
 //! # Example
 //!
@@ -25,7 +28,9 @@ pub mod adam;
 pub mod fp16;
 pub mod layer;
 pub mod mlp;
+pub mod store;
 
 pub use adam::AdamState;
 pub use layer::{Activation, DenseLayer};
 pub use mlp::{Mlp, MlpActivations, MlpBatchActivations, MlpGradients};
+pub use store::{ParamStore, Precision};

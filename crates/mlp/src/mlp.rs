@@ -1,6 +1,7 @@
 //! Multi-layer perceptrons built from [`DenseLayer`]s.
 
 use crate::layer::{Activation, DenseLayer};
+use crate::store::Precision;
 use serde::{Deserialize, Serialize};
 
 /// The cached activations of one forward pass, needed for backprop.
@@ -128,13 +129,29 @@ pub struct Mlp {
 }
 
 impl Mlp {
-    /// Creates an MLP from layer widths, e.g. `&[32, 64, 16]` builds
-    /// 32→64→16.
+    /// Creates an f32-stored MLP from layer widths, e.g. `&[32, 64, 16]`
+    /// builds 32→64→16 (the pre-mixed-precision behavior, bit-identical).
     ///
     /// # Panics
     ///
     /// Panics if fewer than two widths are given.
     pub fn new(widths: &[usize], hidden: Activation, output: Activation, seed: u64) -> Self {
+        Self::with_precision(widths, hidden, output, seed, Precision::F32)
+    }
+
+    /// [`Mlp::new`] with every layer's parameters stored at `precision`
+    /// (fp16 layers keep f32 master weights for the optimizer).
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two widths are given.
+    pub fn with_precision(
+        widths: &[usize],
+        hidden: Activation,
+        output: Activation,
+        seed: u64,
+        precision: Precision,
+    ) -> Self {
         assert!(
             widths.len() >= 2,
             "an MLP needs at least input and output widths"
@@ -148,7 +165,13 @@ impl Mlp {
                 } else {
                     hidden
                 };
-                DenseLayer::new(w[0], w[1], act, seed.wrapping_add(i as u64 * 0x9E37))
+                DenseLayer::with_precision(
+                    w[0],
+                    w[1],
+                    act,
+                    seed.wrapping_add(i as u64 * 0x9E37),
+                    precision,
+                )
             })
             .collect();
         Mlp { layers }
@@ -157,6 +180,11 @@ impl Mlp {
     /// The layers of the network.
     pub fn layers(&self) -> &[DenseLayer] {
         &self.layers
+    }
+
+    /// The storage precision of the network's parameters.
+    pub fn precision(&self) -> Precision {
+        self.layers[0].precision()
     }
 
     /// Input dimension.
@@ -172,6 +200,12 @@ impl Mlp {
     /// Total trainable parameters.
     pub fn parameter_count(&self) -> usize {
         self.layers.iter().map(|l| l.parameter_count()).sum()
+    }
+
+    /// Modeled parameter-storage bytes at the network's precision (half
+    /// the f32 footprint for fp16 networks).
+    pub fn parameter_bytes(&self) -> usize {
+        self.layers.iter().map(|l| l.parameter_bytes()).sum()
     }
 
     /// Forward pass, caching everything backprop needs.

@@ -217,7 +217,7 @@ mod tests {
 
 /// Structural similarity (SSIM) between two images, averaged over RGB
 /// channels, using the standard global-statistics formulation of Hore &
-/// Ziou (the paper's reference [6] compares PSNR against this metric).
+/// Ziou (the paper's reference \[6\] compares PSNR against this metric).
 ///
 /// Returns a value in `[-1, 1]`; 1 means identical.
 ///

@@ -51,3 +51,7 @@ pub use model::{IngpModel, ModelConfig, TrainableField};
 pub use occupancy::OccupancyGrid;
 pub use streaming::StreamingOrder;
 pub use train::{Engine, TrainConfig, TrainReport, Trainer};
+
+// The parameter-storage precision selector (see `TrainConfig::precision`),
+// re-exported so experiment drivers need no direct `inerf_mlp` import.
+pub use inerf_mlp::Precision;

@@ -1,8 +1,11 @@
 //! The iNGP model (hash grid + two small MLPs) and the trainable-field trait.
 
+use crate::train::TrainConfig;
 use inerf_encoding::{HashFunction, HashGrid, HashGridConfig, LookupCache, TraceSink};
 use inerf_geom::Vec3;
-use inerf_mlp::{Activation, AdamState, Mlp, MlpActivations, MlpBatchActivations, MlpGradients};
+use inerf_mlp::{
+    Activation, AdamState, Mlp, MlpActivations, MlpBatchActivations, MlpGradients, Precision,
+};
 use rayon::ThreadPool;
 use serde::{Deserialize, Serialize};
 
@@ -44,6 +47,16 @@ pub trait TrainableField {
 
     /// Total trainable parameter count.
     fn parameter_count(&self) -> usize;
+
+    /// The parameter-storage precision of this model. Defaults to f32
+    /// (the only backend the baseline models have); [`IngpModel`] reports
+    /// its [`ParamStore`](inerf_mlp::ParamStore) backend. The trainer
+    /// debug-asserts this against `TrainConfig::precision` so a
+    /// config/model mismatch cannot silently skew precision-keyed
+    /// hardware models.
+    fn precision(&self) -> inerf_mlp::Precision {
+        inerf_mlp::Precision::F32
+    }
 
     /// Batched [`TrainableField::query`]: fills `sigmas[i]`/`rgbs[i]` for
     /// `points[i]` viewed along `dirs[i]`, caching intermediates under index
@@ -371,22 +384,33 @@ impl IngpModel {
     /// up and collapse training (a known iNGP instability).
     pub const GRAD_CLIP_NORM: f32 = 32.0;
 
-    /// Creates a model with freshly initialized parameters.
+    /// Creates a model with freshly initialized f32-stored parameters
+    /// (the pre-mixed-precision behavior, bit-identical).
     pub fn new(config: ModelConfig, seed: u64) -> Self {
-        let grid = HashGrid::new(config.grid, seed);
+        Self::with_precision(config, seed, Precision::F32)
+    }
+
+    /// [`IngpModel::new`] with the hash table and both MLPs stored at
+    /// `precision` (fp16 keeps f32 master weights for Adam and commits
+    /// RNE-rounded working copies after every optimizer step). The
+    /// initialization draws are identical to the f32 model.
+    pub fn with_precision(config: ModelConfig, seed: u64, precision: Precision) -> Self {
+        let grid = HashGrid::with_precision(config.grid, seed, precision);
         let feat = config.grid.feature_dim();
-        let density_mlp = Mlp::new(
+        let density_mlp = Mlp::with_precision(
             &[feat, config.density_hidden, config.density_out],
             Activation::Relu,
             Activation::Identity,
             seed ^ 0xD5,
+            precision,
         );
         let color_in = (config.density_out - 1) + 9;
-        let color_mlp = Mlp::new(
+        let color_mlp = Mlp::with_precision(
             &[color_in, config.color_hidden, config.color_hidden, 3],
             Activation::Relu,
             Activation::Sigmoid,
             seed ^ 0xC0,
+            precision,
         );
         let grid_adam = AdamState::new(grid.parameters().len(), Self::LEARNING_RATE);
         let density_adam = AdamState::new(density_mlp.parameter_count(), Self::LEARNING_RATE);
@@ -404,9 +428,29 @@ impl IngpModel {
         }
     }
 
+    /// [`IngpModel::with_precision`] driven by a [`TrainConfig`]'s
+    /// `precision` field — the one-stop constructor for precision-swept
+    /// experiments.
+    pub fn for_config(config: ModelConfig, train: &TrainConfig, seed: u64) -> Self {
+        Self::with_precision(config, seed, train.precision)
+    }
+
     /// The architecture configuration.
     pub fn config(&self) -> &ModelConfig {
         &self.config
+    }
+
+    /// The parameter-storage precision of every parameter group.
+    pub fn precision(&self) -> Precision {
+        self.grid.precision()
+    }
+
+    /// Modeled bytes of all stored parameters (hash table + both MLPs) at
+    /// this model's precision — half the f32 footprint for fp16 models.
+    pub fn parameter_storage_bytes(&self) -> usize {
+        self.grid.storage_bytes()
+            + self.density_mlp.parameter_bytes()
+            + self.color_mlp.parameter_bytes()
     }
 
     /// The underlying hash grid (e.g. for trace generation).
@@ -444,9 +488,15 @@ impl IngpModel {
     }
 
     fn step_mlp(mlp: &mut Mlp, adam: &mut AdamState) {
-        // Global-norm clip over the MLP's gradients.
-        let mut norm_sq = 0.0f64;
-        mlp.for_each_param_mut(|_, g| norm_sq += (g as f64) * (g as f64));
+        // Global-norm clip over the MLP's gradients. Read-only over the
+        // gradient buffers — for_each_param_mut would needlessly re-commit
+        // (re-quantize) every fp16 parameter just to compute the norm.
+        let norm_sq: f64 = mlp
+            .layers()
+            .iter()
+            .flat_map(|l| l.gradients())
+            .map(|&g| (g as f64) * (g as f64))
+            .sum();
         let scale = clip_scale(norm_sq, Self::GRAD_CLIP_NORM);
         adam.begin_step();
         let mut idx = 0usize;
@@ -518,7 +568,10 @@ impl TrainableField for IngpModel {
                     *g *= scale;
                 }
             }
+            // Adam moves the f32 master weights; the commit re-quantizes
+            // the working copy for fp16 grids (no-op for f32).
             self.grid_adam.step(params, &grads);
+            self.grid.commit_parameters();
         }
         Self::step_mlp(&mut self.density_mlp, &mut self.density_adam);
         Self::step_mlp(&mut self.color_mlp, &mut self.color_adam);
@@ -535,7 +588,11 @@ impl TrainableField for IngpModel {
             + self.color_mlp.parameter_count()
     }
 
-    /// Batched forward: the batch is cut into fixed [`POINT_CHUNK`]-point
+    fn precision(&self) -> Precision {
+        IngpModel::precision(self)
+    }
+
+    /// Batched forward: the batch is cut into fixed `POINT_CHUNK`-point
     /// chunks, each encoded and run through both MLPs on a pool worker with
     /// chunk-local reusable scratch. Per point the arithmetic matches the
     /// scalar [`TrainableField::query`] path bitwise.

@@ -6,6 +6,7 @@ use crate::occupancy::OccupancyGrid;
 use crate::streaming::StreamingOrder;
 use inerf_encoding::TraceSink;
 use inerf_geom::{Aabb, Camera, Ray, Vec3};
+use inerf_mlp::Precision;
 use inerf_render::l2_loss;
 use inerf_render::volume::{
     composite, composite_backward, composite_backward_spans, composite_backward_uniform,
@@ -44,6 +45,15 @@ pub struct TrainConfig {
     pub eval_samples_per_ray: usize,
     /// Hot-path implementation (batched SoA engine by default).
     pub engine: Engine,
+    /// Parameter-storage precision of the model this run trains (hash
+    /// table and MLP weights). Selects the [`ParamStore`] backend when a
+    /// model is built for this config (see
+    /// [`crate::model::IngpModel::for_config`]) and the entry width the
+    /// hardware models assume; both engines read the same store, so the
+    /// choice applies to `Scalar` and `Batched` identically.
+    ///
+    /// [`ParamStore`]: inerf_mlp::ParamStore
+    pub precision: Precision,
 }
 
 impl TrainConfig {
@@ -56,6 +66,7 @@ impl TrainConfig {
             order: StreamingOrder::RayFirst,
             eval_samples_per_ray: 128,
             engine: Engine::Batched,
+            precision: Precision::F32,
         }
     }
 
@@ -67,6 +78,7 @@ impl TrainConfig {
             order: StreamingOrder::RayFirst,
             eval_samples_per_ray: 24,
             engine: Engine::Batched,
+            precision: Precision::F32,
         }
     }
 
@@ -78,12 +90,20 @@ impl TrainConfig {
             order: StreamingOrder::RayFirst,
             eval_samples_per_ray: 48,
             engine: Engine::Batched,
+            precision: Precision::F32,
         }
     }
 
     /// The same configuration with a different [`Engine`].
     pub fn with_engine(mut self, engine: Engine) -> Self {
         self.engine = engine;
+        self
+    }
+
+    /// The same configuration with a different parameter-storage
+    /// [`Precision`].
+    pub fn with_precision(mut self, precision: Precision) -> Self {
+        self.precision = precision;
         self
     }
 
@@ -149,6 +169,14 @@ impl<M: TrainableField> Trainer<M> {
     /// `INERF_THREADS` environment variable, default all cores); see
     /// [`Trainer::with_threads`].
     pub fn new(model: M, config: TrainConfig, seed: u64) -> Self {
+        debug_assert_eq!(
+            model.precision(),
+            config.precision,
+            "model parameter store and TrainConfig::precision disagree — \
+             build the model with IngpModel::for_config (or match the \
+             config), or precision-keyed hardware models will not match \
+             the training that actually runs"
+        );
         Trainer {
             model,
             config,
@@ -586,7 +614,7 @@ pub fn render_view<M: TrainableField>(
 const RENDER_PIXEL_BLOCK: usize = 2048;
 
 /// [`render_view`] on an explicit thread pool: gathers sample points into
-/// SoA batches of [`RENDER_PIXEL_BLOCK`] pixels, queries the model once per
+/// SoA batches of `RENDER_PIXEL_BLOCK` pixels, queries the model once per
 /// block (chunk-parallel for [`crate::model::IngpModel`]), then composites
 /// the block's rays. Block boundaries are fixed, so results do not depend
 /// on the pool size.

@@ -2,10 +2,13 @@
 //! hardware cost models consume).
 //!
 //! All quantities derive from the architecture configuration and the batch
-//! size, using the paper's storage conventions: FP16 (2 B) for table
-//! entries, features and activations; FP32 (4 B) for input coordinates.
+//! size. The storage width of table entries, features and activations is a
+//! [`Precision`] parameter (input coordinates stay FP32); the argument-free
+//! functions keep the paper's Tab. II convention — FP16 (2 B) storage —
+//! while the `*_at` variants model the same workload at f32 width.
 
 use crate::model::ModelConfig;
+use inerf_mlp::Precision;
 use serde::{Deserialize, Serialize};
 
 /// The bottleneck pipeline steps the paper analyzes.
@@ -62,23 +65,32 @@ pub struct StepSizes {
     pub intermediate_bytes: u64,
 }
 
-const FP16: u64 = 2;
 const FP32: u64 = 4;
 
-/// Bytes of the FP16 hash table (dense coarse levels stored compactly).
-pub fn hash_table_bytes(cfg: &ModelConfig) -> u64 {
+/// The paper's Tab. II storage convention: FP16 entries and activations.
+const TAB2_PRECISION: Precision = Precision::Fp16;
+
+/// Bytes of the hash table stored at `precision` (dense coarse levels
+/// stored compactly). Halves going from f32 to fp16.
+pub fn hash_table_bytes_at(cfg: &ModelConfig, precision: Precision) -> u64 {
+    let sb = precision.bytes_per_param() as u64;
     cfg.grid
         .build_levels()
         .iter()
         .map(|l| {
             let entries = (l.dense_vertex_count()).min(cfg.grid.table_size() as u64);
-            entries * cfg.grid.features as u64 * FP16
+            entries * cfg.grid.features as u64 * sb
         })
         .sum()
 }
 
-/// Bytes of the two MLPs' weights (FP16).
-pub fn mlp_param_bytes(cfg: &ModelConfig) -> u64 {
+/// Bytes of the FP16 hash table — the paper's Tab. II convention.
+pub fn hash_table_bytes(cfg: &ModelConfig) -> u64 {
+    hash_table_bytes_at(cfg, TAB2_PRECISION)
+}
+
+/// Bytes of the two MLPs' weights stored at `precision`.
+pub fn mlp_param_bytes_at(cfg: &ModelConfig, precision: Precision) -> u64 {
     let feat = cfg.grid.feature_dim() as u64;
     let dh = cfg.density_hidden as u64;
     let dout = cfg.density_out as u64;
@@ -86,36 +98,48 @@ pub fn mlp_param_bytes(cfg: &ModelConfig) -> u64 {
     let cin = (dout - 1) + 9;
     let density = feat * dh + dh + dh * dout + dout;
     let color = cin * ch + ch + ch * ch + ch + ch * 3 + 3;
-    (density + color) * FP16
+    (density + color) * precision.bytes_per_param() as u64
 }
 
-/// Computes one Tab. II row for a batch of `points` sampled points.
-pub fn step_sizes(cfg: &ModelConfig, step: Step, points: u64) -> StepSizes {
+/// Bytes of the two MLPs' weights (FP16, the Tab. II convention).
+pub fn mlp_param_bytes(cfg: &ModelConfig) -> u64 {
+    mlp_param_bytes_at(cfg, TAB2_PRECISION)
+}
+
+/// Computes one Tab. II row for a batch of `points` sampled points, with
+/// parameters and activations stored at `precision`.
+pub fn step_sizes_at(
+    cfg: &ModelConfig,
+    step: Step,
+    points: u64,
+    precision: Precision,
+) -> StepSizes {
+    let sb = precision.bytes_per_param() as u64;
     let feat = cfg.grid.feature_dim() as u64;
-    let encode_bytes = points * feat * FP16; // HT output = MLP input
-    let rgb_bytes = points * 3 * FP16;
-    let hidden_bytes = points * cfg.color_hidden.max(cfg.density_hidden) as u64 * FP16;
+    let encode_bytes = points * feat * sb; // HT output = MLP input
+    let rgb_bytes = points * 3 * sb;
+    let hidden_bytes = points * cfg.color_hidden.max(cfg.density_hidden) as u64 * sb;
     match step {
         Step::Ht => StepSizes {
-            param_bytes: hash_table_bytes(cfg),
+            param_bytes: hash_table_bytes_at(cfg, precision),
             input_bytes: points * 3 * FP32, // 3D coordinates
             output_bytes: encode_bytes,
             intermediate_bytes: 0,
         },
         Step::MlpD | Step::MlpC => StepSizes {
-            param_bytes: mlp_param_bytes(cfg),
+            param_bytes: mlp_param_bytes_at(cfg, precision),
             input_bytes: encode_bytes,
             output_bytes: rgb_bytes,
             intermediate_bytes: hidden_bytes,
         },
         Step::MlpCB | Step::MlpDB => StepSizes {
-            param_bytes: mlp_param_bytes(cfg),
+            param_bytes: mlp_param_bytes_at(cfg, precision),
             input_bytes: rgb_bytes,
             output_bytes: encode_bytes,
             intermediate_bytes: hidden_bytes,
         },
         Step::HtB => StepSizes {
-            param_bytes: hash_table_bytes(cfg),
+            param_bytes: hash_table_bytes_at(cfg, precision),
             input_bytes: encode_bytes,
             output_bytes: 0,
             intermediate_bytes: 0,
@@ -123,15 +147,26 @@ pub fn step_sizes(cfg: &ModelConfig, step: Step, points: u64) -> StepSizes {
     }
 }
 
-/// Aggregated "MLP" row of Tab. II (MLPd and MLPc applied sequentially).
-pub fn mlp_combined_sizes(cfg: &ModelConfig, points: u64) -> StepSizes {
-    let d = step_sizes(cfg, Step::MlpD, points);
+/// Computes one Tab. II row at the paper's FP16 storage convention.
+pub fn step_sizes(cfg: &ModelConfig, step: Step, points: u64) -> StepSizes {
+    step_sizes_at(cfg, step, points, TAB2_PRECISION)
+}
+
+/// Aggregated "MLP" row of Tab. II (MLPd and MLPc applied sequentially)
+/// at `precision`.
+pub fn mlp_combined_sizes_at(cfg: &ModelConfig, points: u64, precision: Precision) -> StepSizes {
+    let d = step_sizes_at(cfg, Step::MlpD, points, precision);
     StepSizes {
-        param_bytes: mlp_param_bytes(cfg),
+        param_bytes: mlp_param_bytes_at(cfg, precision),
         input_bytes: d.input_bytes,
         output_bytes: d.output_bytes,
         intermediate_bytes: d.intermediate_bytes,
     }
+}
+
+/// Aggregated "MLP" row of Tab. II at the FP16 convention.
+pub fn mlp_combined_sizes(cfg: &ModelConfig, points: u64) -> StepSizes {
+    mlp_combined_sizes_at(cfg, points, TAB2_PRECISION)
 }
 
 /// Per-point operation counts of one step, used by the GPU and NMP cost
@@ -146,8 +181,11 @@ pub struct StepOps {
     pub dram_bytes: u64,
 }
 
-/// Per-point op counts for `step`.
-pub fn step_ops(cfg: &ModelConfig, step: Step) -> StepOps {
+/// Per-point op counts for `step`, with storage traffic at `precision`
+/// (the op counts themselves are precision-independent — computation runs
+/// in FP32/INT32 either way).
+pub fn step_ops_at(cfg: &ModelConfig, step: Step, precision: Precision) -> StepOps {
+    let sb = precision.bytes_per_param() as u64;
     let levels = cfg.grid.levels as u64;
     let feats = cfg.grid.features as u64;
     let feat_dim = cfg.grid.feature_dim() as u64;
@@ -164,35 +202,40 @@ pub fn step_ops(cfg: &ModelConfig, step: Step) -> StepOps {
             // 8 vertex hashes per level.
             int_ops: levels * 8 * hash_int_ops,
             // Read 8 entries per level + write the concatenated features.
-            dram_bytes: levels * 8 * feats * FP16 + feat_dim * FP16,
+            dram_bytes: levels * 8 * feats * sb + feat_dim * sb,
         },
         Step::MlpD => StepOps {
             fp_ops: 2 * (feat_dim * dh + dh * dout),
             int_ops: 0,
-            dram_bytes: feat_dim * FP16 + dout * FP16,
+            dram_bytes: feat_dim * sb + dout * sb,
         },
         Step::MlpC => StepOps {
             fp_ops: 2 * (cin * ch + ch * ch + ch * 3),
             int_ops: 0,
-            dram_bytes: cin * FP16 + 3 * FP16,
+            dram_bytes: cin * sb + 3 * sb,
         },
         Step::MlpCB => StepOps {
             fp_ops: 4 * (cin * ch + ch * ch + ch * 3),
             int_ops: 0,
-            dram_bytes: (cin + 3) * FP16 + ch * FP16,
+            dram_bytes: (cin + 3) * sb + ch * sb,
         },
         Step::MlpDB => StepOps {
             fp_ops: 4 * (feat_dim * dh + dh * dout),
             int_ops: 0,
-            dram_bytes: (feat_dim + dout) * FP16 + dh * FP16,
+            dram_bytes: (feat_dim + dout) * sb + dh * sb,
         },
         Step::HtB => StepOps {
             // Gradient scatter: read-modify-write 8 entries per level.
             fp_ops: levels * 8 * feats * 2,
             int_ops: levels * 8 * hash_int_ops,
-            dram_bytes: levels * 8 * feats * FP16 * 2 + feat_dim * FP16,
+            dram_bytes: levels * 8 * feats * sb * 2 + feat_dim * sb,
         },
     }
+}
+
+/// Per-point op counts for `step` at the paper's FP16 storage convention.
+pub fn step_ops(cfg: &ModelConfig, step: Step) -> StepOps {
+    step_ops_at(cfg, step, TAB2_PRECISION)
 }
 
 const MB: f64 = 1024.0 * 1024.0;

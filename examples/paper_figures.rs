@@ -1,21 +1,34 @@
 //! Regenerates the paper's characterization figures and tables.
 //!
 //! ```text
-//! cargo run --release --example paper_figures [fig1|fig4|fig6|fig7|fig9|fig11|tab1|tab2|tab3|ext|cosim|all] [--json DIR]
+//! cargo run --release --example paper_figures [fig1|fig4|fig6|fig7|fig9|fig11|tab1|tab2|tab3|ext|cosim|precision|all] [--json DIR]
 //! ```
 //!
 //! With `--json DIR`, machine-readable result dumps are written alongside
 //! the printed output (one file per figure experiment; the tab1-3
 //! constant tables are print-only).
 
-use instant_nerf::experiments::{cosim, extension, fig1, fig11, fig4, fig6, fig7, fig9, tables};
+use instant_nerf::experiments::{
+    cosim, extension, fig1, fig11, fig4, fig6, fig7, fig9, precision, tables,
+};
 use instant_nerf::prelude::SceneKind;
 use std::error::Error;
 
 fn main() -> Result<(), Box<dyn Error>> {
-    const KNOWN: [&str; 12] = [
-        "all", "tab1", "tab2", "tab3", "fig1", "fig4", "fig6", "fig7", "fig9", "fig11", "ext",
+    const KNOWN: [&str; 13] = [
+        "all",
+        "tab1",
+        "tab2",
+        "tab3",
+        "fig1",
+        "fig4",
+        "fig6",
+        "fig7",
+        "fig9",
+        "fig11",
+        "ext",
         "cosim",
+        "precision",
     ];
     let args: Vec<String> = std::env::args().skip(1).collect();
     // The figure name is the first argument left after removing "--json"
@@ -84,6 +97,11 @@ fn main() -> Result<(), Box<dyn Error>> {
         let result = cosim::run(instant_nerf::trainer::Engine::Batched, 8, 7);
         dump("cosim", &result)?;
         println!("{}", cosim::render(&result));
+    }
+    if all || which == "precision" {
+        let result = precision::run(60, 7);
+        dump("precision", &result)?;
+        println!("{}", precision::render(&result));
     }
     if all || which == "ext" {
         // Average-scene accelerator cost from a quick Fig. 11 run.

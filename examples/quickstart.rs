@@ -59,11 +59,20 @@ fn main() -> Result<(), Box<dyn Error>> {
         start.elapsed().as_secs_f64()
     );
 
-    // Render a held-out view and save it next to the ground truth.
+    // Render a held-out view and save it next to the ground truth, under
+    // target/ so example runs never dirty the repository checkout.
+    let out_dir = std::path::Path::new("target/quickstart");
+    std::fs::create_dir_all(out_dir)?;
     let view = &dataset.test_views[0];
     let rendered = trainer.render_view(&view.camera, &dataset.bounds);
-    std::fs::write("quickstart_rendered.ppm", rendered.to_ppm())?;
-    std::fs::write("quickstart_truth.ppm", view.image.to_ppm())?;
-    println!("Wrote quickstart_rendered.ppm and quickstart_truth.ppm");
+    let rendered_path = out_dir.join("rendered.ppm");
+    let truth_path = out_dir.join("truth.ppm");
+    std::fs::write(&rendered_path, rendered.to_ppm())?;
+    std::fs::write(&truth_path, view.image.to_ppm())?;
+    println!(
+        "Wrote {} and {}",
+        rendered_path.display(),
+        truth_path.display()
+    );
     Ok(())
 }

@@ -1,0 +1,173 @@
+//! The mixed-precision refactor's equivalence anchor.
+//!
+//! The `ParamStore` refactor moved every trainable parameter group (hash
+//! table, MLP weights) behind a precision-selectable store. Its contract:
+//! the f32 backend is **bit-identical** to the pre-refactor code path.
+//! The constants below were captured by running the pre-refactor seed
+//! (commit `bf30d7a`) on the Tab. II small workload — per-iteration loss
+//! bit patterns, a grid-gradient checksum, and the online co-simulation's
+//! DRAM statistics, for both trainer engines. Any drift in the f32 path
+//! fails this suite.
+
+use instant_nerf::accel::{CosimSink, PipelineModel};
+use instant_nerf::encoding::HashFunction;
+use instant_nerf::prelude::*;
+use instant_nerf::trainer::{Engine, Precision};
+
+struct GoldenRun {
+    engine: Engine,
+    /// Exact bit patterns of the three per-iteration losses.
+    loss_bits: [u64; 3],
+    /// Exact bit pattern of the summed (f64) grid gradients after the
+    /// last iteration.
+    grad_sum_bits: u64,
+}
+
+/// Pre-refactor capture: Lego tiny dataset, `ModelConfig::small(Morton)`,
+/// `TrainConfig::small()`, model seed `9 ^ 0xA1`, trainer seed 9,
+/// 3 iterations, online co-simulation via `CosimSink`.
+const GOLDEN: [GoldenRun; 2] = [
+    GoldenRun {
+        engine: Engine::Scalar,
+        loss_bits: [0x3fd200f58c44cb24, 0x3fcdcecdc07e785a, 0x3fcb1532456269a7],
+        grad_sum_bits: 0xbfa56af498e0eeac,
+    },
+    GoldenRun {
+        engine: Engine::Batched,
+        loss_bits: [0x3fd200f58c44cb24, 0x3fcdcecdbf38187a, 0x3fcb153246477df8],
+        grad_sum_bits: 0xbfa56af4aa7a250b,
+    },
+];
+
+/// DRAM-side golden numbers (identical for both engines: the gathered
+/// point stream depends only on the trainer rng).
+const GOLDEN_POINTS_QUERIED: u64 = 24000;
+const GOLDEN_DRAM_REQUESTS: u64 = 122162;
+const GOLDEN_HT_ROW_HITS: u64 = 19316;
+const GOLDEN_HT_ROW_MISSES: u64 = 138;
+const GOLDEN_HT_BANK_CONFLICTS: u64 = 41198;
+const GOLDEN_PIPELINED_BITS: u64 = 0x3f3cfe22b02e3095;
+const GOLDEN_ENERGY_BITS: u64 = 0x419f0177fa97b0c8;
+
+fn run_f32(engine: Engine) -> (Vec<f64>, f64, u64, instant_nerf::accel::CosimStats) {
+    let scene = zoo::scene(SceneKind::Lego);
+    let dataset = DatasetConfig::tiny().generate(&scene);
+    let model_cfg = ModelConfig::small(HashFunction::Morton);
+    let config = TrainConfig::small()
+        .with_engine(engine)
+        .with_precision(Precision::F32);
+    let batch_points = config.points_per_iteration() as u64;
+    let mut cosim = CosimSink::new(PipelineModel::paper(model_cfg), batch_points);
+    let mut trainer = Trainer::new(
+        IngpModel::for_config(model_cfg, &config, 9 ^ 0xA1),
+        config,
+        9,
+    );
+    let report = trainer.train_with_sink(&dataset, 3, &mut cosim);
+    let grad_sum: f64 = trainer
+        .model()
+        .grid()
+        .gradients()
+        .iter()
+        .map(|&g| g as f64)
+        .sum();
+    let points = trainer.points_queried();
+    (report.losses, grad_sum, points, cosim.stats().clone())
+}
+
+#[test]
+fn f32_store_reproduces_pre_refactor_losses_and_grads_bitwise() {
+    for golden in &GOLDEN {
+        let (losses, grad_sum, points, _) = run_f32(golden.engine);
+        assert_eq!(losses.len(), 3);
+        for (i, (&loss, &bits)) in losses.iter().zip(&golden.loss_bits).enumerate() {
+            assert_eq!(
+                loss.to_bits(),
+                bits,
+                "{:?} engine, iteration {i}: loss {loss} drifted from the \
+                 pre-refactor capture",
+                golden.engine
+            );
+        }
+        assert_eq!(
+            grad_sum.to_bits(),
+            golden.grad_sum_bits,
+            "{:?} engine: grid gradient checksum drifted",
+            golden.engine
+        );
+        assert_eq!(points, GOLDEN_POINTS_QUERIED);
+    }
+}
+
+#[test]
+fn f32_store_reproduces_pre_refactor_dram_stats_bitwise() {
+    for golden in &GOLDEN {
+        let (_, _, _, stats) = run_f32(golden.engine);
+        assert_eq!(stats.iterations, 3);
+        assert_eq!(
+            stats.dram_requests, GOLDEN_DRAM_REQUESTS,
+            "{:?}",
+            golden.engine
+        );
+        assert_eq!(stats.ht_row_hits, GOLDEN_HT_ROW_HITS);
+        assert_eq!(stats.ht_row_misses, GOLDEN_HT_ROW_MISSES);
+        assert_eq!(stats.ht_bank_conflicts, GOLDEN_HT_BANK_CONFLICTS);
+        assert_eq!(
+            stats.pipelined_seconds.to_bits(),
+            GOLDEN_PIPELINED_BITS,
+            "{:?} engine: simulated iteration time drifted",
+            golden.engine
+        );
+        assert_eq!(
+            stats.dram_energy_pj.to_bits(),
+            GOLDEN_ENERGY_BITS,
+            "{:?} engine: simulated DRAM energy drifted",
+            golden.engine
+        );
+    }
+}
+
+#[test]
+fn fp16_model_halves_storage_against_the_f32_twin() {
+    let model_cfg = ModelConfig::small(HashFunction::Morton);
+    let full = IngpModel::new(model_cfg, 5);
+    let half = IngpModel::with_precision(model_cfg, 5, Precision::Fp16);
+    assert_eq!(full.precision(), Precision::F32);
+    assert_eq!(half.precision(), Precision::Fp16);
+    assert_eq!(full.parameter_count(), half.parameter_count());
+    assert_eq!(2 * half.grid().storage_bytes(), full.grid().storage_bytes());
+    assert_eq!(
+        2 * half.parameter_storage_bytes(),
+        full.parameter_storage_bytes()
+    );
+    assert_eq!(half.grid().entry_bytes(), 4);
+    assert_eq!(full.grid().entry_bytes(), 8);
+}
+
+#[test]
+fn fp16_training_trajectory_tracks_f32_loss() {
+    // Both precisions sample identical points (the rng never sees the
+    // model), so the loss trajectories must stay close while the fp16
+    // working copies round every commit.
+    let scene = zoo::scene(SceneKind::Lego);
+    let dataset = DatasetConfig::tiny().generate(&scene);
+    let model_cfg = ModelConfig::small(HashFunction::Morton);
+    let mut losses = Vec::new();
+    for precision in [Precision::F32, Precision::Fp16] {
+        let config = TrainConfig::small().with_precision(precision);
+        let mut trainer = Trainer::new(
+            IngpModel::for_config(model_cfg, &config, 9 ^ 0xA1),
+            config,
+            9,
+        );
+        losses.push(trainer.train(&dataset, 5).losses);
+    }
+    for (i, (a, b)) in losses[0].iter().zip(&losses[1]).enumerate() {
+        assert!(
+            (a - b).abs() < 0.05 * a.abs().max(1e-3),
+            "iteration {i}: f32 loss {a} vs fp16 loss {b} diverged"
+        );
+    }
+    // fp16 must actually quantize: trajectories are close, not identical.
+    assert_ne!(losses[0], losses[1]);
+}
