@@ -36,6 +36,9 @@
 //! assert!(mapping.bank_of_level(0) == mapping.bank_of_level(4)); // clustered coarse levels
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod config;
 pub mod cosim;
 pub mod isa;

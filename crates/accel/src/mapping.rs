@@ -15,6 +15,7 @@ use inerf_dram::{AccessKind, DramConfig, DramSim, PhysAddr, Request};
 use inerf_encoding::trace::CubeLookup;
 use inerf_encoding::{EntryLayout, LookupTrace, TraceSink};
 use serde::{Deserialize, Serialize};
+// inerf-lint: allow(hash-order) -- membership-only set (see `touched_keys`); iteration never happens
 use std::collections::HashSet;
 
 /// Inter-level bank-assignment policy.
@@ -215,6 +216,9 @@ pub struct RequestStream {
     r0: Vec<[Option<(u32, u32)>; 2]>,
     /// Rows touched by the read sweep (write-back drain, insertion order).
     touched: Vec<PhysAddr>,
+    /// Membership filter over `touched`; the drain order that reaches the
+    /// DRAM model always comes from the insertion-ordered `Vec` above.
+    // inerf-lint: allow(hash-order) -- deduplication membership only; drain order comes from `touched`
     touched_keys: HashSet<(u32, u32, u32)>,
 }
 
@@ -229,6 +233,7 @@ impl RequestStream {
             last_cube: vec![None; levels],
             r0: vec![[None; 2]; levels],
             touched: Vec::new(),
+            // inerf-lint: allow(hash-order) -- deduplication membership only; drain order comes from `touched`
             touched_keys: HashSet::new(),
         }
     }
@@ -505,7 +510,10 @@ mod tests {
         keys.dedup();
         assert_eq!(keys.len(), writes.len(), "each row written once");
         // All writes come after all reads (scratchpad-accumulated drain).
-        let first_write = rw.iter().position(|r| r.kind == AccessKind::Write).unwrap();
+        let first_write = rw
+            .iter()
+            .position(|r| r.kind == AccessKind::Write)
+            .expect("write-back sweep must emit at least one write");
         assert!(rw[first_write..]
             .iter()
             .all(|r| r.kind == AccessKind::Write));

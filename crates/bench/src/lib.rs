@@ -4,6 +4,9 @@
 //! same rows/series) and times the computational kernel behind it with
 //! Criterion. See EXPERIMENTS.md for recorded outputs.
 
+#![forbid(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
 use inerf_encoding::{HashGrid, LookupTrace};
 use inerf_geom::Vec3;
 

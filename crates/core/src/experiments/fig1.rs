@@ -92,8 +92,14 @@ mod tests {
     #[test]
     fn edge_gpus_are_far_slower_than_cloud() {
         let rows = run();
-        let cloud = rows.iter().find(|r| r.device == "2080Ti").unwrap();
-        let xnx = rows.iter().find(|r| r.device == "XNX").unwrap();
+        let cloud = rows
+            .iter()
+            .find(|r| r.device == "2080Ti")
+            .expect("fig1 rows must include the 2080Ti baseline");
+        let xnx = rows
+            .iter()
+            .find(|r| r.device == "XNX")
+            .expect("fig1 rows must include the XNX baseline");
         assert!(xnx.total_seconds > 10.0 * cloud.total_seconds);
     }
 
@@ -101,8 +107,16 @@ mod tests {
     fn bottleneck_steps_cover_roughly_three_quarters() {
         // Fig. 1(b): the six steps cover 76.4% on XNX.
         let rows = run();
-        let xnx = rows.iter().find(|r| r.device == "XNX").unwrap();
-        let other = xnx.breakdown.iter().find(|(l, _)| l == "Other").unwrap().1;
+        let xnx = rows
+            .iter()
+            .find(|r| r.device == "XNX")
+            .expect("fig1 rows must include the XNX baseline");
+        let other = xnx
+            .breakdown
+            .iter()
+            .find(|(l, _)| l == "Other")
+            .expect("XNX breakdown must carry an Other bucket")
+            .1;
         assert!((15.0..35.0).contains(&other), "other = {other:.1}%");
     }
 

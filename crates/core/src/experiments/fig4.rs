@@ -121,7 +121,11 @@ mod tests {
     fn ht_kernels_dominate_int_utilization() {
         // Observation 3: index calculation makes HT the top INT32 consumer.
         let rows = run();
-        let ht_int = rows.iter().find(|r| r.step == "HT").unwrap().int32_util;
+        let ht_int = rows
+            .iter()
+            .find(|r| r.step == "HT")
+            .expect("fig4 rows must include the HT step")
+            .int32_util;
         for r in &rows {
             if !r.step.starts_with("HT") {
                 assert!(

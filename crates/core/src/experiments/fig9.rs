@@ -198,8 +198,8 @@ mod tests {
         // conflict far more than others.
         let f = fig();
         let row = &f.raw_conflicts[3]; // 8 subarrays
-        let max = *row.iter().max().unwrap();
-        let min = *row.iter().min().unwrap();
+        let max = *row.iter().max().expect("fig9 rows are nonempty");
+        let min = *row.iter().min().expect("fig9 rows are nonempty");
         assert!(max > 3 * (min + 1), "levels too balanced: {row:?}");
     }
 

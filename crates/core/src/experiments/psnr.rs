@@ -202,7 +202,12 @@ mod tests {
             ..PsnrBudget::quick()
         };
         let rows = run(&budget, &[SceneKind::Mic], 5);
-        let get = |m: &str| rows.iter().find(|r| r.method == m).unwrap().avg;
+        let get = |m: &str| {
+            rows.iter()
+                .find(|r| r.method == m)
+                .expect("Tab. IV must carry every method row")
+                .avg
+        };
         let ingp = get("iNGP");
         let ours = get("Ours");
         let nerf = get("NeRF");

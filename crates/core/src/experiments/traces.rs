@@ -85,7 +85,7 @@ pub fn scene_trace_into(
     let mut total = 0u64;
     let mut last_fine: Option<u64> = None;
     let mut fine_changes = 0u64;
-    let mut fine_set = std::collections::HashSet::new();
+    let mut fine_set = std::collections::BTreeSet::new();
     let mut cubes: Vec<CubeLookup> = Vec::new();
     let center = scene.bounds.center();
     let max_rays = 64 * target_points.div_ceil(samples).max(1);

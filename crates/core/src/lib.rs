@@ -31,6 +31,9 @@
 //! assert!(psnr.is_finite());
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub use inerf_accel as accel;
 pub use inerf_dram as dram;
 pub use inerf_encoding as encoding;

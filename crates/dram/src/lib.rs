@@ -22,6 +22,9 @@
 //! assert_eq!(stats.row_misses, 1); // first touch always opens the row
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod address;
 pub mod bank;
 pub mod config;

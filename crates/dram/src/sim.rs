@@ -127,6 +127,7 @@ impl DramSim {
             + self.banks.len()
                 * self.config.subarrays_per_bank as usize
                 * std::mem::size_of::<u64>()
+                // inerf-lint: allow(entry-width) -- 4 = u64 timeline registers per subarray, not an entry width
                 * 4
             + self.rank_acts.capacity() * std::mem::size_of::<RankActTracker>()
             + self.channel_bus_free.capacity() * std::mem::size_of::<u64>()
@@ -442,7 +443,9 @@ mod tests {
             }
         }
         // (2) Per subarray: ACT→PRE ≥ tRAS and PRE→ACT ≥ tRP.
+        // inerf-lint: allow(hash-order) -- point lookups keyed by (bank, subarray); never iterated
         use std::collections::HashMap;
+        // inerf-lint: allow(hash-order) -- point lookups keyed by (bank, subarray); never iterated
         let mut last: HashMap<(u32, u32), (CommandKind, u64)> = HashMap::new();
         for c in log {
             if c.kind == CommandKind::Read || c.kind == CommandKind::Write {

@@ -37,6 +37,9 @@
 //! assert_eq!(features.len(), config.feature_dim());
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod config;
 pub mod hash;
 pub mod locality;

@@ -236,12 +236,12 @@ mod tests {
             sharing[0]
         );
         assert!(
-            *sharing.last().unwrap() < 2.0,
+            *sharing.last().expect("per-level sharing is nonempty") < 2.0,
             "finest level sharing {} too high",
-            sharing.last().unwrap()
+            sharing.last().expect("per-level sharing is nonempty")
         );
         // Broadly decreasing: first level shares at least as much as the last.
-        assert!(sharing[0] > *sharing.last().unwrap());
+        assert!(sharing[0] > *sharing.last().expect("per-level sharing is nonempty"));
     }
 
     #[test]

@@ -441,7 +441,8 @@ mod tests {
         let stats = replay_with_register_cache(&t, grid.config().levels);
         // Coarse level: heavy reuse. Fine level: little.
         assert!(stats.levels[0].hit_rate() > 0.5);
-        assert!(stats.levels[0].hit_rate() > stats.levels.last().unwrap().hit_rate());
+        let last = stats.levels.last().expect("paper config has 16 levels");
+        assert!(stats.levels[0].hit_rate() > last.hit_rate());
         // Row requests conserve: hits issue none.
         for l in &stats.levels {
             assert!(l.register_hits <= l.cubes);

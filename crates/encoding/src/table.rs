@@ -589,7 +589,11 @@ mod tests {
         let b = g.cube_lookups(Vec3::new(0.55, 0.50, 0.50));
         // Coarsest level: same cube. Finest level: typically different.
         assert_eq!(a[0].cube_id, b[0].cube_id);
-        assert_ne!(a.last().unwrap().cube_id, b.last().unwrap().cube_id);
+        let (a_last, b_last) = (
+            a.last().expect("trace a is nonempty"),
+            b.last().expect("trace b is nonempty"),
+        );
+        assert_ne!(a_last.cube_id, b_last.cube_id);
     }
 
     #[test]

@@ -149,7 +149,7 @@ mod tests {
     #[test]
     fn corner_offsets_enumerate_cube() {
         let base = GridCoord::new(3, 4, 5);
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for c in 0..8u8 {
             let v = base.corner(c);
             assert!(v.x - base.x <= 1 && v.y - base.y <= 1 && v.z - base.z <= 1);

@@ -23,6 +23,9 @@
 //! assert!(hit.t_near > 0.0 && hit.t_far > hit.t_near);
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod aabb;
 pub mod camera;
 pub mod grid;

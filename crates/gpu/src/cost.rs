@@ -202,7 +202,9 @@ mod tests {
     #[test]
     fn xnx_total_matches_paper_band() {
         let c = xnx_cost();
-        let paper = GpuSpec::xnx().paper_seconds_per_scene.unwrap();
+        let paper = GpuSpec::xnx()
+            .paper_seconds_per_scene
+            .expect("XNX spec records the paper runtime");
         assert!(
             (c.total_seconds / paper - 1.0).abs() < 0.5,
             "XNX total {:.0} s should be within 50% of the paper's {paper} s",
@@ -213,14 +215,18 @@ mod tests {
     #[test]
     fn tx2_and_2080ti_match_paper_bands() {
         let t = TrainingCost::estimate(&GpuSpec::tx2(), &model(), POINTS, ITERS, 1.0);
-        let paper_t = GpuSpec::tx2().paper_seconds_per_scene.unwrap();
+        let paper_t = GpuSpec::tx2()
+            .paper_seconds_per_scene
+            .expect("TX2 spec records the paper runtime");
         assert!(
             (t.total_seconds / paper_t - 1.0).abs() < 0.5,
             "TX2 {:.0} vs paper {paper_t}",
             t.total_seconds
         );
         let r = TrainingCost::estimate(&GpuSpec::rtx2080ti(), &model(), POINTS, ITERS, 1.0);
-        let paper_r = GpuSpec::rtx2080ti().paper_seconds_per_scene.unwrap();
+        let paper_r = GpuSpec::rtx2080ti()
+            .paper_seconds_per_scene
+            .expect("2080Ti spec records the paper runtime");
         assert!(
             (r.total_seconds / paper_r - 1.0).abs() < 0.5,
             "2080Ti {:.0} vs paper {paper_r}",

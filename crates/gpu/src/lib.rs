@@ -27,6 +27,9 @@
 //! assert!(cost.total_seconds > 1000.0); // >1 hour on the edge GPU
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod cost;
 pub mod specs;
 

@@ -1,0 +1,475 @@
+//! A minimal Rust lexer for the lint pass.
+//!
+//! The rules only need a *token-accurate* view of source text — enough to
+//! tell an `unsafe` keyword from the string `"unsafe"`, a `HashMap` type
+//! from a doc comment mentioning one, and a `4` literal from the `4` in
+//! `0x40`. There is no route to crates.io on this box, so pulling in `syn`
+//! is not an option; this hand-rolled lexer covers the constructs that
+//! actually occur in the workspace: line/doc comments, nested block
+//! comments, string/char/byte/raw-string literals, lifetimes, numbers
+//! (with separators, radix prefixes, and type suffixes), identifiers, and
+//! single-character punctuation.
+
+/// Kind of one lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Numeric literal; the payload is the parsed integer value when the
+    /// literal is an integer the rules can reason about (`4`, `4_u32`,
+    /// `0x8`...), `None` for floats and oversized values.
+    Num(Option<u64>),
+    /// String literal of any flavour (`"…"`, `r#"…"#`, `b"…"`); the token
+    /// text is the *content* (delimiters stripped, escapes left as-is).
+    Str,
+    /// Character or byte-character literal.
+    Char,
+    /// Lifetime such as `'scope`.
+    Lifetime,
+    /// Single punctuation character.
+    Punct(char),
+    /// Line or block comment; the token text includes the delimiters.
+    Comment,
+}
+
+/// One token with its 1-indexed source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+}
+
+impl Tok {
+    /// Whether this is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// Whether this is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct(c)
+    }
+
+    /// The integer value of a numeric literal, if known.
+    pub fn int_value(&self) -> Option<u64> {
+        match self.kind {
+            TokKind::Num(v) => v,
+            _ => None,
+        }
+    }
+}
+
+/// Lexes `src` into a token stream (comments included).
+///
+/// The lexer is total: unrecognized bytes become single-character `Punct`
+/// tokens, so a pathological file degrades to noise instead of a panic.
+pub fn lex(src: &str) -> Vec<Tok> {
+    Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: Vec<Tok>,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if let Some(c) = c {
+            self.pos += 1;
+            if c == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: u32) {
+        self.out.push(Tok { kind, text, line });
+    }
+
+    fn run(mut self) -> Vec<Tok> {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(line),
+                '/' if self.peek(1) == Some('*') => self.block_comment(line),
+                '"' => self.string(line),
+                '\'' => self.char_or_lifetime(line),
+                'r' | 'b' | 'c' if self.raw_or_byte_literal(line) => {}
+                c if c.is_ascii_digit() => self.number(line),
+                c if c == '_' || c.is_alphanumeric() => self.ident(line),
+                c => {
+                    self.bump();
+                    self.push(TokKind::Punct(c), c.to_string(), line);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.push(TokKind::Comment, text, line);
+    }
+
+    fn block_comment(&mut self, line: u32) {
+        let mut text = String::new();
+        let mut depth = 0usize;
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                text.push_str("/*");
+                self.bump();
+                self.bump();
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                text.push_str("*/");
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        self.push(TokKind::Comment, text, line);
+    }
+
+    /// A plain (escaped) string body after the opening `"` is consumed by
+    /// the caller having seen it; consumes through the closing quote.
+    fn string(&mut self, line: u32) {
+        self.bump(); // opening quote
+        let mut text = String::new();
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    text.push(c);
+                    if let Some(e) = self.bump() {
+                        text.push(e);
+                    }
+                }
+                '"' => break,
+                c => text.push(c),
+            }
+        }
+        self.push(TokKind::Str, text, line);
+    }
+
+    /// Raw strings (`r"…"`, `r#"…"#`), byte strings (`b"…"`, `br#"…"#`),
+    /// byte chars (`b'…'`) and C strings (`c"…"`). Returns false when the
+    /// leading letter is an ordinary identifier start.
+    fn raw_or_byte_literal(&mut self, line: u32) -> bool {
+        let c0 = self.peek(0).unwrap_or(' ');
+        // Determine the shape by lookahead without consuming.
+        let mut i = 1;
+        if c0 == 'b' && (self.peek(1) == Some('r') || self.peek(1) == Some('"')) {
+            if self.peek(1) == Some('r') {
+                i = 2;
+            }
+        } else if c0 == 'b' && self.peek(1) == Some('\'') {
+            // Byte char b'x'.
+            self.bump(); // b
+            self.char_literal(line);
+            return true;
+        } else if (c0 == 'r' || c0 == 'c')
+            && (self.peek(1) == Some('"') || self.peek(1) == Some('#'))
+        {
+            i = 1;
+        } else {
+            return false;
+        }
+        // Count '#'s after the prefix.
+        let mut hashes = 0usize;
+        while self.peek(i) == Some('#') {
+            hashes += 1;
+            i += 1;
+        }
+        if self.peek(i) != Some('"') {
+            return false; // e.g. the identifier `r#raw_ident` or plain `b`.
+        }
+        let raw = c0 == 'r' || self.peek(1) == Some('r') || c0 == 'c';
+        // Consume prefix, hashes and opening quote.
+        for _ in 0..=i {
+            self.bump();
+        }
+        let mut text = String::new();
+        if raw || hashes > 0 {
+            // Raw: ends at '"' followed by `hashes` '#'s; no escapes.
+            'outer: while let Some(c) = self.bump() {
+                if c == '"' {
+                    let mut ok = true;
+                    for h in 0..hashes {
+                        if self.peek(h) != Some('#') {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if ok {
+                        for _ in 0..hashes {
+                            self.bump();
+                        }
+                        break 'outer;
+                    }
+                }
+                text.push(c);
+            }
+        } else {
+            // b"..." with escapes.
+            while let Some(c) = self.bump() {
+                match c {
+                    '\\' => {
+                        text.push(c);
+                        if let Some(e) = self.bump() {
+                            text.push(e);
+                        }
+                    }
+                    '"' => break,
+                    c => text.push(c),
+                }
+            }
+        }
+        self.push(TokKind::Str, text, line);
+        true
+    }
+
+    fn char_or_lifetime(&mut self, line: u32) {
+        // `'a` / `'scope` (lifetime) vs `'x'` / `'\n'` (char literal):
+        // a lifetime is `'` + ident-start NOT followed by a closing quote.
+        let next = self.peek(1);
+        let after = self.peek(2);
+        let is_lifetime = matches!(next, Some(c) if c == '_' || c.is_alphabetic())
+            && after != Some('\'')
+            && next != Some('\\');
+        if is_lifetime {
+            self.bump(); // '
+            let mut text = String::from("'");
+            while let Some(c) = self.peek(0) {
+                if c == '_' || c.is_alphanumeric() {
+                    text.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.push(TokKind::Lifetime, text, line);
+        } else {
+            self.char_literal(line);
+        }
+    }
+
+    fn char_literal(&mut self, line: u32) {
+        self.bump(); // opening '
+        let mut text = String::new();
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    text.push(c);
+                    if let Some(e) = self.bump() {
+                        text.push(e);
+                    }
+                }
+                '\'' => break,
+                c => text.push(c),
+            }
+        }
+        self.push(TokKind::Char, text, line);
+    }
+
+    fn number(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else if c == '.'
+                && self.peek(1).is_some_and(|d| d.is_ascii_digit())
+                && !text.contains('.')
+            {
+                // Decimal point, but never consume `..` range syntax.
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let value = parse_int(&text);
+        self.push(TokKind::Num(value), text, line);
+    }
+
+    fn ident(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '_' || c.is_alphanumeric() {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokKind::Ident, text, line);
+    }
+}
+
+/// Parses an integer literal's value: separators stripped, `0x`/`0o`/`0b`
+/// radix prefixes honoured, type suffixes (`u32`, `usize`, `i64`...)
+/// ignored. Returns `None` for floats and anything else unparseable.
+fn parse_int(text: &str) -> Option<u64> {
+    let t: String = text.chars().filter(|&c| c != '_').collect();
+    if t.contains('.') {
+        return None;
+    }
+    let (radix, digits) = if let Some(rest) = t.strip_prefix("0x").or_else(|| t.strip_prefix("0X"))
+    {
+        (16, rest)
+    } else if let Some(rest) = t.strip_prefix("0o") {
+        (8, rest)
+    } else if let Some(rest) = t.strip_prefix("0b") {
+        (2, rest)
+    } else {
+        (10, t.as_str())
+    };
+    // Strip a trailing type suffix: the longest trailing run that is not a
+    // valid digit in this radix.
+    let digits_end = digits
+        .char_indices()
+        .take_while(|&(_, c)| c.is_digit(radix))
+        .last()
+        .map(|(i, c)| i + c.len_utf8())?;
+    // Suffix must look like a type (starts with u/i/f and, for decimal,
+    // 'e' exponents make it a float -> reject).
+    let suffix = &digits[digits_end..];
+    if radix == 10 && (suffix.starts_with('e') || suffix.starts_with('E')) {
+        return None;
+    }
+    if suffix.starts_with('f') {
+        return None;
+    }
+    u64::from_str_radix(&digits[..digits_end], radix).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_and_punct() {
+        let toks = kinds("let x = foo();");
+        assert_eq!(toks[0], (TokKind::Ident, "let".into()));
+        assert_eq!(toks[1], (TokKind::Ident, "x".into()));
+        assert_eq!(toks[2], (TokKind::Punct('='), "=".into()));
+    }
+
+    #[test]
+    fn keyword_in_string_is_not_an_ident() {
+        let toks = lex(r#"let s = "unsafe { HashMap }";"#);
+        assert!(toks.iter().all(|t| !t.is_ident("unsafe")));
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Str && t.text.contains("HashMap")));
+    }
+
+    #[test]
+    fn keyword_in_comments_is_not_an_ident() {
+        let toks = lex("// unsafe unwrap()\n/* HashMap /* nested unsafe */ still */ fn f() {}");
+        assert!(toks.iter().all(|t| !t.is_ident("unsafe")));
+        assert!(toks.iter().all(|t| !t.is_ident("HashMap")));
+        assert!(toks.iter().any(|t| t.is_ident("fn")));
+        // The nested block comment is one token and the trailing code lexes.
+        let comments: Vec<_> = toks.iter().filter(|t| t.kind == TokKind::Comment).collect();
+        assert_eq!(comments.len(), 2);
+        assert!(comments[1].text.contains("still"));
+    }
+
+    #[test]
+    fn raw_strings_swallow_quotes_and_keywords() {
+        let toks = lex(r##"let s = r#"a "quoted" unsafe Instant::now()"#; f();"##);
+        assert!(toks.iter().all(|t| !t.is_ident("unsafe")));
+        assert!(toks.iter().all(|t| !t.is_ident("Instant")));
+        assert!(toks.iter().any(|t| t.is_ident("f")));
+    }
+
+    #[test]
+    fn byte_and_c_strings() {
+        let toks = lex(r#"let a = b"unsafe"; let b = c"HashMap"; let c = br#x#;"#);
+        assert!(toks.iter().all(|t| !t.is_ident("unsafe")));
+        assert!(toks.iter().all(|t| !t.is_ident("HashMap")));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = lex(r"fn f<'a>(x: &'a u8) { let c = 'u'; let n = '\n'; }");
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Lifetime && t.text == "'a"));
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Char && t.text == "u"));
+    }
+
+    #[test]
+    fn numeric_values_parse_through_suffixes_and_radix() {
+        assert_eq!(lex("4")[0].int_value(), Some(4));
+        assert_eq!(lex("4_u32")[0].int_value(), Some(4));
+        assert_eq!(lex("0x8")[0].int_value(), Some(8));
+        assert_eq!(lex("8usize")[0].int_value(), Some(8));
+        assert_eq!(lex("1024")[0].int_value(), Some(1024));
+        assert_eq!(lex("4.0")[0].int_value(), None);
+        assert_eq!(lex("1e6")[0].int_value(), None);
+        assert_eq!(lex("4f32")[0].int_value(), None);
+    }
+
+    #[test]
+    fn range_syntax_is_not_a_float() {
+        let toks = lex("0..8");
+        assert_eq!(toks[0].int_value(), Some(0));
+        assert!(toks[1].is_punct('.'));
+        assert!(toks[2].is_punct('.'));
+        assert_eq!(toks[3].int_value(), Some(8));
+    }
+
+    #[test]
+    fn lines_are_tracked() {
+        let toks = lex("a\nb\n  c");
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2);
+        assert_eq!(toks[2].line, 3);
+    }
+
+    #[test]
+    fn raw_identifier_is_an_ident() {
+        // `r#raw` must not be mistaken for a raw string opener.
+        let toks = lex("let r#type = 1;");
+        assert!(toks.iter().any(|t| t.is_ident("r")));
+        assert!(toks.iter().any(|t| t.is_ident("type")));
+    }
+}

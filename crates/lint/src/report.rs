@@ -1,0 +1,125 @@
+//! Text and JSON rendering of a lint [`Report`].
+//!
+//! The JSON emitter is hand-rolled: the linter is dependency-free by
+//! design (it must never be able to break the crates it checks), and the
+//! schema is flat enough that an escaper plus string pushes is simpler
+//! than dragging a serializer into the build graph.
+
+use crate::engine::Report;
+
+/// Renders the human-oriented text report. Waived findings are listed
+/// only with `verbose`; the summary always counts them.
+pub fn render_text(report: &Report, verbose: bool) -> String {
+    let mut out = String::new();
+    for f in report.unwaived() {
+        out.push_str(&format!(
+            "{}:{}: [{}] {}\n",
+            f.file, f.line, f.rule, f.message
+        ));
+    }
+    let waived = report.findings.len() - report.unwaived_count();
+    if verbose {
+        for f in report.findings.iter().filter(|f| f.waived.is_some()) {
+            out.push_str(&format!(
+                "{}:{}: [{}] waived: {}\n",
+                f.file,
+                f.line,
+                f.rule,
+                f.waived.as_deref().unwrap_or("")
+            ));
+        }
+    }
+    out.push_str(&format!(
+        "{} unwaived finding(s), {} waived, {} file(s) scanned\n",
+        report.unwaived_count(),
+        waived,
+        report.files_scanned
+    ));
+    out
+}
+
+/// Renders the machine-oriented JSON report: every finding (waived ones
+/// carry their recorded justification) plus a summary object.
+pub fn render_json(report: &Report) -> String {
+    let mut out = String::from("{\n  \"findings\": [");
+    for (i, f) in report.findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    {");
+        out.push_str(&format!("\"rule\": {}, ", json_str(&f.rule)));
+        out.push_str(&format!("\"file\": {}, ", json_str(&f.file)));
+        out.push_str(&format!("\"line\": {}, ", f.line));
+        out.push_str(&format!("\"message\": {}, ", json_str(&f.message)));
+        match &f.waived {
+            Some(j) => out.push_str(&format!("\"waived\": {}", json_str(j))),
+            None => out.push_str("\"waived\": null"),
+        }
+        out.push('}');
+    }
+    out.push_str("\n  ],\n");
+    out.push_str(&format!(
+        "  \"summary\": {{\"files_scanned\": {}, \"findings\": {}, \"waived\": {}, \
+\"unwaived\": {}, \"unsafe_sites\": {}}}\n}}\n",
+        report.files_scanned,
+        report.findings.len(),
+        report.findings.len() - report.unwaived_count(),
+        report.unwaived_count(),
+        report.unsafe_sites.len()
+    ));
+    out
+}
+
+/// JSON string literal with the escapes the report can actually contain.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::lint_source;
+
+    #[test]
+    fn json_escapes_and_counts() {
+        let mut report = Report::default();
+        lint_source(
+            "crates/dram/src/x.rs",
+            "use std::collections::HashMap;\n",
+            &mut report,
+        );
+        let json = render_json(&report);
+        assert!(json.contains("\"rule\": \"hash-order\""));
+        assert!(json.contains("\"line\": 1"));
+        assert!(json.contains("\"unwaived\": 1"));
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn text_summary_counts_waived() {
+        let mut report = Report::default();
+        lint_source(
+            "crates/dram/src/x.rs",
+            "use std::collections::HashMap; // inerf-lint: allow(hash-order) -- lookup only\n",
+            &mut report,
+        );
+        let text = render_text(&report, false);
+        assert!(text.contains("0 unwaived finding(s), 1 waived"));
+        let verbose = render_text(&report, true);
+        assert!(verbose.contains("waived: lookup only"));
+    }
+}

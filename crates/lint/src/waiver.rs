@@ -1,0 +1,187 @@
+//! Inline waiver comments.
+//!
+//! A finding is suppressed — but still recorded, with its justification —
+//! by a comment of the form
+//!
+//! ```text
+//! // inerf-lint: allow(rule-name) -- why this site is sound
+//! ```
+//!
+//! either trailing on the offending line or on its own line directly
+//! above it (several stacked waiver lines may precede one code line; each
+//! applies to that line). The justification after `--` is mandatory: a
+//! waiver without one is itself reported (`waiver-syntax`), as is a
+//! waiver that matches no finding (`unused-waiver`) — stale allows are
+//! how invariants rot silently.
+
+use crate::context::FileContext;
+
+/// One parsed waiver.
+#[derive(Debug, Clone)]
+pub struct Waiver {
+    /// Rule id the waiver targets.
+    pub rule: String,
+    /// Mandatory justification text (after `--`).
+    pub justification: String,
+    /// Line of the waiver comment itself.
+    pub comment_line: u32,
+    /// Line whose findings this waiver covers.
+    pub target_line: u32,
+}
+
+/// A waiver-shaped comment that failed to parse.
+#[derive(Debug, Clone)]
+pub struct MalformedWaiver {
+    pub line: u32,
+    pub reason: String,
+}
+
+/// Marker every waiver comment must contain.
+pub const WAIVER_TAG: &str = "inerf-lint:";
+
+/// Extracts all waivers (and malformed waiver attempts) from a file.
+///
+/// Only plain line comments count: doc comments (`///`, `//!`) are prose
+/// and may legitimately *mention* the waiver syntax (this module does),
+/// so they are never interpreted as waivers.
+pub fn parse_waivers(ctx: &FileContext) -> (Vec<Waiver>, Vec<MalformedWaiver>) {
+    let mut waivers = Vec::new();
+    let mut malformed = Vec::new();
+    for c in &ctx.comments {
+        let Some(body) = c.text.strip_prefix("//") else {
+            continue; // block comment
+        };
+        if body.starts_with('/') || body.starts_with('!') {
+            continue; // doc comment
+        }
+        let body = body.trim_start();
+        if !body.starts_with(WAIVER_TAG) {
+            if body.contains(WAIVER_TAG) {
+                // A waiver tag buried mid-comment is a likely typo, not prose.
+                malformed.push(MalformedWaiver {
+                    line: c.line,
+                    reason: format!("`{WAIVER_TAG}` must start the comment"),
+                });
+            }
+            continue;
+        }
+        let directive = body[WAIVER_TAG.len()..].trim();
+        match parse_directive(directive) {
+            Ok((rule, justification)) => {
+                let target_line = target_line_for(ctx, c.line);
+                waivers.push(Waiver {
+                    rule,
+                    justification,
+                    comment_line: c.line,
+                    target_line,
+                });
+            }
+            Err(reason) => malformed.push(MalformedWaiver {
+                line: c.line,
+                reason,
+            }),
+        }
+    }
+    (waivers, malformed)
+}
+
+/// Parses `allow(<rule>) -- <justification>`.
+fn parse_directive(s: &str) -> Result<(String, String), String> {
+    let Some(rest) = s.strip_prefix("allow(") else {
+        return Err(format!(
+            "expected `allow(<rule>) -- <justification>`, got `{s}`"
+        ));
+    };
+    let Some(close) = rest.find(')') else {
+        return Err("unclosed `allow(`".to_string());
+    };
+    let rule = rest[..close].trim();
+    if rule.is_empty() || !rule.chars().all(|c| c.is_ascii_alphanumeric() || c == '-') {
+        return Err(format!("`{rule}` is not a rule name"));
+    }
+    let after = rest[close + 1..].trim();
+    let Some(justification) = after.strip_prefix("--") else {
+        return Err("missing ` -- <justification>` (justification is mandatory)".to_string());
+    };
+    let justification = justification.trim();
+    if justification.is_empty() {
+        return Err("empty justification (justification is mandatory)".to_string());
+    }
+    Ok((rule.to_string(), justification.to_string()))
+}
+
+/// The code line a waiver on `comment_line` covers: the comment's own line
+/// when it carries code (trailing waiver), otherwise the next line that
+/// does (skipping blank lines and further comment-only lines, so stacked
+/// waivers all land on the same target).
+fn target_line_for(ctx: &FileContext, comment_line: u32) -> u32 {
+    if ctx.line_has_code(comment_line) {
+        return comment_line;
+    }
+    let mut l = comment_line + 1;
+    let last = ctx.lines.len() as u32;
+    while l <= last {
+        if ctx.line_has_code(l) {
+            return l;
+        }
+        l += 1;
+    }
+    comment_line
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::FileContext;
+
+    #[test]
+    fn trailing_waiver_targets_its_own_line() {
+        let src = "let x = f(); // inerf-lint: allow(hash-order) -- lookup only\n";
+        let ctx = FileContext::new(src);
+        let (ws, bad) = parse_waivers(&ctx);
+        assert!(bad.is_empty());
+        assert_eq!(ws.len(), 1);
+        assert_eq!(ws[0].rule, "hash-order");
+        assert_eq!(ws[0].justification, "lookup only");
+        assert_eq!(ws[0].target_line, 1);
+    }
+
+    #[test]
+    fn standalone_and_stacked_waivers_target_next_code_line() {
+        let src = "\
+// inerf-lint: allow(hash-order) -- membership only
+// inerf-lint: allow(wall-clock) -- measurement only
+
+let x = f();
+";
+        let ctx = FileContext::new(src);
+        let (ws, bad) = parse_waivers(&ctx);
+        assert!(bad.is_empty());
+        assert_eq!(ws.len(), 2);
+        assert_eq!(ws[0].target_line, 4);
+        assert_eq!(ws[1].target_line, 4);
+    }
+
+    #[test]
+    fn missing_justification_is_malformed() {
+        for src in [
+            "// inerf-lint: allow(hash-order)\n",
+            "// inerf-lint: allow(hash-order) -- \n",
+            "// inerf-lint: deny(hash-order) -- x\n",
+            "// inerf-lint: allow(hash order) -- x\n",
+        ] {
+            let ctx = FileContext::new(src);
+            let (ws, bad) = parse_waivers(&ctx);
+            assert!(ws.is_empty(), "parsed from {src:?}");
+            assert_eq!(bad.len(), 1, "not flagged: {src:?}");
+        }
+    }
+
+    #[test]
+    fn ordinary_comments_are_ignored() {
+        let ctx = FileContext::new("// inerf-lint is great\nlet x = 1;\n");
+        let (ws, bad) = parse_waivers(&ctx);
+        assert!(ws.is_empty());
+        assert!(bad.is_empty());
+    }
+}

@@ -1,0 +1,7 @@
+//! crates/bench is exempt from wall-clock (lint fixture): host-cost
+//! measurement is this crate's whole job.
+
+pub fn host_micros() -> u128 {
+    let t0 = std::time::Instant::now();
+    t0.elapsed().as_micros()
+}

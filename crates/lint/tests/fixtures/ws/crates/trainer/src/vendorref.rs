@@ -1,0 +1,21 @@
+//! Seeded vendor-isolation violations (lint fixture).
+
+use rand::rngs::SmallRng;
+use rand::{internal, Rng};
+use serde_json::to_string;
+
+#[path = "../../../vendor/rand/src/extra.rs"]
+mod extra;
+
+// inerf-lint: allow(vendor-isolation) -- fixture: stand-in extension pending README row
+pub use rand::undocumented_helper;
+
+pub fn poke() -> u32 {
+    criterion::secret_knob()
+}
+
+pub fn fine(rng: &mut SmallRng) -> String {
+    let x: u32 = rng.gen();
+    let _ = internal::noop;
+    to_string(&x).unwrap_or_default()
+}

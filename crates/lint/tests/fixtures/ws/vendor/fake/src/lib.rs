@@ -1,0 +1,21 @@
+//! Vendored stand-in with seeded unsafe sites (lint fixture).
+//!
+//! Vendored code is exempt from hash-order (the HashMap below must not be
+//! flagged) but NOT from unsafe-audit: every `unsafe` needs `// SAFETY:`.
+
+use std::collections::HashMap;
+
+pub fn vendor_may_hash() -> HashMap<u32, u32> {
+    HashMap::new()
+}
+
+pub fn raw_read(p: *const u32) -> u32 {
+    unsafe { *p }
+}
+
+pub fn checked_read(r: &u32) -> u32 {
+    let p = r as *const u32;
+    // SAFETY: `p` is derived from a live shared reference, so it is
+    // non-null, aligned and valid for reads for the whole call.
+    unsafe { *p }
+}

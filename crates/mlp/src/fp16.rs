@@ -146,7 +146,7 @@ mod tests {
     /// IEEE rounds overflow against that virtual value, not against ∞.
     fn f16_value_ladder() -> Vec<f64> {
         let mut ladder: Vec<f64> = (0u16..=0x7c00).map(|h| f16_bits_to_f32(h) as f64).collect();
-        *ladder.last_mut().unwrap() = 65536.0;
+        *ladder.last_mut().expect("ladder is nonempty") = 65536.0;
         ladder
     }
 

@@ -24,6 +24,9 @@
 //! assert_eq!(out.len(), 2);
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod adam;
 pub mod fp16;
 pub mod layer;

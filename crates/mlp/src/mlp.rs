@@ -21,6 +21,7 @@ pub struct MlpActivations {
 impl MlpActivations {
     /// The network output of this forward pass.
     pub fn output(&self) -> &[f32] {
+        // inerf-lint: allow(panic-path) -- infallible: activations are only built by `forward`, which pushes one entry per layer and `Mlp::new` asserts >= 1 layer
         self.outs.last().expect("at least one layer")
     }
 
@@ -48,7 +49,12 @@ pub struct MlpBatchActivations {
 
 impl MlpBatchActivations {
     /// The batched network output (`n × out_dim`, row-major).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no forward pass has populated this cache yet.
     pub fn output(&self) -> &[f32] {
+        // inerf-lint: allow(panic-path) -- documented contract: reading an unpopulated cache is a caller bug, not a runtime condition
         self.outs.last().expect("no forward pass cached")
     }
 
@@ -194,6 +200,7 @@ impl Mlp {
 
     /// Output dimension.
     pub fn out_dim(&self) -> usize {
+        // inerf-lint: allow(panic-path) -- infallible: `Mlp::new` asserts the layer list is nonempty
         self.layers.last().expect("nonempty").out_dim()
     }
 

@@ -23,6 +23,9 @@
 //! assert!(out.color.x > 0.99);
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod loss;
 pub mod volume;
 

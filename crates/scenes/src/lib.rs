@@ -26,6 +26,9 @@
 //! assert_eq!(ds.train_views.len(), DatasetConfig::tiny().train_views);
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod dataset;
 pub mod field;
 pub mod image;

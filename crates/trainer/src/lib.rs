@@ -39,6 +39,9 @@
 //! assert_eq!(report.iterations, 3);
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod baselines;
 pub mod engine;
 pub mod model;

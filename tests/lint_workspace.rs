@@ -1,0 +1,68 @@
+//! The workspace linting itself: `inerf-lint` must report zero unwaived
+//! findings over the whole tree, and the committed `UNSAFE_AUDIT.md` must
+//! match what the linter would regenerate.
+//!
+//! This is the tier-1 integration of the static pass: `cargo test -q`
+//! fails the moment an unwaived hazard (or a stale audit) lands, without
+//! anyone having to remember to run the binary.
+
+use std::path::{Path, PathBuf};
+
+fn workspace_root() -> PathBuf {
+    // This test is wired into crates/core, so the manifest dir is
+    // crates/core and the workspace root is two levels up.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root must resolve")
+}
+
+#[test]
+fn workspace_has_no_unwaived_findings() {
+    let root = workspace_root();
+    let report = inerf_lint::lint_workspace(&root).expect("workspace must lint");
+    let offenders: Vec<String> = report
+        .unwaived()
+        .map(|f| format!("{}:{}: [{}] {}", f.file, f.line, f.rule, f.message))
+        .collect();
+    assert!(
+        offenders.is_empty(),
+        "unwaived lint findings (waive with `// inerf-lint: allow(<rule>) -- <why>` \
+or fix; see `cargo run -p inerf_lint -- --explain <rule>`):\n{}",
+        offenders.join("\n")
+    );
+    assert!(
+        report.files_scanned > 50,
+        "workspace scan saw only {} files; the walk is broken",
+        report.files_scanned
+    );
+}
+
+#[test]
+fn committed_unsafe_audit_is_current() {
+    let root = workspace_root();
+    let (_, regenerated) = inerf_lint::lint_and_audit(&root).expect("workspace must lint");
+    let committed = std::fs::read_to_string(root.join(inerf_lint::UNSAFE_AUDIT_FILE))
+        .expect("UNSAFE_AUDIT.md must be committed at the workspace root");
+    assert_eq!(
+        committed, regenerated,
+        "UNSAFE_AUDIT.md is stale; regenerate with \
+`cargo run -p inerf_lint -- --write-unsafe-audit`"
+    );
+}
+
+#[test]
+fn every_waiver_in_the_tree_is_justified() {
+    let root = workspace_root();
+    let report = inerf_lint::lint_workspace(&root).expect("workspace must lint");
+    for f in &report.findings {
+        if let Some(j) = &f.waived {
+            assert!(
+                j.len() >= 10,
+                "{}:{}: waiver justification too thin to audit: {j:?}",
+                f.file,
+                f.line
+            );
+        }
+    }
+}

@@ -28,6 +28,8 @@
 //! assert_eq!(halves[0] + halves[1], (0..1000u64).sum());
 //! ```
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 use std::collections::VecDeque;
 use std::fmt;
 use std::marker::PhantomData;
