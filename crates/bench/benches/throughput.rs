@@ -1,56 +1,226 @@
-//! Training throughput smoke benchmark: scalar reference vs batched SoA
-//! engine, in sampled points per second, on the Tab. II "small" workload
+//! Training throughput benchmark: scalar reference vs batched SIMD engine,
+//! in sampled points per second, on the Tab. II "small" workload
 //! (`TrainConfig::small`: 256 rays × 32 samples = 8 K points/iteration,
-//! `ModelConfig::small`). Writes `BENCH_throughput.json` at the repo root
-//! so the perf trajectory is recorded run over run; CI runs it in quick
-//! mode (`INERF_BENCH_QUICK=1`).
+//! `ModelConfig::small`). Each rate is the median of several timing
+//! windows after a warm-up, so a single noisy window cannot skew the
+//! recorded baseline. Also measures per-stage ns/point for the batched
+//! 1-thread pipeline (gather → fused encode+density MLP → color MLP →
+//! composite → backward), which is what shows whether the MLP stage still
+//! dominates. Writes `BENCH_throughput.json` at the repo root so the perf
+//! trajectory is recorded run over run; CI runs it in quick mode
+//! (`INERF_BENCH_QUICK=1`).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use inerf_encoding::HashFunction;
+use inerf_geom::Vec3;
+use inerf_render::l2_loss;
+use inerf_render::volume::{composite_backward_spans, composite_spans, RayBatch, RaySpan};
 use inerf_scenes::{zoo, Dataset, DatasetConfig};
-use inerf_trainer::{engine, Engine, IngpModel, ModelConfig, TrainConfig, Trainer};
+use inerf_trainer::{engine, Engine, IngpModel, ModelConfig, TrainConfig, TrainableField, Trainer};
 use serde::Serialize;
 use std::time::Instant;
+
+/// Per-stage cost of one batched training iteration at 1 thread, in
+/// nanoseconds per sampled point. `encode_density_mlp` is one stage by
+/// design: the fused pipeline streams hash-grid features straight into the
+/// density MLP's first GEMM tile.
+#[derive(Debug, Serialize)]
+struct StageNsPerPoint {
+    gather: f64,
+    encode_density_mlp: f64,
+    color_mlp: f64,
+    composite: f64,
+    composite_backward: f64,
+    model_backward: f64,
+}
 
 #[derive(Debug, Serialize)]
 struct ThroughputReport {
     workload: String,
     rays_per_batch: usize,
     samples_per_ray: usize,
+    /// Training iterations per timing window.
     timed_iterations: usize,
+    /// Timing windows per engine; the recorded rate is their median.
+    timing_windows: usize,
     threads: usize,
+    /// Active SIMD backend (`INERF_SIMD` / runtime detection).
+    backend: String,
+    simd_lanes: usize,
     scalar_points_per_sec: f64,
     batched_1_thread_points_per_sec: f64,
     batched_points_per_sec: f64,
     speedup_batched_vs_scalar: f64,
     speedup_batched_1_thread_vs_scalar: f64,
+    stage_ns_per_point_1_thread: StageNsPerPoint,
 }
 
 fn quick_mode() -> bool {
     std::env::var("INERF_BENCH_QUICK").is_ok_and(|v| v != "0")
 }
 
-fn points_per_sec(dataset: &Dataset, engine_kind: Engine, threads: usize, iters: usize) -> f64 {
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(f64::total_cmp);
+    xs[xs.len() / 2]
+}
+
+/// Median sampled-points-per-second over `windows` timing windows of
+/// `iters` iterations each, after a warm-up that fills every cache, the
+/// thread pool, and the engine's buffer arena.
+fn points_per_sec(
+    dataset: &Dataset,
+    engine_kind: Engine,
+    threads: usize,
+    iters: usize,
+    windows: usize,
+) -> f64 {
     let model = IngpModel::new(ModelConfig::small(HashFunction::Morton), 7);
     let mut trainer =
         Trainer::new(model, TrainConfig::small().with_engine(engine_kind), 3).with_threads(threads);
-    trainer.train(dataset, 2); // warm caches, pool, and allocator
-    let queried_before = trainer.points_queried();
-    let start = Instant::now();
-    trainer.train(dataset, iters);
-    let elapsed = start.elapsed().as_secs_f64();
-    (trainer.points_queried() - queried_before) as f64 / elapsed
+    trainer.train(dataset, 2);
+    let rates = (0..windows)
+        .map(|_| {
+            let queried_before = trainer.points_queried();
+            let start = Instant::now();
+            trainer.train(dataset, iters);
+            let elapsed = start.elapsed().as_secs_f64();
+            (trainer.points_queried() - queried_before) as f64 / elapsed
+        })
+        .collect();
+    median(rates)
+}
+
+/// Times each stage of the batched pipeline in isolation through the same
+/// public entry points the engine uses, at 1 thread, on one
+/// `TrainConfig::small`-shaped batch.
+fn stage_timings(dataset: &Dataset, reps: usize) -> StageNsPerPoint {
+    let cfg = TrainConfig::small();
+    let pool = engine::build_pool(1);
+    let bounds = &dataset.bounds;
+    let view = &dataset.train_views[0];
+    let rays: Vec<_> = (0..cfg.rays_per_batch)
+        .map(|i| {
+            let px = (i as u32 * 7) % view.camera.width;
+            let py = (i as u32 * 13) % view.camera.height;
+            view.camera.ray_for_pixel(px, py)
+        })
+        .collect();
+    let s = cfg.samples_per_ray;
+
+    // Stage (b): gather — intersect, stratified sampling, normalization.
+    let mut points: Vec<Vec3> = Vec::new();
+    let mut dirs: Vec<Vec3> = Vec::new();
+    let mut spans: Vec<RaySpan> = Vec::new();
+    let mut ts: Vec<f32> = Vec::new();
+    let mut gather_ns = 0u128;
+    for _ in 0..reps {
+        points.clear();
+        dirs.clear();
+        spans.clear();
+        let t0 = Instant::now();
+        for ray in &rays {
+            let Some(hit) = bounds.intersect(ray) else {
+                continue;
+            };
+            if hit.t_far - hit.t_near < 1e-5 {
+                continue;
+            }
+            ray.stratified_ts_into(hit.t_near.max(1e-4), hit.t_far, s, None, &mut ts);
+            let dt = (hit.t_far - hit.t_near.max(1e-4)) / s as f32;
+            let start = points.len();
+            for &t in &ts {
+                points.push(bounds.normalize(ray.at(t)));
+                dirs.push(ray.direction);
+            }
+            spans.push(RaySpan {
+                start,
+                len: ts.len(),
+                dt,
+            });
+        }
+        gather_ns += t0.elapsed().as_nanos();
+    }
+
+    let n = points.len();
+    let m = spans.len();
+    assert!(n > 0, "stage batch gathered no samples");
+    let live: Vec<u32> = (0..n as u32).collect();
+    let targets = vec![Vec3::splat(0.5); m];
+    let mut model = IngpModel::new(ModelConfig::small(HashFunction::Morton), 7);
+    let mut sigmas = vec![0.0f32; n];
+    let mut rgbs = vec![Vec3::ZERO; n];
+    let mut ray_colors = vec![Vec3::ZERO; m];
+    let mut backgrounds = vec![0.0f32; m];
+    let mut weights = vec![0.0f32; n];
+    let mut trans_after = vec![0.0f32; n];
+    let mut d_sigmas = vec![0.0f32; n];
+    let mut d_colors = vec![Vec3::ZERO; n];
+    let (mut encode_ns, mut color_ns, mut comp_ns, mut cbwd_ns, mut mbwd_ns) = (0u128, 0, 0, 0, 0);
+    for _ in 0..reps {
+        model.begin_batch();
+        // Stage (c1): fused hash-grid encode → density MLP.
+        let t0 = Instant::now();
+        let phased = model.query_batch_density(&points, &mut sigmas, &pool);
+        encode_ns += t0.elapsed().as_nanos();
+        assert!(phased, "IngpModel must support the phased pipeline");
+        // Stage (c2): color MLP over (here: all-live) samples.
+        let t0 = Instant::now();
+        model.query_batch_color_compacted(&dirs, &live, &mut rgbs, &pool);
+        color_ns += t0.elapsed().as_nanos();
+        // Stage (d): volume rendering.
+        let batch = RayBatch {
+            sigmas: &sigmas,
+            colors: &rgbs,
+            spans: &spans,
+            dts: None,
+            sample_base: 0,
+        };
+        let t0 = Instant::now();
+        composite_spans(
+            &batch,
+            &mut ray_colors,
+            &mut backgrounds,
+            &mut weights,
+            &mut trans_after,
+        );
+        comp_ns += t0.elapsed().as_nanos();
+        // Stages (e)-(f): loss, composite backward, model backward.
+        let loss = l2_loss(&ray_colors, &targets);
+        let t0 = Instant::now();
+        composite_backward_spans(
+            &batch,
+            &weights,
+            &trans_after,
+            &loss.d_predictions,
+            &mut d_sigmas,
+            &mut d_colors,
+        );
+        cbwd_ns += t0.elapsed().as_nanos();
+        let t0 = Instant::now();
+        model.backward_batch_compacted(&d_sigmas, &d_colors, &pool);
+        mbwd_ns += t0.elapsed().as_nanos();
+    }
+    let per_pt = |ns: u128| ns as f64 / (reps * n) as f64;
+    StageNsPerPoint {
+        gather: per_pt(gather_ns),
+        encode_density_mlp: per_pt(encode_ns),
+        color_mlp: per_pt(color_ns),
+        composite: per_pt(comp_ns),
+        composite_backward: per_pt(cbwd_ns),
+        model_backward: per_pt(mbwd_ns),
+    }
 }
 
 fn bench(c: &mut Criterion) {
-    let iters = if quick_mode() { 6 } else { 24 };
+    let (iters, windows, stage_reps) = if quick_mode() { (4, 3, 2) } else { (12, 5, 10) };
     let threads = engine::default_threads();
     let scene = zoo::scene(zoo::SceneKind::Lego);
     let dataset = DatasetConfig::tiny().generate(&scene);
 
-    let scalar = points_per_sec(&dataset, Engine::Scalar, threads, iters);
-    let batched_1 = points_per_sec(&dataset, Engine::Batched, 1, iters);
-    let batched = points_per_sec(&dataset, Engine::Batched, threads, iters);
+    let scalar = points_per_sec(&dataset, Engine::Scalar, threads, iters, windows);
+    let batched_1 = points_per_sec(&dataset, Engine::Batched, 1, iters, windows);
+    let batched = points_per_sec(&dataset, Engine::Batched, threads, iters, windows);
+    let stages = stage_timings(&dataset, stage_reps);
 
     let cfg = TrainConfig::small();
     let report = ThroughputReport {
@@ -58,20 +228,36 @@ fn bench(c: &mut Criterion) {
         rays_per_batch: cfg.rays_per_batch,
         samples_per_ray: cfg.samples_per_ray,
         timed_iterations: iters,
+        timing_windows: windows,
         threads,
+        backend: inerf_simd::backend().name().to_string(),
+        simd_lanes: inerf_simd::f32x8::LANES,
         scalar_points_per_sec: scalar,
         batched_1_thread_points_per_sec: batched_1,
         batched_points_per_sec: batched,
         speedup_batched_vs_scalar: batched / scalar,
         speedup_batched_1_thread_vs_scalar: batched_1 / scalar,
+        stage_ns_per_point_1_thread: stages,
     };
     println!(
-        "\nthroughput (tab2-small, {iters} iterations): scalar {:.0} pts/s | batched x1 {:.0} pts/s ({:.2}x) | batched x{threads} {:.0} pts/s ({:.2}x)",
+        "\nthroughput (tab2-small, median of {windows}x{iters} iterations, backend {}): \
+         scalar {:.0} pts/s | batched x1 {:.0} pts/s ({:.2}x) | batched x{threads} {:.0} pts/s ({:.2}x)",
+        report.backend,
         scalar,
         batched_1,
         batched_1 / scalar,
         batched,
         batched / scalar,
+    );
+    println!(
+        "stages (ns/pt, 1 thread): gather {:.0} | encode+density {:.0} | color {:.0} | \
+         composite {:.0} | composite-bwd {:.0} | model-bwd {:.0}",
+        report.stage_ns_per_point_1_thread.gather,
+        report.stage_ns_per_point_1_thread.encode_density_mlp,
+        report.stage_ns_per_point_1_thread.color_mlp,
+        report.stage_ns_per_point_1_thread.composite,
+        report.stage_ns_per_point_1_thread.composite_backward,
+        report.stage_ns_per_point_1_thread.model_backward,
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_throughput.json");
     let json = serde_json::to_string_pretty(&report).expect("report serializes");

@@ -8,6 +8,7 @@ use inerf_geom::grid::GridLevel;
 use inerf_geom::morton::morton_encode;
 use inerf_geom::Vec3;
 use inerf_mlp::{ParamStore, Precision};
+use inerf_simd::f32x8;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -72,6 +73,22 @@ impl LookupCache {
         self.entries.resize(n, 0);
         self.weights.resize(n, 0.0);
     }
+}
+
+/// The eight trilinear corner weights of a cube, one [`f32x8`] lane per
+/// corner index (bit 0 → +x, bit 1 → +y, bit 2 → +z). Each lane multiplies
+/// `(wx * wy) * wz` in the same left-associated order as
+/// [`GridLevel::corner_weight`], so every lane is bitwise-identical to the
+/// scalar reference for its corner.
+#[inline]
+fn corner_weights8(frac: Vec3) -> f32x8 {
+    let (x0, x1) = (1.0 - frac.x, frac.x);
+    let (y0, y1) = (1.0 - frac.y, frac.y);
+    let (z0, z1) = (1.0 - frac.z, frac.z);
+    let wx = f32x8::from_array([x0, x1, x0, x1, x0, x1, x0, x1]);
+    let wy = f32x8::from_array([y0, y0, y1, y1, y0, y0, y1, y1]);
+    let wz = f32x8::from_array([z0, z0, z0, z0, z1, z1, z1, z1]);
+    (wx * wy) * wz
 }
 
 impl HashGrid {
@@ -306,31 +323,129 @@ impl HashGrid {
             points.len() * dim,
             "feature matrix size mismatch"
         );
+        cache.reset(self.levels.len(), points.len());
+        inerf_simd::vectorize(|| {
+            for (pi, (p, row)) in points.iter().zip(out.chunks_exact_mut(dim)).enumerate() {
+                self.encode_point_cached(pi, *p, row, cache);
+            }
+        });
+    }
+
+    /// Sizes `cache` for a `points`-point batch that will be filled tile by
+    /// tile through [`HashGrid::encode_tile_bt_cached`].
+    pub fn prepare_cache(&self, cache: &mut LookupCache, points: usize) {
+        cache.reset(self.levels.len(), points);
+    }
+
+    /// Fused-forward building block: encodes points
+    /// `tile_base..tile_base + bn` into their rows of the full feature
+    /// matrix `out` *and* scatters the same values into a block-transposed
+    /// `feature_dim × lane_stride` GEMM tile (`tile[i * lane_stride + p]` =
+    /// feature `i` of point `tile_base + p`) while the freshly computed row
+    /// is still cache-hot — this is how encoded features stream straight
+    /// into the first MLP GEMM without a chunk-sized SoA round-trip.
+    ///
+    /// `cache` must have been sized with [`HashGrid::prepare_cache`] for
+    /// the whole batch. Rows and cache slots written here are
+    /// bitwise-identical to [`HashGrid::encode_batch_cached`]. Callers are
+    /// expected to run this inside an [`inerf_simd::vectorize`] frame (the
+    /// fused MLP driver does); it is dispatch-free itself.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tile, row range, or cache shape is too small.
+    #[allow(clippy::too_many_arguments)]
+    pub fn encode_tile_bt_cached(
+        &self,
+        points: &[Vec3],
+        tile_base: usize,
+        bn: usize,
+        lane_stride: usize,
+        out: &mut [f32],
+        tile: &mut [f32],
+        cache: &mut LookupCache,
+    ) {
+        let dim = self.config.feature_dim();
+        assert!(bn <= lane_stride, "tile narrower than the block");
+        assert!(tile.len() >= dim * lane_stride, "tile buffer too small");
+        for p in 0..bn {
+            let pi = tile_base + p;
+            let row = &mut out[pi * dim..(pi + 1) * dim];
+            self.encode_point_cached(pi, points[pi], row, cache);
+            for (i, &v) in row.iter().enumerate() {
+                tile[i * lane_stride + p] = v;
+            }
+        }
+    }
+
+    /// Per-point core of the cached encode: interpolates `row` and records
+    /// corner entries/weights in `cache` at point index `pi`. The eight
+    /// corner weights are computed as one [`f32x8`] (lane = corner); the
+    /// feature accumulation stays corner-ordered and scalar, so the row is
+    /// bitwise-identical to [`HashGrid::encode_into`].
+    #[inline]
+    fn encode_point_cached(&self, pi: usize, p: Vec3, row: &mut [f32], cache: &mut LookupCache) {
         let f = self.config.features as usize;
+        for (li, level) in self.levels.iter().enumerate() {
+            self.encode_level_cached(pi, p, li, level, &mut row[li * f..(li + 1) * f], cache);
+        }
+    }
+
+    /// One `(point, level)` slot of the cached encode: the level-major and
+    /// point-major drivers both bottom out here, so their outputs are
+    /// bitwise-identical by construction.
+    #[inline]
+    fn encode_level_cached(
+        &self,
+        pi: usize,
+        p: Vec3,
+        li: usize,
+        level: &GridLevel,
+        slot: &mut [f32],
+        cache: &mut LookupCache,
+    ) {
         let t = self.config.table_size();
         let emb = self.store.values();
-        cache.reset(self.levels.len(), points.len());
-        for (pi, (p, row)) in points.iter().zip(out.chunks_exact_mut(dim)).enumerate() {
-            for (li, level) in self.levels.iter().enumerate() {
-                let (base, frac) = level.cube_of(*p);
-                let entries = cube_level_indices(self.config.hash, level, base, t);
-                let slot = &mut row[li * f..(li + 1) * f];
-                slot.fill(0.0);
-                let corner_base = (pi * self.levels.len() + li) * 8;
-                for c in 0..8u8 {
-                    let w = GridLevel::corner_weight(frac, c);
-                    cache.entries[corner_base + c as usize] = entries[c as usize];
-                    cache.weights[corner_base + c as usize] = w;
-                    if w == 0.0 {
-                        // Zero weight skips the corner in the scatter
-                        // exactly like the reference backward pass.
-                        continue;
-                    }
-                    let off = self.base_offset(li as u32, entries[c as usize]);
-                    for (k, s) in slot.iter_mut().enumerate() {
-                        *s += w * emb[off + k];
-                    }
+        let (base, frac) = level.cube_of(p);
+        let entries = cube_level_indices(self.config.hash, level, base, t);
+        slot.fill(0.0);
+        let corner_base = (pi * self.levels.len() + li) * 8;
+        let weights = corner_weights8(frac);
+        weights.write_to(&mut cache.weights[corner_base..corner_base + 8]);
+        cache.entries[corner_base..corner_base + 8].copy_from_slice(&entries);
+        if slot.len() == 2 {
+            // F = 2 fast path (the paper's layout): both feature sums live
+            // in registers across the eight corners instead of
+            // read-modify-writing the slot per corner, which removes a
+            // store-to-load chain from the gather loop. Corner order and
+            // the zero-weight skip are unchanged, so the sums are
+            // bitwise-identical to the generic loop below.
+            let (mut s0, mut s1) = (0.0f32, 0.0f32);
+            for (c, &entry) in entries.iter().enumerate() {
+                let w = weights.lane(c);
+                if w == 0.0 {
+                    // Zero weight skips the corner in the scatter
+                    // exactly like the reference backward pass.
+                    continue;
                 }
+                let off = self.base_offset(li as u32, entry);
+                s0 += w * emb[off];
+                s1 += w * emb[off + 1];
+            }
+            slot[0] = s0;
+            slot[1] = s1;
+            return;
+        }
+        for (c, &entry) in entries.iter().enumerate() {
+            let w = weights.lane(c);
+            if w == 0.0 {
+                // Zero weight skips the corner in the scatter
+                // exactly like the reference backward pass.
+                continue;
+            }
+            let off = self.base_offset(li as u32, entry);
+            for (k, s) in slot.iter_mut().enumerate() {
+                *s += w * emb[off + k];
             }
         }
     }
@@ -352,14 +467,78 @@ impl HashGrid {
             cache.points * dim,
             "gradient matrix size mismatch"
         );
+        inerf_simd::vectorize(|| {
+            for pi in 0..cache.points {
+                self.scatter_point_cached(cache, d_features, pi);
+            }
+        });
+    }
+
+    /// [`HashGrid::backward_batch_cached`] restricted to the given
+    /// ascending point indices. Used by the compacted engine to skip rows
+    /// whose gradient is exactly zero (samples after the transmittance hit
+    /// 0.0): scattering a zero row only adds `w * ±0.0` into gradient
+    /// slots, which never changes them (slots cannot be `-0.0` — they start
+    /// at `+0.0` and IEEE addition of `±0.0` to any slot value preserves
+    /// it), so skipping those rows is bitwise-identical to the dense
+    /// scatter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache shape or gradient matrix disagrees with this
+    /// grid, or a row index is out of range.
+    pub fn backward_batch_cached_rows(
+        &mut self,
+        cache: &LookupCache,
+        d_features: &[f32],
+        rows: &[u32],
+    ) {
+        let dim = self.config.feature_dim();
+        assert_eq!(cache.levels, self.levels.len(), "cache level mismatch");
+        assert_eq!(
+            d_features.len(),
+            cache.points * dim,
+            "gradient matrix size mismatch"
+        );
+        inerf_simd::vectorize(|| {
+            for &pi in rows {
+                self.scatter_point_cached(cache, d_features, pi as usize);
+            }
+        });
+    }
+
+    /// Per-point core of the cached scatter. The per-corner products
+    /// `w * d` are computed as [`f32x8`] lanes (corner-major) for the
+    /// paper's `F = 2` layout; the accumulation into the gradient table
+    /// stays corner-ordered and scalar, so the result is bitwise-identical
+    /// to [`HashGrid::backward`].
+    #[inline]
+    fn scatter_point_cached(&mut self, cache: &LookupCache, d_features: &[f32], pi: usize) {
         let f = self.config.features as usize;
         let t = self.config.table_size() as usize;
-        for (pi, row) in d_features.chunks_exact(dim).enumerate() {
-            for li in 0..cache.levels {
-                let dslot = &row[li * f..(li + 1) * f];
-                let corner_base = (pi * cache.levels + li) * 8;
+        let dim = self.config.feature_dim();
+        let row = &d_features[pi * dim..(pi + 1) * dim];
+        for li in 0..cache.levels {
+            let dslot = &row[li * f..(li + 1) * f];
+            let corner_base = (pi * cache.levels + li) * 8;
+            let weights = f32x8::from_slice(&cache.weights[corner_base..corner_base + 8]);
+            if f == 2 {
+                // All 16 products in two vector multiplies; `w * d` rounds
+                // exactly once either way, so lanes match the scalar path.
+                let p0 = weights * f32x8::splat(dslot[0]);
+                let p1 = weights * f32x8::splat(dslot[1]);
                 for c in 0..8 {
-                    let w = cache.weights[corner_base + c];
+                    if weights.lane(c) == 0.0 {
+                        continue;
+                    }
+                    let entry = cache.entries[corner_base + c] as usize;
+                    let off = (li * t + entry) * f;
+                    self.gradients[off] += p0.lane(c);
+                    self.gradients[off + 1] += p1.lane(c);
+                }
+            } else {
+                for c in 0..8 {
+                    let w = weights.lane(c);
                     if w == 0.0 {
                         continue;
                     }
@@ -668,6 +847,89 @@ mod tests {
         plain.backward_batch(&points, &d);
         cached.backward_batch_cached(&cache, &d);
         assert_eq!(plain.gradients(), cached.gradients());
+    }
+
+    #[test]
+    fn tile_encode_matches_batched_encode_bitwise() {
+        let g = grid(HashFunction::Morton);
+        let dim = g.config().feature_dim();
+        let points: Vec<Vec3> = (0..21)
+            .map(|i| {
+                let t = i as f32 + 0.125;
+                Vec3::new((t * 0.23).fract(), (t * 0.37).fract(), (t * 0.53).fract())
+            })
+            .collect();
+        let mut f_ref = vec![0.0; points.len() * dim];
+        let mut cache_ref = LookupCache::default();
+        g.encode_batch_cached(&points, &mut f_ref, &mut cache_ref);
+        // Tile path: 16-point tiles plus a ragged tail, stale-lane tile.
+        let stride = 16;
+        let mut f_tile = vec![0.0; points.len() * dim];
+        let mut cache_tile = LookupCache::default();
+        g.prepare_cache(&mut cache_tile, points.len());
+        let mut tile = vec![f32::NAN; dim * stride];
+        let mut base = 0;
+        while base < points.len() {
+            let bn = stride.min(points.len() - base);
+            g.encode_tile_bt_cached(
+                &points,
+                base,
+                bn,
+                stride,
+                &mut f_tile,
+                &mut tile,
+                &mut cache_tile,
+            );
+            // The tile is the exact transpose of the freshly written rows.
+            for p in 0..bn {
+                for i in 0..dim {
+                    assert_eq!(
+                        tile[i * stride + p].to_bits(),
+                        f_tile[(base + p) * dim + i].to_bits()
+                    );
+                }
+            }
+            base += bn;
+        }
+        assert_eq!(f_ref, f_tile);
+        assert_eq!(cache_ref.entries, cache_tile.entries);
+        assert_eq!(cache_ref.weights, cache_tile.weights);
+    }
+
+    #[test]
+    fn rows_scatter_skipping_zero_rows_matches_dense_scatter() {
+        let mut dense = grid(HashFunction::Morton);
+        let mut sparse = grid(HashFunction::Morton);
+        let dim = dense.config().feature_dim();
+        let points: Vec<Vec3> = (0..19)
+            .map(|i| {
+                let t = i as f32 + 0.75;
+                Vec3::new((t * 0.11).fract(), (t * 0.43).fract(), (t * 0.61).fract())
+            })
+            .collect();
+        let mut feats = vec![0.0; points.len() * dim];
+        let mut cache = LookupCache::default();
+        dense.encode_batch_cached(&points, &mut feats, &mut cache);
+        // Gradient matrix with a mix of live rows and exactly-zero rows
+        // (including negative zeros, as the compacted backward produces).
+        let mut d = vec![0.0f32; points.len() * dim];
+        let live: Vec<u32> = (0..points.len() as u32).filter(|i| i % 3 != 1).collect();
+        for &r in &live {
+            for k in 0..dim {
+                d[r as usize * dim + k] = ((r as usize * dim + k) as f32 * 0.29).sin();
+            }
+        }
+        for i in (0..points.len()).filter(|i| i % 3 == 1) {
+            for k in 0..dim {
+                d[i * dim + k] = if k % 2 == 0 { 0.0 } else { -0.0 };
+            }
+        }
+        dense.backward_batch_cached(&cache, &d);
+        sparse.backward_batch_cached_rows(&cache, &d, &live);
+        let (dg, sg) = (dense.gradients(), sparse.gradients());
+        for i in 0..dg.len() {
+            assert_eq!(dg[i].to_bits(), sg[i].to_bits(), "gradient {i}");
+        }
     }
 
     #[test]

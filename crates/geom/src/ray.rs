@@ -63,13 +63,36 @@ impl Ray {
             "t_far ({t_far}) must exceed t_near ({t_near})"
         );
         assert!(n > 0, "need at least one sample");
+        let mut out = Vec::new();
+        self.stratified_ts_into(t_near, t_far, n, jitter, &mut out);
+        out
+    }
+
+    /// [`Ray::stratified_ts`] into a caller-pooled buffer (cleared and
+    /// refilled), so per-ray gathering allocates nothing in steady state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t_far <= t_near` or `n == 0`.
+    pub fn stratified_ts_into(
+        &self,
+        t_near: f32,
+        t_far: f32,
+        n: usize,
+        jitter: Option<&[f32]>,
+        out: &mut Vec<f32>,
+    ) {
+        assert!(
+            t_far > t_near,
+            "t_far ({t_far}) must exceed t_near ({t_near})"
+        );
+        assert!(n > 0, "need at least one sample");
         let bin = (t_far - t_near) / n as f32;
-        (0..n)
-            .map(|i| {
-                let j = jitter.map_or(0.0, |js| js[i % js.len()]);
-                t_near + bin * (i as f32 + 0.5 + j)
-            })
-            .collect()
+        out.clear();
+        out.extend((0..n).map(|i| {
+            let j = jitter.map_or(0.0, |js| js[i % js.len()]);
+            t_near + bin * (i as f32 + 0.5 + j)
+        }));
     }
 }
 

@@ -82,6 +82,7 @@ pub const UNSAFE_AUDIT: &str = "unsafe-audit";
 pub const ENTRY_WIDTH: &str = "entry-width";
 pub const PANIC_PATH: &str = "panic-path";
 pub const VENDOR_ISOLATION: &str = "vendor-isolation";
+pub const SIMD_LANE: &str = "simd-lane";
 pub const WAIVER_SYNTAX: &str = "waiver-syntax";
 pub const UNUSED_WAIVER: &str = "unused-waiver";
 
@@ -153,6 +154,18 @@ the stand-in, document it in the README table, and add it to the allowlist in th
 change.",
     },
     RuleInfo {
+        id: SIMD_LANE,
+        summary: "no raw std::arch/intrinsics outside crates/simd",
+        explain: "Every SIMD backend must produce bitwise-identical results, and that \
+guarantee is enforced at exactly one choke point: crates/simd, whose f32x8 lane tests \
+pin each backend against the portable reference and whose madd documents the \
+two-rounding (non-FMA) contract. A raw std::arch/core::arch path, a `_mm*` intrinsic, \
+a #[target_feature] attribute, or an is_x86_feature_detected! probe anywhere else \
+creates lane code with no such pin — its results can drift between machines without \
+any test noticing. Write kernels against inerf_simd::f32x8 and vectorize(); if an \
+operation is missing, add it to crates/simd together with its lane tests.",
+    },
+    RuleInfo {
         id: WAIVER_SYNTAX,
         summary: "waiver comments must parse and carry a justification",
         explain: "A waiver is `// inerf-lint: allow(<rule>) -- <justification>` trailing \
@@ -221,6 +234,7 @@ pub fn check_file(class: &FileClass, ctx: &FileContext) -> (Vec<RawFinding>, Vec
     entry_width(class, ctx, &mut out);
     panic_path(class, ctx, &mut out);
     vendor_isolation(class, ctx, &mut out);
+    simd_lane(class, ctx, &mut out);
     // One finding per (rule, line): `HashMap::<K,V>::new()` should read as
     // one hazard, not two.
     out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
@@ -481,6 +495,40 @@ documented API instead"
                     ),
                 });
             }
+        }
+    }
+}
+
+/// Rule 6: simd-lane. Applies everywhere outside the vendored tree and
+/// crates/simd itself, tests included — unpinned lane code in a test can
+/// green-light results that diverge across machines.
+fn simd_lane(class: &FileClass, ctx: &FileContext, out: &mut Vec<RawFinding>) {
+    if class.vendor || class.crate_is(&["simd"]) {
+        return;
+    }
+    for (i, t) in ctx.code.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let flagged = if t.text == "std" || t.text == "core" {
+            ctx.code.get(i + 1).is_some_and(|a| a.is_punct(':'))
+                && ctx.code.get(i + 2).is_some_and(|a| a.is_punct(':'))
+                && ctx.code.get(i + 3).is_some_and(|a| a.is_ident("arch"))
+        } else {
+            t.text.starts_with("_mm")
+                || t.text == "target_feature"
+                || t.text == "is_x86_feature_detected"
+        };
+        if flagged {
+            out.push(RawFinding {
+                rule: SIMD_LANE,
+                line: t.line,
+                message: format!(
+                    "`{}` is raw lane/feature code outside crates/simd; go through \
+inerf_simd::f32x8 + vectorize() so the backend stays bitwise-pinned",
+                    t.text
+                ),
+            });
         }
     }
 }

@@ -1,0 +1,8 @@
+//! crates/simd is the one sanctioned home for raw lane code (lint fixture).
+
+#[cfg(target_arch = "x86_64")]
+use std::arch::x86_64::_mm256_add_ps;
+
+pub fn probe() -> bool {
+    is_x86_feature_detected!("avx2")
+}

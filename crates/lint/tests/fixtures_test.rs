@@ -36,6 +36,11 @@ fn tuples(report: &Report) -> Vec<(String, u32, String, bool)> {
 fn corpus_findings_are_exactly_the_seeded_ones() {
     let report = lint_fixture("ws");
     let expect: Vec<(&str, u32, &str, bool)> = vec![
+        ("crates/accel/src/lanes.rs", 3, "simd-lane", false),
+        ("crates/accel/src/lanes.rs", 6, "simd-lane", false),
+        ("crates/accel/src/lanes.rs", 9, "simd-lane", false),
+        ("crates/accel/src/lanes.rs", 14, "simd-lane", true),
+        ("crates/accel/src/lanes.rs", 21, "simd-lane", false),
         ("crates/core/src/clock.rs", 6, "wall-clock", false),
         ("crates/core/src/clock.rs", 12, "wall-clock", true),
         ("crates/dram/src/order.rs", 3, "hash-order", false),
@@ -83,8 +88,8 @@ fn corpus_findings_are_exactly_the_seeded_ones() {
         .map(|(f, l, r, w)| (f.to_string(), l, r.to_string(), w))
         .collect();
     assert_eq!(got, want, "fixture findings drifted from the seeded corpus");
-    assert_eq!(report.files_scanned, 8);
-    assert_eq!(report.unwaived_count(), 15);
+    assert_eq!(report.files_scanned, 10);
+    assert_eq!(report.unwaived_count(), 19);
 }
 
 #[test]
@@ -98,6 +103,7 @@ fn waiver_justifications_are_recorded() {
     assert_eq!(
         justifications,
         vec![
+            "fixture: feature probe pending port to inerf_simd",
             "fixture: host timestamp for a log line only",
             "fixture: membership probe, order never observed",
             "fixture: literal is a register count, not a width",

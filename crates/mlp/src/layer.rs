@@ -1,6 +1,7 @@
 //! Dense layers with explicit forward/backward passes.
 
 use crate::store::{ParamStore, Precision};
+use inerf_simd::f32x8;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -60,10 +61,22 @@ impl Activation {
 }
 
 /// Points per block of the batched forward kernel: the kernel transposes a
-/// block of inputs and vectorizes *across points*, which keeps each point's
-/// accumulation order identical to the scalar reference (bias, then inputs
-/// in ascending order) while filling the SIMD lanes.
-const FWD_BLOCK: usize = 16;
+/// block of inputs and vectorizes *across points* — two [`f32x8`] lanes of
+/// eight points each — which keeps each point's accumulation order identical
+/// to the scalar reference (bias, then inputs in ascending order) while
+/// filling the SIMD lanes. Public so fused callers (encode → first GEMM)
+/// can produce block-transposed tiles of exactly this width.
+pub const FWD_BLOCK: usize = 16;
+
+/// Reusable working buffers of [`DenseLayer::backward_batch_into`]. Pooled
+/// by the caller (inside [`crate::MlpScratch`]) so steady-state backward
+/// sweeps allocate nothing.
+#[derive(Debug, Clone, Default)]
+pub struct BackwardScratch {
+    /// `FWD_BLOCK × out_dim` pre-activation gradient tile for the block
+    /// being processed.
+    d_pre: Vec<f32>,
+}
 
 /// A dense layer `y = act(W x + b)` with gradient accumulation buffers.
 ///
@@ -80,6 +93,80 @@ pub struct DenseLayer {
     bias: ParamStore,
     grad_weights: Vec<f32>,
     grad_bias: Vec<f32>,
+}
+
+/// `dp` with exact zeros (either sign) replaced by `+0.0`, via a branch-free
+/// bit mask. Letting the backward kernels *add* a masked zero term
+/// unconditionally — instead of branching around it like the scalar
+/// reference — is still bitwise-identical for finite data: `x + ±0.0 == x`
+/// for every `x` except `-0.0`, and a gradient accumulator can never be
+/// `-0.0` (it starts at `+0.0`, and an IEEE round-to-nearest sum only
+/// yields `-0.0` when both operands are `-0.0`). The branch this removes is
+/// data-dependent (ReLU kills ~half the units, effectively at random), so
+/// the reference's `continue` mispredicts constantly; the mask costs three
+/// integer ops off the accumulator's critical path.
+#[inline(always)]
+fn mask_nonzero(dp: f32) -> f32 {
+    f32::from_bits(dp.to_bits() & ((dp != 0.0) as u32).wrapping_neg())
+}
+
+/// One register-resident group of `C` vector chunks of a point's
+/// input-gradient row: accumulates `d_pre[o] * W[o]` across output units in
+/// ascending order (zero terms masked by [`mask_nonzero`]) and stores the
+/// group once. `C` is const so the accumulators stay in registers instead
+/// of a stack-spilled array.
+#[inline(always)]
+fn dinput_group<const C: usize>(
+    dp_row: &[f32],
+    weights: &[f32],
+    in_dim: usize,
+    g: usize,
+    d_input: &mut [f32],
+) {
+    let mut acc = [f32x8::zero(); C];
+    for (o, &dp) in dp_row.iter().enumerate() {
+        let dv = f32x8::splat(mask_nonzero(dp));
+        let row_w = &weights[o * in_dim + g..];
+        for (k, a) in acc.iter_mut().enumerate() {
+            *a = a.madd(dv, f32x8::from_slice(&row_w[k * 8..]));
+        }
+    }
+    for (k, a) in acc.into_iter().enumerate() {
+        a.write_to(&mut d_input[g + k * 8..]);
+    }
+}
+
+/// One register-resident group of `C` vector chunks of output unit `o`'s
+/// weight-gradient row: loads the group once, streams the block's rows
+/// through it in ascending order (zero terms masked like
+/// [`dinput_group`]), and stores the group once.
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn grad_group<const C: usize>(
+    d_pre: &[f32],
+    out_dim: usize,
+    o: usize,
+    inputs: &[f32],
+    in_dim: usize,
+    base: usize,
+    bn: usize,
+    g: usize,
+    row_g: &mut [f32],
+) {
+    let mut acc = [f32x8::zero(); C];
+    for (k, a) in acc.iter_mut().enumerate() {
+        *a = f32x8::from_slice(&row_g[g + k * 8..]);
+    }
+    for rb in 0..bn {
+        let dv = f32x8::splat(mask_nonzero(d_pre[rb * out_dim + o]));
+        let input = &inputs[(base + rb) * in_dim + g..];
+        for (k, a) in acc.iter_mut().enumerate() {
+            *a = a.madd(dv, f32x8::from_slice(&input[k * 8..]));
+        }
+    }
+    for (k, a) in acc.into_iter().enumerate() {
+        a.write_to(&mut row_g[g + k * 8..]);
+    }
 }
 
 impl DenseLayer {
@@ -225,6 +312,25 @@ impl DenseLayer {
     /// Panics if the buffer lengths are not consistent multiples of the
     /// layer dimensions.
     pub fn forward_batch_into(&self, inputs: &[f32], pres: &mut [f32], outs: &mut [f32]) {
+        let mut transposed = Vec::new();
+        self.forward_batch_scratch(inputs, pres, outs, &mut transposed);
+    }
+
+    /// [`DenseLayer::forward_batch_into`] with a caller-pooled transpose
+    /// buffer, so steady-state iterations allocate nothing. The whole sweep
+    /// runs inside one [`inerf_simd::vectorize`] frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer lengths are not consistent multiples of the
+    /// layer dimensions.
+    pub fn forward_batch_scratch(
+        &self,
+        inputs: &[f32],
+        pres: &mut [f32],
+        outs: &mut [f32],
+        transposed: &mut Vec<f32>,
+    ) {
         assert_eq!(inputs.len() % self.in_dim, 0, "input matrix size mismatch");
         let n = inputs.len() / self.in_dim;
         assert_eq!(
@@ -233,37 +339,73 @@ impl DenseLayer {
             "pre-activation matrix mismatch"
         );
         assert_eq!(outs.len(), n * self.out_dim, "output matrix mismatch");
-        let weights = self.weights.values();
-        let bias = self.bias.values();
-        let mut transposed = vec![0.0f32; self.in_dim * FWD_BLOCK];
-        let mut block_start = 0;
-        while block_start < n {
-            let bn = FWD_BLOCK.min(n - block_start);
-            // Transpose the block: `transposed[i * FWD_BLOCK + p]` is input
-            // `i` of point `block_start + p`. Lanes `p >= bn` hold stale
-            // values that no result reads.
-            for p in 0..bn {
-                let row = &inputs[(block_start + p) * self.in_dim..];
-                for i in 0..self.in_dim {
-                    transposed[i * FWD_BLOCK + p] = row[i];
-                }
-            }
-            for o in 0..self.out_dim {
-                let weight_row = &weights[o * self.in_dim..(o + 1) * self.in_dim];
-                let mut acc = [bias[o]; FWD_BLOCK];
-                for (i, &w) in weight_row.iter().enumerate() {
-                    let lane = &transposed[i * FWD_BLOCK..(i + 1) * FWD_BLOCK];
-                    for p in 0..FWD_BLOCK {
-                        acc[p] += w * lane[p];
+        if transposed.len() < self.in_dim * FWD_BLOCK {
+            transposed.resize(self.in_dim * FWD_BLOCK, 0.0);
+        }
+        inerf_simd::vectorize(|| {
+            let mut block_start = 0;
+            while block_start < n {
+                let bn = FWD_BLOCK.min(n - block_start);
+                // Transpose the block: `transposed[i * FWD_BLOCK + p]` is
+                // input `i` of point `block_start + p`. Lanes `p >= bn`
+                // hold stale values that no result reads.
+                for p in 0..bn {
+                    let row = &inputs[(block_start + p) * self.in_dim..];
+                    for i in 0..self.in_dim {
+                        transposed[i * FWD_BLOCK + p] = row[i];
                     }
                 }
-                for (p, &a) in acc.iter().enumerate().take(bn) {
-                    let idx = (block_start + p) * self.out_dim + o;
-                    pres[idx] = a;
-                    outs[idx] = self.activation.apply(a);
-                }
+                self.forward_block_bt(transposed, block_start, bn, pres, outs);
+                block_start += bn;
             }
-            block_start += bn;
+        });
+    }
+
+    /// GEMM micro-kernel for one block-transposed tile: `transposed` holds
+    /// input `i` of point `block_start + p` at `i * FWD_BLOCK + p`, and the
+    /// kernel writes rows `block_start..block_start + bn` of `pres`/`outs`
+    /// (full `n × out_dim` matrices).
+    ///
+    /// Two `f32x8` accumulators cover the 16 points; each lane accumulates
+    /// bias-then-inputs in ascending order with two-rounding [`f32x8::madd`],
+    /// so every result is bitwise-identical to [`DenseLayer::forward_into`]
+    /// on that row. Activations are applied lane-serially for the same
+    /// reason. Callers are expected to wrap the sweep in
+    /// [`inerf_simd::vectorize`]; the kernel itself is dispatch-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `transposed` is smaller than `in_dim * FWD_BLOCK` or the
+    /// written rows fall outside `pres`/`outs`.
+    #[inline]
+    pub fn forward_block_bt(
+        &self,
+        transposed: &[f32],
+        block_start: usize,
+        bn: usize,
+        pres: &mut [f32],
+        outs: &mut [f32],
+    ) {
+        let weights = self.weights.values();
+        let bias = self.bias.values();
+        for o in 0..self.out_dim {
+            let weight_row = &weights[o * self.in_dim..(o + 1) * self.in_dim];
+            let mut acc_lo = f32x8::splat(bias[o]);
+            let mut acc_hi = acc_lo;
+            for (i, &w) in weight_row.iter().enumerate() {
+                let lane = &transposed[i * FWD_BLOCK..(i + 1) * FWD_BLOCK];
+                let wv = f32x8::splat(w);
+                acc_lo = acc_lo.madd(wv, f32x8::from_slice(&lane[..8]));
+                acc_hi = acc_hi.madd(wv, f32x8::from_slice(&lane[8..]));
+            }
+            let mut acc = [0.0f32; FWD_BLOCK];
+            acc_lo.write_to(&mut acc[..8]);
+            acc_hi.write_to(&mut acc[8..]);
+            for (p, &a) in acc.iter().enumerate().take(bn) {
+                let idx = (block_start + p) * self.out_dim + o;
+                pres[idx] = a;
+                outs[idx] = self.activation.apply(a);
+            }
         }
     }
 
@@ -272,6 +414,19 @@ impl DenseLayer {
     /// `grad_bias`) instead of the layer's internal ones. Because it takes
     /// `&self`, independent batches can run on different threads and be
     /// reduced in a deterministic order afterwards.
+    ///
+    /// The kernel walks the batch in blocks of [`FWD_BLOCK`] points and
+    /// keeps both gradient streams in registers: each point's input-gradient
+    /// row accumulates across output units in [`f32x8`] accumulators and is
+    /// stored once (instead of read-modify-written per unit), and each
+    /// weight-gradient vector slot is loaded once per block, accumulated
+    /// over the block's rows, and stored once. Per slot the additions run
+    /// in the reference order — weight/bias slots over rows ascending,
+    /// input-gradient elements over output units ascending — and the zero
+    /// `d_pre` terms the reference branches over are instead *added* after
+    /// `mask_nonzero` forces them to `+0.0`, an exact identity (see its
+    /// docs), so for finite inputs and weights every gradient is
+    /// bitwise-identical to [`DenseLayer::backward_into`] run row by row.
     ///
     /// # Panics
     ///
@@ -286,6 +441,7 @@ impl DenseLayer {
         d_inputs: &mut [f32],
         grad_weights: &mut [f32],
         grad_bias: &mut [f32],
+        scratch: &mut BackwardScratch,
     ) {
         assert_eq!(inputs.len() % self.in_dim, 0, "input matrix size mismatch");
         let n = inputs.len() / self.in_dim;
@@ -307,28 +463,95 @@ impl DenseLayer {
             self.out_dim,
             "bias gradient buffer mismatch"
         );
+        let (in_dim, out_dim) = (self.in_dim, self.out_dim);
         let weights = self.weights.values();
-        for r in 0..n {
-            let input = &inputs[r * self.in_dim..(r + 1) * self.in_dim];
-            let pre = &pres[r * self.out_dim..(r + 1) * self.out_dim];
-            let out = &outs[r * self.out_dim..(r + 1) * self.out_dim];
-            let d_out = &d_outs[r * self.out_dim..(r + 1) * self.out_dim];
-            let d_input = &mut d_inputs[r * self.in_dim..(r + 1) * self.in_dim];
-            d_input.fill(0.0);
-            for o in 0..self.out_dim {
-                let d_pre = d_out[o] * self.activation.derivative(pre[o], out[o]);
-                if d_pre == 0.0 {
-                    continue;
+        let d_pre = &mut scratch.d_pre;
+        // Fully overwritten below; resize only reshapes on first use.
+        d_pre.resize(FWD_BLOCK * out_dim, 0.0);
+        inerf_simd::vectorize(|| {
+            let wide = in_dim - in_dim % 8;
+            let mut base = 0;
+            while base < n {
+                let bn = FWD_BLOCK.min(n - base);
+                // Pre-activation gradients for the block.
+                for rb in 0..bn {
+                    let r = base + rb;
+                    let pre = &pres[r * out_dim..(r + 1) * out_dim];
+                    let out = &outs[r * out_dim..(r + 1) * out_dim];
+                    let d_out = &d_outs[r * out_dim..(r + 1) * out_dim];
+                    let dp = &mut d_pre[rb * out_dim..(rb + 1) * out_dim];
+                    for o in 0..out_dim {
+                        dp[o] = d_out[o] * self.activation.derivative(pre[o], out[o]);
+                    }
                 }
-                grad_bias[o] += d_pre;
-                let row_w = &weights[o * self.in_dim..(o + 1) * self.in_dim];
-                let row_g = &mut grad_weights[o * self.in_dim..(o + 1) * self.in_dim];
-                for i in 0..self.in_dim {
-                    row_g[i] += d_pre * input[i];
-                    d_input[i] += d_pre * row_w[i];
+                // Input gradients: each row accumulates across output
+                // units in registers (ascending `o`); zero `d_pre` terms
+                // are masked to `+0.0` and added, matching the scalar
+                // reference's `continue` without its data-dependent branch.
+                for rb in 0..bn {
+                    let r = base + rb;
+                    let d_input = &mut d_inputs[r * in_dim..(r + 1) * in_dim];
+                    let dp_row = &d_pre[rb * out_dim..(rb + 1) * out_dim];
+                    let mut g = 0;
+                    while g + 32 <= wide {
+                        dinput_group::<4>(dp_row, weights, in_dim, g, d_input);
+                        g += 32;
+                    }
+                    if g + 16 <= wide {
+                        dinput_group::<2>(dp_row, weights, in_dim, g, d_input);
+                        g += 16;
+                    }
+                    if g + 8 <= wide {
+                        dinput_group::<1>(dp_row, weights, in_dim, g, d_input);
+                    }
+                    for i in wide..in_dim {
+                        let mut acc = 0.0;
+                        for (o, &dp) in dp_row.iter().enumerate() {
+                            if dp == 0.0 {
+                                continue;
+                            }
+                            acc += dp * weights[o * in_dim + i];
+                        }
+                        d_input[i] = acc;
+                    }
                 }
+                // Weight/bias gradients: unit `o`'s gradient row is held
+                // in registers while the block's rows stream through it
+                // (ascending `r`), with the same masked-zero terms.
+                for o in 0..out_dim {
+                    let mut bias_acc = grad_bias[o];
+                    for rb in 0..bn {
+                        bias_acc += mask_nonzero(d_pre[rb * out_dim + o]);
+                    }
+                    grad_bias[o] = bias_acc;
+                    let row_g = &mut grad_weights[o * in_dim..(o + 1) * in_dim];
+                    let mut g = 0;
+                    while g + 32 <= wide {
+                        grad_group::<4>(d_pre, out_dim, o, inputs, in_dim, base, bn, g, row_g);
+                        g += 32;
+                    }
+                    if g + 16 <= wide {
+                        grad_group::<2>(d_pre, out_dim, o, inputs, in_dim, base, bn, g, row_g);
+                        g += 16;
+                    }
+                    if g + 8 <= wide {
+                        grad_group::<1>(d_pre, out_dim, o, inputs, in_dim, base, bn, g, row_g);
+                    }
+                    for i in wide..in_dim {
+                        let mut acc = row_g[i];
+                        for rb in 0..bn {
+                            let dp = d_pre[rb * out_dim + o];
+                            if dp == 0.0 {
+                                continue;
+                            }
+                            acc += dp * inputs[(base + rb) * in_dim + i];
+                        }
+                        row_g[i] = acc;
+                    }
+                }
+                base += bn;
             }
-        }
+        });
     }
 
     /// Adds externally accumulated gradients (from

@@ -34,6 +34,6 @@ pub mod mlp;
 pub mod store;
 
 pub use adam::AdamState;
-pub use layer::{Activation, DenseLayer};
-pub use mlp::{Mlp, MlpActivations, MlpBatchActivations, MlpGradients};
+pub use layer::{Activation, BackwardScratch, DenseLayer, FWD_BLOCK};
+pub use mlp::{Mlp, MlpActivations, MlpBatchActivations, MlpGradients, MlpScratch};
 pub use store::{ParamStore, Precision};

@@ -1,6 +1,6 @@
 //! Multi-layer perceptrons built from [`DenseLayer`]s.
 
-use crate::layer::{Activation, DenseLayer};
+use crate::layer::{Activation, BackwardScratch, DenseLayer, FWD_BLOCK};
 use crate::store::Precision;
 use serde::{Deserialize, Serialize};
 
@@ -80,6 +80,22 @@ impl MlpBatchActivations {
             self.outs[l].resize(n * layer.out_dim(), 0.0);
         }
     }
+}
+
+/// Reusable working buffers for the batched MLP kernels. Pooling these in
+/// the caller (one per worker chunk) makes steady-state forward/backward
+/// iterations allocation-free.
+#[derive(Debug, Clone, Default)]
+pub struct MlpScratch {
+    /// Block-transpose tile (`max in_dim × FWD_BLOCK`), shared by every
+    /// layer of a sweep — layer `l`'s tile is dead once layer `l + 1` has
+    /// transposed its own inputs over it.
+    transposed: Vec<f32>,
+    /// Ping-pong upstream-gradient matrices for the backward sweep.
+    d_a: Vec<f32>,
+    d_b: Vec<f32>,
+    /// Per-layer backward-kernel buffers (the `d_pre` gradient tile).
+    bwd: BackwardScratch,
 }
 
 /// Parameter gradients accumulated outside an [`Mlp`] by
@@ -250,6 +266,22 @@ impl Mlp {
     ///
     /// Panics if `inputs.len()` is not a multiple of `in_dim()`.
     pub fn forward_batch(&self, inputs: &[f32], acts: &mut MlpBatchActivations) {
+        let mut scratch = MlpScratch::default();
+        self.forward_batch_scratch(inputs, acts, &mut scratch);
+    }
+
+    /// [`Mlp::forward_batch`] with caller-pooled scratch, so steady-state
+    /// iterations allocate nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` is not a multiple of `in_dim()`.
+    pub fn forward_batch_scratch(
+        &self,
+        inputs: &[f32],
+        acts: &mut MlpBatchActivations,
+        scratch: &mut MlpScratch,
+    ) {
         assert_eq!(
             inputs.len() % self.in_dim(),
             0,
@@ -260,8 +292,82 @@ impl Mlp {
         for l in 0..self.layers.len() {
             let (done, rest) = acts.outs.split_at_mut(l);
             let x = if l == 0 { inputs } else { &done[l - 1] };
-            self.layers[l].forward_batch_into(x, &mut acts.pres[l], &mut rest[0]);
+            self.layers[l].forward_batch_scratch(
+                x,
+                &mut acts.pres[l],
+                &mut rest[0],
+                &mut scratch.transposed,
+            );
         }
+    }
+
+    /// Fused batched forward pass: instead of reading a materialized
+    /// row-major input matrix, the producer streams each block-transposed
+    /// `in_dim × FWD_BLOCK` tile straight into the first layer's GEMM via
+    /// `fill_block_bt(block_start, bn, tile)` — no intermediate SoA
+    /// round-trip through memory. Subsequent layers run block-by-block on
+    /// the same tile buffer while the block is hot in cache.
+    ///
+    /// Per-point arithmetic order is unchanged, so results are
+    /// bitwise-identical to [`Mlp::forward_batch`] on the row-major
+    /// equivalent of the streamed tiles. The entire sweep (producer closure
+    /// included) runs inside one [`inerf_simd::vectorize`] frame.
+    ///
+    /// Tile lanes `p >= bn` may be left stale by the producer; no result
+    /// reads them.
+    pub fn forward_batch_fused(
+        &self,
+        n: usize,
+        mut fill_block_bt: impl FnMut(usize, usize, &mut [f32]),
+        acts: &mut MlpBatchActivations,
+        scratch: &mut MlpScratch,
+    ) {
+        acts.prepare(self, n);
+        let max_in = self
+            .layers
+            .iter()
+            .map(|l| l.in_dim())
+            .max()
+            // inerf-lint: allow(panic-path) -- infallible: `Mlp::new` asserts at least one layer
+            .expect("nonempty");
+        if scratch.transposed.len() < max_in * FWD_BLOCK {
+            scratch.transposed.resize(max_in * FWD_BLOCK, 0.0);
+        }
+        let transposed = &mut scratch.transposed;
+        inerf_simd::vectorize(|| {
+            let mut block_start = 0;
+            while block_start < n {
+                let bn = FWD_BLOCK.min(n - block_start);
+                fill_block_bt(
+                    block_start,
+                    bn,
+                    &mut transposed[..self.in_dim() * FWD_BLOCK],
+                );
+                for l in 0..self.layers.len() {
+                    let layer = &self.layers[l];
+                    let (done, rest) = acts.outs.split_at_mut(l);
+                    if l > 0 {
+                        // Transpose the previous layer's freshly written
+                        // rows for this block over the dead tile.
+                        let prev = &done[l - 1];
+                        for p in 0..bn {
+                            let row = &prev[(block_start + p) * layer.in_dim()..];
+                            for i in 0..layer.in_dim() {
+                                transposed[i * FWD_BLOCK + p] = row[i];
+                            }
+                        }
+                    }
+                    layer.forward_block_bt(
+                        transposed,
+                        block_start,
+                        bn,
+                        &mut acts.pres[l],
+                        &mut rest[0],
+                    );
+                }
+                block_start += bn;
+            }
+        });
     }
 
     /// Batched backward pass: given `d_out` (`n × out_dim`, row-major) and
@@ -286,6 +392,27 @@ impl Mlp {
         d_input: &mut [f32],
         grads: &mut MlpGradients,
     ) {
+        let mut scratch = MlpScratch::default();
+        self.backward_batch_scratch(inputs, acts, d_out, d_input, grads, &mut scratch);
+    }
+
+    /// [`Mlp::backward_batch`] with caller-pooled scratch: the upstream
+    /// gradient ping-pongs between two pooled matrices instead of
+    /// allocating one per layer, so steady-state iterations allocate
+    /// nothing.
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`Mlp::backward_batch`].
+    pub fn backward_batch_scratch(
+        &self,
+        inputs: &[f32],
+        acts: &MlpBatchActivations,
+        d_out: &[f32],
+        d_input: &mut [f32],
+        grads: &mut MlpGradients,
+        scratch: &mut MlpScratch,
+    ) {
         let n = acts.n;
         assert_eq!(
             acts.outs.len(),
@@ -300,7 +427,10 @@ impl Mlp {
             self.layers.len(),
             "gradient shape mismatch"
         );
-        let mut grad = d_out.to_vec();
+        scratch.d_a.clear();
+        scratch.d_a.extend_from_slice(d_out);
+        let mut cur = &mut scratch.d_a;
+        let mut next = &mut scratch.d_b;
         for (l, layer) in self.layers.iter().enumerate().rev() {
             let x = if l == 0 { inputs } else { &acts.outs[l - 1] };
             if l == 0 {
@@ -308,23 +438,27 @@ impl Mlp {
                     x,
                     &acts.pres[l],
                     &acts.outs[l],
-                    &grad,
+                    cur,
                     d_input,
                     &mut grads.weights[l],
                     &mut grads.biases[l],
+                    &mut scratch.bwd,
                 );
             } else {
-                let mut d_x = vec![0.0; n * layer.in_dim()];
+                // Contents are irrelevant (the kernel fills every row); the
+                // resize only matters when the batch shape changes.
+                next.resize(n * layer.in_dim(), 0.0);
                 layer.backward_batch_into(
                     x,
                     &acts.pres[l],
                     &acts.outs[l],
-                    &grad,
-                    &mut d_x,
+                    cur,
+                    next,
                     &mut grads.weights[l],
                     &mut grads.biases[l],
+                    &mut scratch.bwd,
                 );
-                grad = d_x;
+                std::mem::swap(&mut cur, &mut next);
             }
         }
     }
@@ -560,6 +694,65 @@ mod tests {
                 "parameter gradient {i}: scalar {a} vs batched {b}"
             );
         }
+    }
+
+    #[test]
+    fn fused_forward_matches_unfused_bitwise() {
+        // 37 points: two full 16-point tiles plus a ragged 5-point tail.
+        let net = Mlp::new(&[6, 8, 8, 3], Activation::Relu, Activation::Sigmoid, 77);
+        let n = 37;
+        let inputs: Vec<f32> = (0..n * 6).map(|i| (i as f32 * 0.19).sin()).collect();
+        let mut unfused = MlpBatchActivations::default();
+        net.forward_batch(&inputs, &mut unfused);
+        // Fused path: the producer transposes the same rows into the tile,
+        // standing in for an encoder streaming features directly.
+        let mut fused = MlpBatchActivations::default();
+        let mut scratch = MlpScratch::default();
+        net.forward_batch_fused(
+            n,
+            |block_start, bn, tile| {
+                for p in 0..bn {
+                    let row = &inputs[(block_start + p) * 6..(block_start + p + 1) * 6];
+                    for (i, &v) in row.iter().enumerate() {
+                        tile[i * FWD_BLOCK + p] = v;
+                    }
+                }
+            },
+            &mut fused,
+            &mut scratch,
+        );
+        assert_eq!(fused.len(), unfused.len());
+        for (a, b) in fused.outs.iter().zip(&unfused.outs) {
+            assert_eq!(a, b, "activated outputs diverged");
+        }
+        for (a, b) in fused.pres.iter().zip(&unfused.pres) {
+            assert_eq!(a, b, "pre-activations diverged");
+        }
+    }
+
+    #[test]
+    fn scratch_backward_matches_allocating_backward() {
+        let net = Mlp::new(&[4, 6, 6, 3], Activation::Relu, Activation::Identity, 51);
+        let n = 11;
+        let inputs: Vec<f32> = (0..n * 4).map(|i| (i as f32 * 0.31).cos()).collect();
+        let d_outs: Vec<f32> = (0..n * 3).map(|i| (i as f32 * 0.17).sin()).collect();
+        let mut acts = MlpBatchActivations::default();
+        net.forward_batch(&inputs, &mut acts);
+        let mut g1 = MlpGradients::zeros(&net);
+        let mut d1 = vec![0.0; n * 4];
+        net.backward_batch(&inputs, &acts, &d_outs, &mut d1, &mut g1);
+        let mut g2 = MlpGradients::zeros(&net);
+        let mut d2 = vec![0.0; n * 4];
+        let mut scratch = MlpScratch::default();
+        // Run twice through the same scratch to prove reuse is clean.
+        for _ in 0..2 {
+            g2.reset(&net);
+            d2.fill(0.0);
+            net.backward_batch_scratch(&inputs, &acts, &d_outs, &mut d2, &mut g2, &mut scratch);
+        }
+        assert_eq!(d1, d2);
+        assert_eq!(g1.weights, g2.weights);
+        assert_eq!(g1.biases, g2.biases);
     }
 
     #[test]

@@ -44,6 +44,34 @@ pub fn l2_loss(predictions: &[Vec3], targets: &[Vec3]) -> L2Loss {
     }
 }
 
+/// Allocation-free variant of [`l2_loss`]: writes the per-ray gradient into
+/// a caller-pooled buffer (cleared and refilled, so its capacity is reused
+/// across training iterations) and returns the loss value.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or are empty.
+pub fn l2_loss_into(predictions: &[Vec3], targets: &[Vec3], d_predictions: &mut Vec<Vec3>) -> f64 {
+    assert_eq!(
+        predictions.len(),
+        targets.len(),
+        "prediction/target length mismatch"
+    );
+    assert!(
+        !predictions.is_empty(),
+        "loss over an empty batch is undefined"
+    );
+    let n = predictions.len() as f64;
+    let mut value = 0.0f64;
+    d_predictions.clear();
+    for (p, t) in predictions.iter().zip(targets) {
+        let e = *p - *t;
+        value += e.length_squared() as f64;
+        d_predictions.push(e * (2.0 / n as f32));
+    }
+    value / n
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,6 +1,7 @@
 //! The volume-rendering composite and its analytic gradient.
 
 use inerf_geom::Vec3;
+use inerf_simd::f32x8;
 use serde::{Deserialize, Serialize};
 
 /// One queried sample along a ray: the model's density and color outputs.
@@ -259,17 +260,117 @@ pub fn composite_spans(
     let total = batch.sample_count();
     assert_eq!(weights.len(), total, "weight buffer mismatch");
     assert_eq!(trans_after.len(), total, "transmittance buffer mismatch");
-    for (ri, span) in batch.spans.iter().enumerate() {
-        let local = span.start - batch.sample_base;
-        let (color, background) = composite_core(
-            span.len,
-            |i| (batch.sigmas[span.start + i], batch.colors[span.start + i]),
-            |i| batch.dts.map_or(span.dt, |d| d[span.start + i]),
-            &mut weights[local..local + span.len],
-            &mut trans_after[local..local + span.len],
-        );
-        ray_colors[ri] = color;
-        backgrounds[ri] = background;
+    inerf_simd::vectorize(|| {
+        // Runs of equal-length spans (the common case: every ray in a
+        // training chunk carries `samples_per_ray` samples) go through the
+        // wide lane-per-ray kernel, up to 8 rays at a time; ragged
+        // leftovers fall back to the scalar recurrence.
+        let mut ri = 0;
+        while ri < rays {
+            let len = batch.spans[ri].len;
+            let mut run = 1;
+            while ri + run < rays && batch.spans[ri + run].len == len {
+                run += 1;
+            }
+            let mut g = 0;
+            while g < run {
+                let group = (run - g).min(8);
+                if group >= 2 {
+                    composite_group_wide(
+                        batch,
+                        &batch.spans[ri + g..ri + g + group],
+                        &mut ray_colors[ri + g..ri + g + group],
+                        &mut backgrounds[ri + g..ri + g + group],
+                        weights,
+                        trans_after,
+                    );
+                } else {
+                    let span = &batch.spans[ri + g];
+                    let local = span.start - batch.sample_base;
+                    let (color, background) = composite_core(
+                        span.len,
+                        |i| (batch.sigmas[span.start + i], batch.colors[span.start + i]),
+                        |i| batch.dts.map_or(span.dt, |d| d[span.start + i]),
+                        &mut weights[local..local + span.len],
+                        &mut trans_after[local..local + span.len],
+                    );
+                    ray_colors[ri + g] = color;
+                    backgrounds[ri + g] = background;
+                }
+                g += group;
+            }
+            ri += run;
+        }
+    });
+}
+
+/// Wide composite kernel: one [`f32x8`] lane per ray, for 2–8 equal-length
+/// spans, sweeping samples in lockstep. Every lane executes exactly the
+/// [`composite_core`] recurrence — the density clamp and negation happen
+/// scalar at gather time (the very ops the scalar path runs), `exp` is
+/// lane-serial, and the blend arithmetic is lane-wise two-rounding — so
+/// each ray's results are bitwise-identical to the scalar reference.
+fn composite_group_wide(
+    batch: &RayBatch<'_>,
+    spans: &[RaySpan],
+    ray_colors: &mut [Vec3],
+    backgrounds: &mut [f32],
+    weights: &mut [f32],
+    trans_after: &mut [f32],
+) {
+    let group = spans.len();
+    let len = spans[0].len;
+    debug_assert!((2..=8).contains(&group));
+    let mut dt_arr = [0.0f32; 8];
+    if batch.dts.is_none() {
+        for (r, span) in spans.iter().enumerate() {
+            dt_arr[r] = span.dt;
+        }
+    }
+    let mut dt_v = f32x8::from_array(dt_arr);
+    let one = f32x8::splat(1.0);
+    let mut trans = one;
+    let mut col_x = f32x8::zero();
+    let mut col_y = f32x8::zero();
+    let mut col_z = f32x8::zero();
+    for i in 0..len {
+        let mut neg_sig = [0.0f32; 8];
+        let mut cx = [0.0f32; 8];
+        let mut cy = [0.0f32; 8];
+        let mut cz = [0.0f32; 8];
+        for (r, span) in spans.iter().enumerate() {
+            let idx = span.start + i;
+            // Scalar clamp-and-negate, exactly as the scalar recurrence
+            // computes `(-sigma.max(0.0)) * dt`.
+            neg_sig[r] = -batch.sigmas[idx].max(0.0);
+            let c = batch.colors[idx];
+            cx[r] = c.x;
+            cy[r] = c.y;
+            cz[r] = c.z;
+        }
+        if let Some(dts) = batch.dts {
+            for (r, span) in spans.iter().enumerate() {
+                dt_arr[r] = dts[span.start + i];
+            }
+            dt_v = f32x8::from_array(dt_arr);
+        }
+        let alpha = one - (f32x8::from_array(neg_sig) * dt_v).exp_lanes();
+        let w = trans * alpha;
+        col_x = col_x.madd(f32x8::from_array(cx), w);
+        col_y = col_y.madd(f32x8::from_array(cy), w);
+        col_z = col_z.madd(f32x8::from_array(cz), w);
+        trans *= one - alpha;
+        let w_arr = w.to_array();
+        let t_arr = trans.to_array();
+        for (r, span) in spans.iter().enumerate() {
+            let local = span.start - batch.sample_base + i;
+            weights[local] = w_arr[r];
+            trans_after[local] = t_arr[r];
+        }
+    }
+    for r in 0..group {
+        ray_colors[r] = Vec3::new(col_x.lane(r), col_y.lane(r), col_z.lane(r));
+        backgrounds[r] = trans.lane(r);
     }
 }
 
@@ -296,19 +397,25 @@ pub fn composite_backward_spans(
     assert_eq!(trans_after.len(), total, "transmittance buffer mismatch");
     assert_eq!(d_sigmas.len(), total, "sigma gradient buffer mismatch");
     assert_eq!(d_colors.len(), total, "color gradient buffer mismatch");
-    for (ri, span) in batch.spans.iter().enumerate() {
-        let local = span.start - batch.sample_base;
-        composite_backward_core(
-            span.len,
-            |i| (batch.sigmas[span.start + i], batch.colors[span.start + i]),
-            |i| batch.dts.map_or(span.dt, |d| d[span.start + i]),
-            &weights[local..local + span.len],
-            &trans_after[local..local + span.len],
-            d_ray_colors[ri],
-            &mut d_sigmas[local..local + span.len],
-            &mut d_colors[local..local + span.len],
-        );
-    }
+    // The reverse sweep is a sequential suffix recurrence per ray, so it
+    // stays scalar per span; the vectorize frame still lets the compiler
+    // use the wider instruction set for the element-independent pieces
+    // without touching evaluation order.
+    inerf_simd::vectorize(|| {
+        for (ri, span) in batch.spans.iter().enumerate() {
+            let local = span.start - batch.sample_base;
+            composite_backward_core(
+                span.len,
+                |i| (batch.sigmas[span.start + i], batch.colors[span.start + i]),
+                |i| batch.dts.map_or(span.dt, |d| d[span.start + i]),
+                &weights[local..local + span.len],
+                &trans_after[local..local + span.len],
+                d_ray_colors[ri],
+                &mut d_sigmas[local..local + span.len],
+                &mut d_colors[local..local + span.len],
+            );
+        }
+    });
 }
 
 #[cfg(test)]
@@ -584,6 +691,139 @@ mod tests {
         let reference = composite(&samples, &dts[2..5]);
         assert_eq!(ray_colors[0], reference.color);
         assert_eq!(weights.as_slice(), reference.weights.as_slice());
+    }
+
+    #[test]
+    fn wide_span_groups_match_per_ray_composites_bitwise() {
+        // 11 equal-length rays exercise the 8-lane wide kernel (one full
+        // group of 8 plus a leftover group of 3), on every available
+        // backend; each ray must be bitwise-identical to the per-ray
+        // scalar reference.
+        let mut rng = SmallRng::seed_from_u64(77);
+        let rays = 11usize;
+        let len = 7usize;
+        let n = rays * len;
+        let sigmas: Vec<f32> = (0..n).map(|_| rng.gen_range(-0.5..5.0)).collect();
+        let colors: Vec<Vec3> = (0..n)
+            .map(|_| Vec3::new(rng.gen(), rng.gen(), rng.gen()))
+            .collect();
+        let spans: Vec<RaySpan> = (0..rays)
+            .map(|ri| RaySpan {
+                start: ri * len,
+                len,
+                dt: 0.03 + 0.007 * ri as f32,
+            })
+            .collect();
+        let batch = RayBatch {
+            sigmas: &sigmas,
+            colors: &colors,
+            spans: &spans,
+            dts: None,
+            sample_base: 0,
+        };
+        for backend in inerf_simd::available_backends() {
+            let prev = inerf_simd::force_backend(backend);
+            let mut ray_colors = vec![Vec3::ZERO; rays];
+            let mut backgrounds = vec![0.0; rays];
+            let mut weights = vec![0.0; n];
+            let mut trans = vec![0.0; n];
+            composite_spans(
+                &batch,
+                &mut ray_colors,
+                &mut backgrounds,
+                &mut weights,
+                &mut trans,
+            );
+            inerf_simd::force_backend(prev);
+            for (ri, span) in spans.iter().enumerate() {
+                let samples: Vec<SamplePoint> = (span.start..span.start + span.len)
+                    .map(|i| SamplePoint {
+                        sigma: sigmas[i],
+                        color: colors[i],
+                    })
+                    .collect();
+                let reference = composite_uniform(&samples, span.dt);
+                let name = backend.name();
+                assert_eq!(ray_colors[ri], reference.color, "{name} ray {ri} color");
+                assert_eq!(
+                    backgrounds[ri].to_bits(),
+                    reference.background_weight.to_bits(),
+                    "{name} ray {ri} background"
+                );
+                for i in 0..span.len {
+                    assert_eq!(
+                        weights[span.start + i].to_bits(),
+                        reference.weights[i].to_bits(),
+                        "{name} ray {ri} weight {i}"
+                    );
+                    assert_eq!(
+                        trans[span.start + i].to_bits(),
+                        reference.transmittance_after[i].to_bits(),
+                        "{name} ray {ri} transmittance {i}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wide_kernel_honors_sample_base_and_per_sample_dts() {
+        // Four equal-length rays (wide group) in a rebased chunk with
+        // per-sample dts; span.dt must be ignored.
+        let mut rng = SmallRng::seed_from_u64(41);
+        let rays = 4usize;
+        let len = 5usize;
+        let base = 6usize; // samples before this chunk
+        let n = base + rays * len;
+        let sigmas: Vec<f32> = (0..n).map(|_| rng.gen_range(0.0..4.0)).collect();
+        let colors: Vec<Vec3> = (0..n)
+            .map(|_| Vec3::new(rng.gen(), rng.gen(), rng.gen()))
+            .collect();
+        let dts: Vec<f32> = (0..n).map(|_| rng.gen_range(0.01..0.3)).collect();
+        let spans: Vec<RaySpan> = (0..rays)
+            .map(|ri| RaySpan {
+                start: base + ri * len,
+                len,
+                dt: f32::NAN,
+            })
+            .collect();
+        let batch = RayBatch {
+            sigmas: &sigmas,
+            colors: &colors,
+            spans: &spans,
+            dts: Some(&dts),
+            sample_base: base,
+        };
+        let mut ray_colors = vec![Vec3::ZERO; rays];
+        let mut backgrounds = vec![0.0; rays];
+        let mut weights = vec![0.0; rays * len];
+        let mut trans = vec![0.0; rays * len];
+        composite_spans(
+            &batch,
+            &mut ray_colors,
+            &mut backgrounds,
+            &mut weights,
+            &mut trans,
+        );
+        for (ri, span) in spans.iter().enumerate() {
+            let samples: Vec<SamplePoint> = (span.start..span.start + span.len)
+                .map(|i| SamplePoint {
+                    sigma: sigmas[i],
+                    color: colors[i],
+                })
+                .collect();
+            let reference = composite(&samples, &dts[span.start..span.start + span.len]);
+            assert_eq!(ray_colors[ri], reference.color, "ray {ri} color");
+            let local = span.start - base;
+            assert_eq!(
+                &weights[local..local + span.len],
+                reference.weights.as_slice()
+            );
+            assert_eq!(
+                &trans[local..local + span.len],
+                reference.transmittance_after.as_slice()
+            );
+        }
     }
 
     proptest! {

@@ -1,0 +1,286 @@
+//! Explicit-SIMD execution layer for the batched training engine.
+//!
+//! The paper's accelerator wins by keeping the encode → MLP → composite
+//! datapath wide and busy; the software spine mirrors that with an explicit
+//! eight-lane vector type, [`f32x8`], and a runtime-selected [`Backend`].
+//! Hot kernels in `inerf_mlp`, `inerf_encoding`, and `inerf_render` are
+//! written against `f32x8` and wrapped in [`vectorize`], which dispatches
+//! the whole kernel through a `#[target_feature]` frame so LLVM emits AVX2
+//! (x86-64) or NEON (aarch64) code for the lane loops without the workspace
+//! having to be compiled with non-portable target flags.
+//!
+//! # Backend selection
+//!
+//! The active backend is resolved once, from the `INERF_SIMD` environment
+//! variable:
+//!
+//! | value                | meaning                                        |
+//! |----------------------|------------------------------------------------|
+//! | unset, `native`, `auto` | best backend the CPU supports               |
+//! | `scalar`             | force the plain scalar lane loops              |
+//! | `avx2`               | AVX2 frames (falls back to scalar if absent)   |
+//! | `neon`               | NEON frames (falls back to scalar if absent)   |
+//! | anything else        | scalar (deterministic, never panics)           |
+//!
+//! Tests may override the cached choice with [`force_backend`]; overrides
+//! are clamped to what the CPU actually supports, so forcing `Avx2` on a
+//! non-AVX2 host degrades to `Scalar` instead of hitting undefined
+//! behaviour.
+//!
+//! # Determinism contract
+//!
+//! Every backend must produce **bitwise identical** results:
+//!
+//! * All `f32x8` operations are lane-wise IEEE 754 single-precision ops.
+//!   [`f32x8::madd`] is an explicit **two-rounding** multiply-then-add —
+//!   never a fused multiply-add. The dispatch frames enable only `avx2` /
+//!   `neon` (not `fma`), and rustc keeps LLVM's floating-point contraction
+//!   off, so the compiler cannot silently fuse them either.
+//! * Reductions are never reassociated by lane width: kernels accumulate
+//!   across lanes in the same fixed order as the scalar reference, exactly
+//!   as the thread pool preserves order by fixed chunking.
+//! * Transcendentals ([`f32x8::exp_lanes`]) are evaluated lane-serially
+//!   with `f32::exp`; no polynomial vector approximations.
+//!
+//! `unsafe` is confined to this crate (the `simd-lane` lint rule rejects
+//! raw `std::arch` usage anywhere else in the workspace).
+
+#![deny(unsafe_op_in_unsafe_fn)]
+
+mod vec8;
+
+pub use vec8::f32x8;
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Lane count of the one vector width this layer exposes.
+pub const LANES: usize = 8;
+
+/// Which dispatch frame [`vectorize`] routes kernels through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Backend {
+    /// Plain lane loops, no target-feature frame. Always available.
+    Scalar = 0,
+    /// x86-64 AVX2 `#[target_feature]` frame (`std::arch` detection).
+    Avx2 = 1,
+    /// aarch64 NEON `#[target_feature]` frame.
+    Neon = 2,
+}
+
+impl Backend {
+    /// Stable lower-case name, as accepted by `INERF_SIMD` and reported in
+    /// bench artifacts.
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Scalar => "scalar",
+            Backend::Avx2 => "avx2",
+            Backend::Neon => "neon",
+        }
+    }
+
+    /// Whether the running CPU can execute this backend.
+    pub fn is_available(self) -> bool {
+        match self {
+            Backend::Scalar => true,
+            #[cfg(target_arch = "x86_64")]
+            Backend::Avx2 => std::arch::is_x86_feature_detected!("avx2"),
+            #[cfg(not(target_arch = "x86_64"))]
+            Backend::Avx2 => false,
+            // NEON is a mandatory feature of the aarch64 std targets.
+            Backend::Neon => cfg!(target_arch = "aarch64"),
+        }
+    }
+
+    fn from_raw(raw: u8) -> Backend {
+        match raw {
+            1 => Backend::Avx2,
+            2 => Backend::Neon,
+            _ => Backend::Scalar,
+        }
+    }
+}
+
+/// All backends the running CPU supports, `Scalar` first. Equivalence tests
+/// sweep this list and pin every entry against the scalar engine.
+pub fn available_backends() -> Vec<Backend> {
+    [Backend::Scalar, Backend::Avx2, Backend::Neon]
+        .into_iter()
+        .filter(|b| b.is_available())
+        .collect()
+}
+
+const BACKEND_UNSET: u8 = u8::MAX;
+static ACTIVE: AtomicU8 = AtomicU8::new(BACKEND_UNSET);
+
+/// Best backend the running CPU supports.
+pub fn native_backend() -> Backend {
+    if Backend::Avx2.is_available() {
+        Backend::Avx2
+    } else if Backend::Neon.is_available() {
+        Backend::Neon
+    } else {
+        Backend::Scalar
+    }
+}
+
+/// Resolves a raw `INERF_SIMD` value to a backend. Unknown strings resolve
+/// to `Scalar` so a typo degrades performance, never correctness.
+fn resolve_from(raw: Option<&str>) -> Backend {
+    let requested = match raw {
+        None => return native_backend(),
+        Some(s) => s.trim().to_ascii_lowercase(),
+    };
+    match requested.as_str() {
+        "" | "native" | "auto" => native_backend(),
+        "scalar" => Backend::Scalar,
+        "avx2" if Backend::Avx2.is_available() => Backend::Avx2,
+        "neon" if Backend::Neon.is_available() => Backend::Neon,
+        _ => Backend::Scalar,
+    }
+}
+
+/// The active backend, resolving `INERF_SIMD` on first use and caching the
+/// result for the life of the process (unless a test calls
+/// [`force_backend`]).
+pub fn backend() -> Backend {
+    let raw = ACTIVE.load(Ordering::Relaxed);
+    if raw != BACKEND_UNSET {
+        return Backend::from_raw(raw);
+    }
+    let resolved = resolve_from(std::env::var("INERF_SIMD").ok().as_deref());
+    ACTIVE.store(resolved as u8, Ordering::Relaxed);
+    resolved
+}
+
+/// Overrides the active backend (test hook for backend-sweep suites) and
+/// returns the previously active one so callers can restore it.
+///
+/// The request is clamped to what the CPU supports: forcing an unavailable
+/// backend selects `Scalar`. Callers that sweep backends should serialize
+/// on a lock; a race is still *safe* (all backends are bitwise identical by
+/// contract), it just muddies which backend a concurrent kernel used.
+pub fn force_backend(requested: Backend) -> Backend {
+    let previous = backend();
+    let clamped = if requested.is_available() {
+        requested
+    } else {
+        Backend::Scalar
+    };
+    ACTIVE.store(clamped as u8, Ordering::Relaxed);
+    previous
+}
+
+/// Runs `kernel` inside the active backend's `#[target_feature]` frame.
+///
+/// The closure is monomorphized per call site and inlined into the frame,
+/// so LLVM compiles its lane loops with the frame's feature set — this is
+/// how the portable `f32x8` lane loops become AVX2/NEON code on a build
+/// whose baseline target lacks those features. The frame enables only the
+/// lane-width feature (never `fma`), preserving the two-rounding `madd`
+/// contract documented on [`f32x8`].
+#[inline]
+pub fn vectorize<R>(kernel: impl FnOnce() -> R) -> R {
+    match backend() {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: Backend::Avx2 is only ever stored into ACTIVE after
+        // `is_x86_feature_detected!("avx2")` confirmed support (see
+        // `Backend::is_available`, which both `resolve_from` and
+        // `force_backend` clamp through), so the AVX2 frame cannot execute
+        // on a CPU without AVX2.
+        Backend::Avx2 => unsafe { frame_avx2(kernel) },
+        #[cfg(target_arch = "aarch64")]
+        // SAFETY: NEON is a mandatory feature of aarch64 std targets;
+        // Backend::Neon is only reachable on aarch64 (is_available clamps).
+        Backend::Neon => unsafe { frame_neon(kernel) },
+        _ => kernel(),
+    }
+}
+
+/// AVX2 dispatch frame. Calling this on a CPU without AVX2 is undefined
+/// behaviour, which is why it is `unsafe` and only reachable through
+/// [`vectorize`]'s detection-guarded match arm.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+// SAFETY: `unsafe fn` by the target_feature contract — the caller must
+// guarantee AVX2 support, which `vectorize` does via runtime detection.
+unsafe fn frame_avx2<R>(kernel: impl FnOnce() -> R) -> R {
+    kernel()
+}
+
+/// NEON dispatch frame; see [`frame_avx2`].
+#[cfg(target_arch = "aarch64")]
+#[target_feature(enable = "neon")]
+// SAFETY: `unsafe fn` by the target_feature contract — NEON is mandatory
+// on aarch64 std targets, and `vectorize` only reaches this on aarch64.
+unsafe fn frame_neon<R>(kernel: impl FnOnce() -> R) -> R {
+    kernel()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// Serializes tests that mutate the process-global backend choice.
+    pub(crate) static BACKEND_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn resolve_env_values() {
+        assert_eq!(resolve_from(Some("scalar")), Backend::Scalar);
+        assert_eq!(resolve_from(Some("SCALAR ")), Backend::Scalar);
+        assert_eq!(resolve_from(None), native_backend());
+        assert_eq!(resolve_from(Some("native")), native_backend());
+        assert_eq!(resolve_from(Some("auto")), native_backend());
+        assert_eq!(resolve_from(Some("")), native_backend());
+        // Unknown values fall back to scalar, never panic.
+        assert_eq!(resolve_from(Some("avx512")), Backend::Scalar);
+        assert_eq!(resolve_from(Some("wide")), Backend::Scalar);
+        // Unavailable explicit requests clamp to scalar.
+        if !Backend::Neon.is_available() {
+            assert_eq!(resolve_from(Some("neon")), Backend::Scalar);
+        }
+        if !Backend::Avx2.is_available() {
+            assert_eq!(resolve_from(Some("avx2")), Backend::Scalar);
+        }
+    }
+
+    #[test]
+    fn available_backends_starts_with_scalar() {
+        let avail = available_backends();
+        assert_eq!(avail[0], Backend::Scalar);
+        for b in &avail {
+            assert!(b.is_available());
+        }
+    }
+
+    #[test]
+    fn force_backend_round_trips_and_clamps() {
+        let _guard = BACKEND_LOCK.lock().unwrap();
+        let original = backend();
+        for requested in [Backend::Scalar, Backend::Avx2, Backend::Neon] {
+            force_backend(requested);
+            let active = backend();
+            if requested.is_available() {
+                assert_eq!(active, requested);
+            } else {
+                assert_eq!(active, Backend::Scalar);
+            }
+        }
+        force_backend(original);
+        assert_eq!(backend(), original);
+    }
+
+    #[test]
+    fn vectorize_runs_kernel_on_every_backend() {
+        let _guard = BACKEND_LOCK.lock().unwrap();
+        let original = backend();
+        let reference: f32 = (0..64).map(|i| (i as f32).sin()).sum();
+        for b in available_backends() {
+            force_backend(b);
+            let got = vectorize(|| (0..64).map(|i| (i as f32).sin()).sum::<f32>());
+            assert_eq!(got.to_bits(), reference.to_bits(), "backend {:?}", b);
+        }
+        force_backend(original);
+    }
+}

@@ -12,6 +12,8 @@
 //! (default: all available cores); [`crate::train::Trainer::with_threads`]
 //! overrides it per trainer, which is what the determinism tests use.
 
+use inerf_geom::Vec3;
+use inerf_render::volume::RaySpan;
 use rayon::{ThreadPool, ThreadPoolBuilder};
 use std::sync::{Arc, OnceLock};
 
@@ -48,42 +50,160 @@ pub fn default_pool() -> Arc<ThreadPool> {
     Arc::clone(POOL.get_or_init(|| build_pool(default_threads())))
 }
 
-/// Splits `buf` into consecutive mutable row groups of the given sizes, so
-/// each chunk task can own its disjoint output slice across a scope.
+/// Pooled per-iteration buffers of the batched engine: every
+/// structure-of-arrays buffer `gather_batch`/`step_batched` fills lives
+/// here and is reused across iterations, so steady-state training performs
+/// no per-iteration heap allocation in the engine itself. (The remaining
+/// per-iteration allocations are the thread-pool spawn closures boxed
+/// inside the vendored rayon — a per-task fixed cost outside the arena's
+/// reach — and any model-internal scratch, which [`crate::model::IngpModel`]
+/// pools separately per chunk.)
 ///
-/// # Panics
+/// The arena tracks its own *capacity-growth events*: an iteration that
+/// forces any pooled buffer to grow its capacity counts as one event.
+/// After a warm-up iteration sized like the steady state, the count must
+/// stay flat — the allocation hook the arena tests and the throughput
+/// bench assert on.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct BatchArena {
+    // Gather outputs (the iteration's sample batch, SoA).
+    pub points: Vec<Vec3>,
+    pub dirs: Vec<Vec3>,
+    pub spans: Vec<RaySpan>,
+    /// Per-sample step sizes; meaningful only when `has_dts` is set (the
+    /// occupancy-filtered path).
+    pub dts: Vec<f32>,
+    pub has_dts: bool,
+    pub targets: Vec<Vec3>,
+    // Per-ray gather scratch.
+    pub jitter: Vec<f32>,
+    pub ts: Vec<f32>,
+    pub filtered: Vec<f32>,
+    // Forward/backward stage buffers.
+    pub sigmas: Vec<f32>,
+    pub rgbs: Vec<Vec3>,
+    pub ray_colors: Vec<Vec3>,
+    pub backgrounds: Vec<f32>,
+    pub weights: Vec<f32>,
+    pub trans_after: Vec<f32>,
+    pub d_sigmas: Vec<f32>,
+    pub d_colors: Vec<Vec3>,
+    pub d_predictions: Vec<Vec3>,
+    /// Ascending global indices of live (non-compacted) samples.
+    pub live: Vec<u32>,
+    growth_events: u64,
+    cap_mark: usize,
+}
+
+impl BatchArena {
+    /// Total capacity across every pooled buffer, in elements. Capacities
+    /// never shrink (the arena never calls `shrink_to_fit`), so the sum
+    /// grows if and only if some buffer reallocated.
+    fn capacity_sum(&self) -> usize {
+        self.points.capacity()
+            + self.dirs.capacity()
+            + self.spans.capacity()
+            + self.dts.capacity()
+            + self.targets.capacity()
+            + self.jitter.capacity()
+            + self.ts.capacity()
+            + self.filtered.capacity()
+            + self.sigmas.capacity()
+            + self.rgbs.capacity()
+            + self.ray_colors.capacity()
+            + self.backgrounds.capacity()
+            + self.weights.capacity()
+            + self.trans_after.capacity()
+            + self.d_sigmas.capacity()
+            + self.d_colors.capacity()
+            + self.d_predictions.capacity()
+            + self.live.capacity()
+    }
+
+    /// Marks the start of an iteration for growth accounting.
+    pub fn begin_iteration(&mut self) {
+        self.cap_mark = self.capacity_sum();
+    }
+
+    /// Closes an iteration: if any pooled buffer grew its capacity since
+    /// [`BatchArena::begin_iteration`], records one growth event.
+    pub fn end_iteration(&mut self) {
+        if self.capacity_sum() > self.cap_mark {
+            self.growth_events += 1;
+        }
+    }
+
+    /// Iterations (since construction) that grew some pooled buffer. Flat
+    /// across steady-state iterations — the zero-allocation test hook.
+    pub fn growth_events(&self) -> u64 {
+        self.growth_events
+    }
+
+    /// Clears the gather-stage buffers for refilling (capacity retained).
+    pub fn clear_gather(&mut self) {
+        self.points.clear();
+        self.dirs.clear();
+        self.spans.clear();
+        self.dts.clear();
+        self.has_dts = false;
+        self.targets.clear();
+    }
+}
+
+/// Occupancy-driven compaction scan: appends to `live` the ascending global
+/// indices of every sample the MLP color stage must evaluate, and returns
+/// whether any sample was dropped. A sample is dead exactly when it lies
+/// *strictly after* the sample at which its ray's transmittance reaches
+/// exactly `0.0` — from there the forward contributions multiply `+0.0` and
+/// the backward gradients are `±0.0`, so skipping the color pipeline for
+/// those rows is bitwise-identical to evaluating it (see DESIGN.md).
 ///
-/// Panics if the counts overrun `buf`.
-pub(crate) fn split_rows<T>(
-    mut buf: &mut [T],
-    counts: impl Iterator<Item = usize>,
-) -> Vec<&mut [T]> {
-    counts
-        .map(|c| {
-            let (head, rest) = std::mem::take(&mut buf).split_at_mut(c);
-            buf = rest;
-            head
-        })
-        .collect()
+/// The transmittance recurrence mirrors the composite kernel operation for
+/// operation (`σ.max(0)`, `α = 1 − e^{−σ·dt}`, `T ← T·(1−α)`), so the
+/// termination point found here is the composite's, bit for bit. A cheap
+/// conservative pre-check skips the `exp` sweep for rays whose total
+/// optical depth `Σ σ·dt` cannot underflow `T` to zero (`T ≈ e^{−Σσ·dt}`;
+/// even with per-step rounding, a depth below 80 leaves `T` dozens of
+/// orders of magnitude above the smallest subnormal).
+pub(crate) fn scan_live_samples(
+    sigmas: &[f32],
+    spans: &[RaySpan],
+    dts: Option<&[f32]>,
+    live: &mut Vec<u32>,
+) -> bool {
+    live.clear();
+    let mut any_dead = false;
+    for span in spans {
+        let mut depth = 0.0f64;
+        for i in span.start..span.start + span.len {
+            let dt = dts.map_or(span.dt, |d| d[i]);
+            depth += f64::from(sigmas[i].max(0.0)) * f64::from(dt);
+        }
+        if depth < 80.0 {
+            live.extend((span.start..span.start + span.len).map(|i| i as u32));
+            continue;
+        }
+        let mut transmittance = 1.0f32;
+        let mut cut = span.len;
+        for i in 0..span.len {
+            let idx = span.start + i;
+            let sigma = sigmas[idx].max(0.0);
+            let alpha = 1.0 - (-sigma * dts.map_or(span.dt, |d| d[idx])).exp();
+            transmittance *= 1.0 - alpha;
+            live.push(idx as u32);
+            if transmittance == 0.0 {
+                cut = i + 1;
+                break;
+            }
+        }
+        any_dead |= cut < span.len;
+    }
+    any_dead
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn split_rows_covers_buffer_disjointly() {
-        let mut buf = [0u32; 10];
-        let parts = split_rows(&mut buf, [3usize, 0, 5, 2].into_iter());
-        assert_eq!(
-            parts.iter().map(|p| p.len()).collect::<Vec<_>>(),
-            [3, 0, 5, 2]
-        );
-        for (i, part) in parts.into_iter().enumerate() {
-            part.fill(i as u32);
-        }
-        assert_eq!(buf, [0, 0, 0, 2, 2, 2, 2, 2, 3, 3]);
-    }
 
     #[test]
     fn default_threads_is_positive() {
@@ -93,5 +213,86 @@ mod tests {
     #[test]
     fn build_pool_respects_request() {
         assert_eq!(build_pool(3).current_num_threads(), 3);
+    }
+
+    #[test]
+    fn arena_counts_growth_only_when_capacity_grows() {
+        let mut arena = BatchArena::default();
+        arena.begin_iteration();
+        arena.points.extend_from_slice(&[Vec3::ZERO; 64]);
+        arena.end_iteration();
+        assert_eq!(arena.growth_events(), 1);
+        // Same-sized refill reuses the capacity: no new event.
+        for _ in 0..3 {
+            arena.begin_iteration();
+            arena.clear_gather();
+            arena.points.extend_from_slice(&[Vec3::ZERO; 64]);
+            arena.end_iteration();
+        }
+        assert_eq!(arena.growth_events(), 1);
+        // A bigger batch grows again.
+        arena.begin_iteration();
+        arena.clear_gather();
+        arena.points.extend_from_slice(&[Vec3::ZERO; 4096]);
+        arena.end_iteration();
+        assert_eq!(arena.growth_events(), 2);
+    }
+
+    #[test]
+    fn scan_keeps_everything_below_termination_depth() {
+        let sigmas = vec![2.0f32; 32];
+        let spans = [
+            RaySpan {
+                start: 0,
+                len: 16,
+                dt: 0.1,
+            },
+            RaySpan {
+                start: 16,
+                len: 16,
+                dt: 0.1,
+            },
+        ];
+        let mut live = Vec::new();
+        let any_dead = scan_live_samples(&sigmas, &spans, None, &mut live);
+        assert!(!any_dead);
+        assert_eq!(live.len(), 32);
+        assert!(live.iter().enumerate().all(|(i, &v)| v == i as u32));
+    }
+
+    #[test]
+    fn scan_cuts_exactly_where_composite_transmittance_hits_zero() {
+        // A wall of enormous density: transmittance underflows to exactly
+        // 0.0 partway down the ray. The scan's cut must agree with the
+        // composite kernel's trans_after sample for sample.
+        let n = 12usize;
+        let sigmas: Vec<f32> = (0..n).map(|i| 40.0 + 5.0 * i as f32).collect();
+        let spans = [RaySpan {
+            start: 0,
+            len: n,
+            dt: 1.0,
+        }];
+        let mut live = Vec::new();
+        let any_dead = scan_live_samples(&sigmas, &spans, None, &mut live);
+        assert!(any_dead, "this ray must terminate");
+        assert!(live.len() < n);
+        let samples: Vec<inerf_render::volume::SamplePoint> = sigmas
+            .iter()
+            .map(|&sigma| inerf_render::volume::SamplePoint {
+                sigma,
+                color: Vec3::ONE,
+            })
+            .collect();
+        let out = inerf_render::volume::composite_uniform(&samples, 1.0);
+        let cut = live.len();
+        assert_eq!(
+            out.transmittance_after[cut - 1],
+            0.0,
+            "last live sample is where T reaches 0.0"
+        );
+        assert!(
+            out.transmittance_after[..cut - 1].iter().all(|&t| t != 0.0),
+            "no earlier sample may have zero transmittance"
+        );
     }
 }

@@ -4,7 +4,8 @@ use crate::train::TrainConfig;
 use inerf_encoding::{HashFunction, HashGrid, HashGridConfig, LookupCache, TraceSink};
 use inerf_geom::Vec3;
 use inerf_mlp::{
-    Activation, AdamState, Mlp, MlpActivations, MlpBatchActivations, MlpGradients, Precision,
+    Activation, AdamState, Mlp, MlpActivations, MlpBatchActivations, MlpGradients, MlpScratch,
+    Precision, FWD_BLOCK,
 };
 use rayon::ThreadPool;
 use serde::{Deserialize, Serialize};
@@ -124,6 +125,51 @@ pub trait TrainableField {
         }
     }
 
+    /// Density phase of the occupancy-driven *compacted* query. When a
+    /// model supports phased evaluation it fills `sigmas` (caching what
+    /// the color phase needs) and returns `true`; the engine then scans
+    /// ray transmittance to find dead samples and calls
+    /// [`TrainableField::query_batch_color_compacted`] /
+    /// [`TrainableField::backward_batch_compacted`]. The default returns
+    /// `false` — per-point models (the Tab. IV baselines) keep using the
+    /// plain [`TrainableField::query_batch`] path unchanged.
+    fn query_batch_density(
+        &mut self,
+        _points: &[Vec3],
+        _sigmas: &mut [f32],
+        _pool: &ThreadPool,
+    ) -> bool {
+        false
+    }
+
+    /// Color phase of the compacted query: computes `rgbs[i]` for the
+    /// samples listed (ascending, global indices) in `live`, and
+    /// `Vec3::ZERO` for the rest. Only called after
+    /// [`TrainableField::query_batch_density`] returned `true`.
+    fn query_batch_color_compacted(
+        &mut self,
+        _dirs: &[Vec3],
+        _live: &[u32],
+        _rgbs: &mut [Vec3],
+        _pool: &ThreadPool,
+    ) {
+        unimplemented!(
+            "query_batch_density returned false; the compacted color phase is unsupported"
+        );
+    }
+
+    /// Backward pass matching a compacted query (density phase + compacted
+    /// color phase). Only called after
+    /// [`TrainableField::query_batch_density`] returned `true`.
+    fn backward_batch_compacted(
+        &mut self,
+        _d_sigmas: &[f32],
+        _d_colors: &[Vec3],
+        _pool: &ThreadPool,
+    ) {
+        unimplemented!("query_batch_density returned false; the compacted backward is unsupported");
+    }
+
     /// Streams the memory-access events this model would generate for a
     /// batch of sample points into the trace bus — the algorithm→hardware
     /// boundary the co-simulation path hooks into. One `push_cube` per
@@ -231,7 +277,8 @@ struct ChunkScratch {
     /// Corner entries/weights cached by the encode, reused by the scatter.
     lookups: LookupCache,
     density: MlpBatchActivations,
-    /// `n × (geo + 9)` color-MLP input rows.
+    /// Color-MLP input rows: `n × (geo + 9)` dense, or `m × (geo + 9)`
+    /// over the live rows only when `compact` is set.
     color_in: Vec<f32>,
     color: MlpBatchActivations,
     /// Post-softplus densities (needed for the softplus gradient chain).
@@ -243,6 +290,13 @@ struct ChunkScratch {
     d_rgb: Vec<f32>,
     density_grads: MlpGradients,
     color_grads: MlpGradients,
+    /// Pooled GEMM-transpose / gradient ping-pong buffers per MLP.
+    density_scratch: MlpScratch,
+    color_scratch: MlpScratch,
+    /// Chunk-local indices of live samples (compacted color stage).
+    live: Vec<u32>,
+    /// Whether the color buffers hold compacted (live-row-only) data.
+    compact: bool,
 }
 
 /// Resizes a scratch buffer without zeroing the retained prefix. Every
@@ -254,10 +308,116 @@ fn reset_buf(buf: &mut Vec<f32>, len: usize) {
 }
 
 impl ChunkScratch {
-    /// Forward pass over this chunk's points: encode → density MLP →
-    /// softplus/color-input assembly → color MLP. Per point this computes
-    /// exactly [`IngpModel::query`]'s arithmetic, so outputs match the
-    /// scalar reference bitwise.
+    /// Density phase of this chunk's forward pass: fused encode → density
+    /// MLP. Each block-transposed feature tile streams straight from the
+    /// hash-grid encode into the first GEMM while cache-hot (the row-major
+    /// copy in `feats` is still kept — the backward pass needs it for the
+    /// layer-0 weight gradients and the grid scatter). Per point the
+    /// arithmetic matches the scalar [`IngpModel::query`] path bitwise.
+    fn forward_density(
+        &mut self,
+        grid: &HashGrid,
+        density_mlp: &Mlp,
+        points: &[Vec3],
+        sigmas_out: &mut [f32],
+    ) {
+        let n = points.len();
+        let fdim = grid.config().feature_dim();
+        let dout = density_mlp.out_dim();
+        reset_buf(&mut self.feats, n * fdim);
+        grid.prepare_cache(&mut self.lookups, n);
+        let ChunkScratch {
+            feats,
+            lookups,
+            density,
+            density_scratch,
+            ..
+        } = self;
+        density_mlp.forward_batch_fused(
+            n,
+            |base, bn, tile| {
+                grid.encode_tile_bt_cached(points, base, bn, FWD_BLOCK, feats, tile, lookups)
+            },
+            density,
+            density_scratch,
+        );
+        reset_buf(&mut self.sigmas, n);
+        let raw = self.density.output();
+        for i in 0..n {
+            let sigma = Activation::Softplus.apply(raw[i * dout]);
+            self.sigmas[i] = sigma;
+            sigmas_out[i] = sigma;
+        }
+    }
+
+    /// Dense color phase: assembles every row's color-MLP input (geometry
+    /// features + direction encoding) and runs the color MLP over the full
+    /// chunk.
+    fn forward_color(
+        &mut self,
+        color_mlp: &Mlp,
+        dout: usize,
+        dirs: &[Vec3],
+        rgbs_out: &mut [Vec3],
+    ) {
+        let n = dirs.len();
+        let geo = dout - 1;
+        let cin = geo + 9;
+        self.compact = false;
+        reset_buf(&mut self.color_in, n * cin);
+        let raw = self.density.output();
+        for i in 0..n {
+            let slot = &mut self.color_in[i * cin..(i + 1) * cin];
+            slot[..geo].copy_from_slice(&raw[i * dout + 1..(i + 1) * dout]);
+            slot[geo..].copy_from_slice(&direction_encoding(dirs[i]));
+        }
+        color_mlp.forward_batch_scratch(&self.color_in, &mut self.color, &mut self.color_scratch);
+        let out = self.color.output();
+        for (i, rgb) in rgbs_out.iter_mut().enumerate() {
+            *rgb = Vec3::new(out[3 * i], out[3 * i + 1], out[3 * i + 2]);
+        }
+    }
+
+    /// Compacted color phase: only the rows in `self.live` (chunk-local,
+    /// ascending) go through the color MLP; dead rows get `Vec3::ZERO`.
+    /// Dead samples sit strictly after their ray's transmittance reached
+    /// exactly `0.0`, so the composite multiplies their color by `+0.0` —
+    /// substituting zero is bitwise-identical (see
+    /// [`crate::engine::scan_live_samples`]). Falls back to the dense path
+    /// when every row is live.
+    fn forward_color_compacted(
+        &mut self,
+        color_mlp: &Mlp,
+        dout: usize,
+        dirs: &[Vec3],
+        rgbs_out: &mut [Vec3],
+    ) {
+        let n = dirs.len();
+        if self.live.len() == n {
+            return self.forward_color(color_mlp, dout, dirs, rgbs_out);
+        }
+        self.compact = true;
+        let m = self.live.len();
+        let geo = dout - 1;
+        let cin = geo + 9;
+        reset_buf(&mut self.color_in, m * cin);
+        let raw = self.density.output();
+        for (k, &li) in self.live.iter().enumerate() {
+            let i = li as usize;
+            let slot = &mut self.color_in[k * cin..(k + 1) * cin];
+            slot[..geo].copy_from_slice(&raw[i * dout + 1..(i + 1) * dout]);
+            slot[geo..].copy_from_slice(&direction_encoding(dirs[i]));
+        }
+        color_mlp.forward_batch_scratch(&self.color_in, &mut self.color, &mut self.color_scratch);
+        let out = self.color.output();
+        rgbs_out.fill(Vec3::ZERO);
+        for (k, &li) in self.live.iter().enumerate() {
+            rgbs_out[li as usize] = Vec3::new(out[3 * k], out[3 * k + 1], out[3 * k + 2]);
+        }
+    }
+
+    /// Full forward pass (density + dense color) — the uncompacted batched
+    /// path and the evaluation path.
     #[allow(clippy::too_many_arguments)]
     fn forward(
         &mut self,
@@ -269,37 +429,18 @@ impl ChunkScratch {
         sigmas_out: &mut [f32],
         rgbs_out: &mut [Vec3],
     ) {
-        let n = points.len();
-        let fdim = grid.config().feature_dim();
-        let dout = density_mlp.out_dim();
-        let geo = dout - 1;
-        let cin = geo + 9;
-        reset_buf(&mut self.feats, n * fdim);
-        grid.encode_batch_cached(points, &mut self.feats, &mut self.lookups);
-        density_mlp.forward_batch(&self.feats, &mut self.density);
-        reset_buf(&mut self.sigmas, n);
-        reset_buf(&mut self.color_in, n * cin);
-        let raw = self.density.output();
-        for i in 0..n {
-            let row = &raw[i * dout..(i + 1) * dout];
-            let sigma = Activation::Softplus.apply(row[0]);
-            self.sigmas[i] = sigma;
-            sigmas_out[i] = sigma;
-            let slot = &mut self.color_in[i * cin..(i + 1) * cin];
-            slot[..geo].copy_from_slice(&row[1..]);
-            slot[geo..].copy_from_slice(&direction_encoding(dirs[i]));
-        }
-        color_mlp.forward_batch(&self.color_in, &mut self.color);
-        let out = self.color.output();
-        for (i, rgb) in rgbs_out.iter_mut().enumerate() {
-            *rgb = Vec3::new(out[3 * i], out[3 * i + 1], out[3 * i + 2]);
-        }
+        self.forward_density(grid, density_mlp, points, sigmas_out);
+        self.forward_color(color_mlp, density_mlp.out_dim(), dirs, rgbs_out);
     }
 
     /// Backward pass over this chunk: color MLP → softplus chain → density
     /// MLP, accumulating parameter gradients chunk-locally and leaving the
     /// feature gradients in `d_feats` for the (sequential, deterministic)
-    /// hash-grid scatter.
+    /// hash-grid scatter. Honors the forward pass's layout: when the color
+    /// stage ran compacted, only live rows flow back through the color MLP
+    /// (dead rows carry `±0.0` gradients, which the dense path would drop
+    /// via its zero-gradient early-outs anyway), and the density backward
+    /// runs dense — its per-row early-out makes dead rows `O(out_dim)`.
     fn backward(
         &mut self,
         density_mlp: &Mlp,
@@ -314,43 +455,76 @@ impl ChunkScratch {
         let cin = geo + 9;
         self.color_grads.reset(color_mlp);
         self.density_grads.reset(density_mlp);
-        reset_buf(&mut self.d_rgb, n * 3);
-        for (i, d) in d_colors.iter().enumerate() {
-            self.d_rgb[3 * i] = d.x;
-            self.d_rgb[3 * i + 1] = d.y;
-            self.d_rgb[3 * i + 2] = d.z;
-        }
-        reset_buf(&mut self.d_color_in, n * cin);
-        color_mlp.backward_batch(
-            &self.color_in,
-            &self.color,
-            &self.d_rgb,
-            &mut self.d_color_in,
-            &mut self.color_grads,
-        );
         reset_buf(&mut self.d_raw, n * dout);
-        for (i, &d_sigma) in d_sigmas.iter().enumerate() {
-            // d softplus(x)/dx = sigmoid(x) = 1 - e^{-softplus(x)}.
-            self.d_raw[i * dout] = d_sigma * (1.0 - (-self.sigmas[i]).exp());
-            self.d_raw[i * dout + 1..(i + 1) * dout]
-                .copy_from_slice(&self.d_color_in[i * cin..i * cin + geo]);
+        if self.compact {
+            let m = self.live.len();
+            reset_buf(&mut self.d_rgb, m * 3);
+            for (k, &li) in self.live.iter().enumerate() {
+                let d = d_colors[li as usize];
+                self.d_rgb[3 * k] = d.x;
+                self.d_rgb[3 * k + 1] = d.y;
+                self.d_rgb[3 * k + 2] = d.z;
+            }
+            reset_buf(&mut self.d_color_in, m * cin);
+            color_mlp.backward_batch_scratch(
+                &self.color_in,
+                &self.color,
+                &self.d_rgb,
+                &mut self.d_color_in,
+                &mut self.color_grads,
+                &mut self.color_scratch,
+            );
+            // Dead rows: d_raw stays zero (their gradients are ±0.0, which
+            // the density backward's early-out drops identically).
+            self.d_raw.fill(0.0);
+            for (k, &li) in self.live.iter().enumerate() {
+                let i = li as usize;
+                // d softplus(x)/dx = sigmoid(x) = 1 - e^{-softplus(x)}.
+                self.d_raw[i * dout] = d_sigmas[i] * (1.0 - (-self.sigmas[i]).exp());
+                self.d_raw[i * dout + 1..(i + 1) * dout]
+                    .copy_from_slice(&self.d_color_in[k * cin..k * cin + geo]);
+            }
+        } else {
+            reset_buf(&mut self.d_rgb, n * 3);
+            for (i, d) in d_colors.iter().enumerate() {
+                self.d_rgb[3 * i] = d.x;
+                self.d_rgb[3 * i + 1] = d.y;
+                self.d_rgb[3 * i + 2] = d.z;
+            }
+            reset_buf(&mut self.d_color_in, n * cin);
+            color_mlp.backward_batch_scratch(
+                &self.color_in,
+                &self.color,
+                &self.d_rgb,
+                &mut self.d_color_in,
+                &mut self.color_grads,
+                &mut self.color_scratch,
+            );
+            for (i, &d_sigma) in d_sigmas.iter().enumerate() {
+                // d softplus(x)/dx = sigmoid(x) = 1 - e^{-softplus(x)}.
+                self.d_raw[i * dout] = d_sigma * (1.0 - (-self.sigmas[i]).exp());
+                self.d_raw[i * dout + 1..(i + 1) * dout]
+                    .copy_from_slice(&self.d_color_in[i * cin..i * cin + geo]);
+            }
         }
         reset_buf(&mut self.d_feats, n * fdim);
-        density_mlp.backward_batch(
+        density_mlp.backward_batch_scratch(
             &self.feats,
             &self.density,
             &self.d_raw,
             &mut self.d_feats,
             &mut self.density_grads,
+            &mut self.density_scratch,
         );
     }
 }
 
-/// Batch-wide cache of the batched engine: the queried points (for the
-/// hash-grid backward scatter) plus per-chunk scratch.
+/// Batch-wide cache of the batched engine: the batch size plus per-chunk
+/// scratch (the hash-grid backward scatter replays each chunk's cached
+/// corner lookups, so the points themselves need not be retained).
 #[derive(Debug, Clone, Default)]
 struct BatchCache {
-    points: Vec<Vec3>,
+    len: usize,
     chunks: Vec<ChunkScratch>,
 }
 
@@ -521,7 +695,7 @@ fn clip_scale(norm_sq: f64, clip: f32) -> f32 {
 impl TrainableField for IngpModel {
     fn begin_batch(&mut self) {
         self.cache.clear();
-        self.batch.points.clear();
+        self.batch.len = 0;
         self.grid.zero_grad();
         self.density_mlp.zero_grad();
         self.color_mlp.zero_grad();
@@ -608,8 +782,7 @@ impl TrainableField for IngpModel {
         assert_eq!(n, dirs.len(), "points/dirs length mismatch");
         assert_eq!(n, sigmas.len(), "sigma buffer mismatch");
         assert_eq!(n, rgbs.len(), "rgb buffer mismatch");
-        self.batch.points.clear();
-        self.batch.points.extend_from_slice(points);
+        self.batch.len = n;
         let n_chunks = n.div_ceil(POINT_CHUNK);
         self.batch
             .chunks
@@ -636,12 +809,88 @@ impl TrainableField for IngpModel {
         });
     }
 
+    /// Density phase of the phased (compaction-capable) batched query:
+    /// fused encode → density MLP per fixed chunk, leaving each chunk's
+    /// activations cached for the color phase. Always supported.
+    fn query_batch_density(
+        &mut self,
+        points: &[Vec3],
+        sigmas: &mut [f32],
+        pool: &ThreadPool,
+    ) -> bool {
+        let n = points.len();
+        assert_eq!(n, sigmas.len(), "sigma buffer mismatch");
+        self.batch.len = n;
+        let n_chunks = n.div_ceil(POINT_CHUNK);
+        self.batch
+            .chunks
+            .resize_with(n_chunks, ChunkScratch::default);
+        let grid = &self.grid;
+        let density_mlp = &self.density_mlp;
+        let mut sigma_rest: &mut [f32] = sigmas;
+        pool.scope(|s| {
+            for (ci, chunk) in self.batch.chunks.iter_mut().enumerate() {
+                let lo = ci * POINT_CHUNK;
+                let hi = (lo + POINT_CHUNK).min(n);
+                let (sigma_c, rest) = std::mem::take(&mut sigma_rest).split_at_mut(hi - lo);
+                sigma_rest = rest;
+                let pts = &points[lo..hi];
+                s.spawn(move |_| chunk.forward_density(grid, density_mlp, pts, sigma_c));
+            }
+        });
+        true
+    }
+
+    /// Color phase over the live samples only. `live` holds ascending
+    /// global sample indices; the model splits it per chunk (fixed
+    /// boundaries, so the decomposition — and every result — is
+    /// thread-count-independent) and runs each chunk's color MLP over its
+    /// live rows, writing `Vec3::ZERO` for dead ones.
+    fn query_batch_color_compacted(
+        &mut self,
+        dirs: &[Vec3],
+        live: &[u32],
+        rgbs: &mut [Vec3],
+        pool: &ThreadPool,
+    ) {
+        let n = self.batch.len;
+        assert_eq!(n, dirs.len(), "dirs length mismatch");
+        assert_eq!(n, rgbs.len(), "rgb buffer mismatch");
+        // Split the global live list into chunk-local index lists.
+        let mut cursor = 0usize;
+        for (ci, chunk) in self.batch.chunks.iter_mut().enumerate() {
+            let lo = ci * POINT_CHUNK;
+            let hi = (lo + POINT_CHUNK).min(n);
+            chunk.live.clear();
+            while cursor < live.len() && (live[cursor] as usize) < hi {
+                chunk.live.push(live[cursor] - lo as u32);
+                cursor += 1;
+            }
+        }
+        assert_eq!(cursor, live.len(), "live indices out of range");
+        let dout = self.density_mlp.out_dim();
+        let color_mlp = &self.color_mlp;
+        let mut rgb_rest: &mut [Vec3] = rgbs;
+        pool.scope(|s| {
+            for (ci, chunk) in self.batch.chunks.iter_mut().enumerate() {
+                let lo = ci * POINT_CHUNK;
+                let hi = (lo + POINT_CHUNK).min(n);
+                let (rgb_c, rest) = std::mem::take(&mut rgb_rest).split_at_mut(hi - lo);
+                rgb_rest = rest;
+                let drs = &dirs[lo..hi];
+                s.spawn(move |_| chunk.forward_color_compacted(color_mlp, dout, drs, rgb_c));
+            }
+        });
+    }
+
     /// Batched backward. Chunks back-propagate through both MLPs in
-    /// parallel (chunk-local gradients); the hash-grid scatter and the MLP
-    /// gradient folds then run sequentially *in chunk order*, which makes
-    /// the accumulated gradients independent of the worker count.
+    /// parallel (chunk-local gradients); the hash-grid scatter — replaying
+    /// each chunk's cached corner lookups instead of re-deriving cube
+    /// geometry — and the MLP gradient folds then run sequentially *in
+    /// chunk order*, which makes the accumulated gradients independent of
+    /// the worker count.
     fn backward_batch(&mut self, d_sigmas: &[f32], d_colors: &[Vec3], pool: &ThreadPool) {
-        let n = self.batch.points.len();
+        let n = self.batch.len;
         assert!(n > 0, "backward_batch without a cached query_batch");
         assert_eq!(d_sigmas.len(), n, "sigma gradient length mismatch");
         assert_eq!(d_colors.len(), n, "color gradient length mismatch");
@@ -656,15 +905,28 @@ impl TrainableField for IngpModel {
                 s.spawn(move |_| chunk.backward(density_mlp, color_mlp, ds, dc));
             }
         });
-        let batch = &self.batch;
-        for (ci, chunk) in batch.chunks.iter().enumerate() {
-            let lo = ci * POINT_CHUNK;
-            let hi = (lo + POINT_CHUNK).min(n);
-            self.grid
-                .backward_batch(&batch.points[lo..hi], &chunk.d_feats);
+        for chunk in &self.batch.chunks {
+            if chunk.compact {
+                // Dead rows have exactly-zero feature gradients; skipping
+                // them in the scatter is bitwise-identical (see
+                // `HashGrid::backward_batch_cached_rows`).
+                self.grid
+                    .backward_batch_cached_rows(&chunk.lookups, &chunk.d_feats, &chunk.live);
+            } else {
+                self.grid
+                    .backward_batch_cached(&chunk.lookups, &chunk.d_feats);
+            }
             self.density_mlp.accumulate_gradients(&chunk.density_grads);
             self.color_mlp.accumulate_gradients(&chunk.color_grads);
         }
+    }
+
+    /// Backward for the phased/compacted query: identical to
+    /// [`TrainableField::backward_batch`] — the chunk scratch remembers
+    /// whether its color stage ran compacted and back-propagates
+    /// accordingly.
+    fn backward_batch_compacted(&mut self, d_sigmas: &[f32], d_colors: &[Vec3], pool: &ThreadPool) {
+        self.backward_batch(d_sigmas, d_colors, pool);
     }
 
     /// The hash-grid address stream of the batch, on the trace bus. Both

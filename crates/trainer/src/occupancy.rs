@@ -120,6 +120,21 @@ impl OccupancyGrid {
     /// distances, skipped count)`.
     pub fn filter_ts(&self, ray: &Ray, bounds: &Aabb, ts: &[f32]) -> (Vec<f32>, usize) {
         let mut kept = Vec::with_capacity(ts.len());
+        let skipped = self.filter_ts_into(ray, bounds, ts, &mut kept);
+        (kept, skipped)
+    }
+
+    /// [`OccupancyGrid::filter_ts`] into a caller-pooled buffer (cleared
+    /// and refilled), returning the skipped count; the gather loop reuses
+    /// one buffer across rays instead of allocating per ray.
+    pub fn filter_ts_into(
+        &self,
+        ray: &Ray,
+        bounds: &Aabb,
+        ts: &[f32],
+        kept: &mut Vec<f32>,
+    ) -> usize {
+        kept.clear();
         let mut skipped = 0usize;
         for &t in ts {
             let p = bounds.normalize(ray.at(t));
@@ -129,7 +144,7 @@ impl OccupancyGrid {
                 skipped += 1;
             }
         }
-        (kept, skipped)
+        skipped
     }
 }
 

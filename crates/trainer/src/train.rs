@@ -7,11 +7,11 @@ use crate::streaming::StreamingOrder;
 use inerf_encoding::TraceSink;
 use inerf_geom::{Aabb, Camera, Ray, Vec3};
 use inerf_mlp::Precision;
-use inerf_render::l2_loss;
 use inerf_render::volume::{
     composite, composite_backward, composite_backward_spans, composite_backward_uniform,
     composite_spans, composite_uniform, RayBatch, RaySpan, SamplePoint,
 };
+use inerf_render::{l2_loss, l2_loss_into};
 use inerf_scenes::{psnr_from_mse, Dataset, Image};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -135,24 +135,12 @@ struct OccupancyState {
     iteration: usize,
 }
 
-/// One iteration's gathered sample batch in structure-of-arrays layout,
-/// shared by both engines so they see the *same* sampled points (the rng is
-/// consumed identically).
-struct GatheredBatch {
-    /// Normalized sample positions, ray-major.
-    points: Vec<Vec3>,
-    /// Per-sample view directions (constant within a ray).
-    dirs: Vec<Vec3>,
-    /// Per-surviving-ray sample spans with their uniform step size.
-    spans: Vec<RaySpan>,
-    /// Per-sample step sizes, kept only on the occupancy-filtered path
-    /// (uniform rays use the span's `dt` and skip this allocation).
-    dts: Option<Vec<f32>>,
-    /// Target colors of the surviving rays.
-    targets: Vec<Vec3>,
-}
-
 /// Drives a [`TrainableField`] through the six-step NeRF training pipeline.
+///
+/// Every per-iteration structure-of-arrays buffer (the gathered batch and
+/// all batched-engine stage buffers) lives in a pooled batch arena
+/// (`engine::BatchArena`), so steady-state iterations reuse capacity
+/// instead of allocating; see [`Trainer::arena_growth_events`].
 #[derive(Debug, Clone)]
 pub struct Trainer<M> {
     model: M,
@@ -161,6 +149,7 @@ pub struct Trainer<M> {
     occupancy: Option<OccupancyState>,
     points_queried: u64,
     pool: Arc<ThreadPool>,
+    arena: engine::BatchArena,
 }
 
 impl<M: TrainableField> Trainer<M> {
@@ -184,6 +173,7 @@ impl<M: TrainableField> Trainer<M> {
             occupancy: None,
             points_queried: 0,
             pool: engine::default_pool(),
+            arena: engine::BatchArena::default(),
         }
     }
 
@@ -227,6 +217,17 @@ impl<M: TrainableField> Trainer<M> {
     /// reduces).
     pub fn points_queried(&self) -> u64 {
         self.points_queried
+    }
+
+    /// Iterations that forced some pooled engine buffer to grow its
+    /// capacity. After one warm-up iteration at the steady-state batch
+    /// shape this stays flat — the allocation-counting hook the arena
+    /// tests and the throughput bench assert on. (Per-task rayon spawn
+    /// boxes and model-internal chunk scratch warm-up are outside the
+    /// arena; the model scratch likewise reaches a fixed size after
+    /// warm-up.)
+    pub fn arena_growth_events(&self) -> u64 {
+        self.arena.growth_events()
     }
 
     /// The wrapped model.
@@ -310,39 +311,44 @@ impl<M: TrainableField> Trainer<M> {
         sink: Option<&mut (dyn TraceSink + '_)>,
     ) -> f64 {
         self.model.begin_batch();
-        let gathered = self.gather_batch(rays, targets, bounds);
-        if gathered.spans.is_empty() {
+        self.arena.begin_iteration();
+        self.gather_batch(rays, targets, bounds);
+        if self.arena.spans.is_empty() {
             if let Some(sink) = sink {
                 sink.end_batch(); // an empty iteration still closes a batch
             }
+            self.arena.end_iteration();
             return 0.0;
         }
-        self.points_queried += gathered.points.len() as u64;
+        self.points_queried += self.arena.points.len() as u64;
         if let Some(sink) = sink {
-            self.model.stream_lookups(&gathered.points, sink);
+            self.model.stream_lookups(&self.arena.points, sink);
             sink.end_batch();
         }
         let loss = match self.config.engine {
-            Engine::Scalar => self.step_scalar(&gathered),
-            Engine::Batched => self.step_batched(&gathered),
+            Engine::Scalar => self.step_scalar(),
+            Engine::Batched => self.step_batched(),
         };
         self.model.apply_gradients();
+        self.arena.end_iteration();
         loss
     }
 
-    /// Step (b): samples every ray's points into one structure-of-arrays
-    /// batch. Consumes the rng identically regardless of engine.
-    fn gather_batch(&mut self, rays: &[Ray], targets: &[Vec3], bounds: &Aabb) -> GatheredBatch {
+    /// Step (b): samples every ray's points into the arena's
+    /// structure-of-arrays batch. Consumes the rng identically regardless
+    /// of engine.
+    fn gather_batch(&mut self, rays: &[Ray], targets: &[Vec3], bounds: &Aabb) {
         let s = self.config.samples_per_ray;
-        let mut gathered = GatheredBatch {
-            points: Vec::with_capacity(rays.len() * s),
-            dirs: Vec::with_capacity(rays.len() * s),
-            spans: Vec::with_capacity(rays.len()),
-            // Only occupancy-filtered rays carry per-sample step sizes; the
-            // uniform case uses the span's `dt` and skips the allocation.
-            dts: self.occupancy.as_ref().map(|_| Vec::new()),
-            targets: Vec::with_capacity(rays.len()),
-        };
+        let Trainer {
+            rng,
+            occupancy,
+            arena,
+            ..
+        } = self;
+        arena.clear_gather();
+        // Only occupancy-filtered rays carry per-sample step sizes; the
+        // uniform case uses the span's `dt` and leaves `dts` empty.
+        arena.has_dts = occupancy.is_some();
         for (ray, &target) in rays.iter().zip(targets) {
             let Some(hit) = bounds.intersect(ray) else {
                 continue;
@@ -350,51 +356,67 @@ impl<M: TrainableField> Trainer<M> {
             if hit.t_far - hit.t_near < 1e-5 {
                 continue;
             }
-            let jitter: Vec<f32> = (0..s).map(|_| self.rng.gen_range(-0.5..0.5)).collect();
-            let mut ts = ray.stratified_ts(hit.t_near.max(1e-4), hit.t_far, s, Some(&jitter));
+            arena.jitter.clear();
+            arena
+                .jitter
+                .extend((0..s).map(|_| rng.gen_range(-0.5..0.5)));
+            ray.stratified_ts_into(
+                hit.t_near.max(1e-4),
+                hit.t_far,
+                s,
+                Some(&arena.jitter),
+                &mut arena.ts,
+            );
             let dt = (hit.t_far - hit.t_near.max(1e-4)) / s as f32;
-            if let Some(occ) = &self.occupancy {
-                let (kept, _) = occ.grid.filter_ts(ray, bounds, &ts);
-                ts = kept;
-            }
+            let ts: &[f32] = if let Some(occ) = occupancy {
+                occ.grid
+                    .filter_ts_into(ray, bounds, &arena.ts, &mut arena.filtered);
+                &arena.filtered
+            } else {
+                &arena.ts
+            };
             if ts.is_empty() {
                 continue;
             }
-            let start = gathered.points.len();
-            for &t in &ts {
-                gathered.points.push(bounds.normalize(ray.at(t)));
-                gathered.dirs.push(ray.direction);
+            let start = arena.points.len();
+            for &t in ts {
+                arena.points.push(bounds.normalize(ray.at(t)));
+                arena.dirs.push(ray.direction);
             }
-            if let Some(dts) = &mut gathered.dts {
-                dts.resize(dts.len() + ts.len(), dt);
+            if arena.has_dts {
+                arena.dts.resize(arena.dts.len() + ts.len(), dt);
             }
-            gathered.spans.push(RaySpan {
+            arena.spans.push(RaySpan {
                 start,
                 len: ts.len(),
                 dt,
             });
-            gathered.targets.push(target);
+            arena.targets.push(target);
         }
-        gathered
     }
 
     /// Steps (c)–(f), per-point reference implementation: one model
-    /// `query`/`backward` call per sample, one composite per ray.
-    fn step_scalar(&mut self, gathered: &GatheredBatch) -> f64 {
-        let n = gathered.points.len();
+    /// `query`/`backward` call per sample, one composite per ray. Keeps
+    /// its own local buffers (only the gathered batch comes from the
+    /// arena): this path is the untouched equivalence anchor for the
+    /// batched engine, not a throughput target.
+    fn step_scalar(&mut self) -> f64 {
+        let n = self.arena.points.len();
+        let dts = self.arena.has_dts.then_some(self.arena.dts.as_slice());
         // Step (c): query the model point by point, in streaming order.
         let mut samples = Vec::with_capacity(n);
-        for (&p, &d) in gathered.points.iter().zip(&gathered.dirs) {
+        for (&p, &d) in self.arena.points.iter().zip(&self.arena.dirs) {
             let (sigma, rgb) = self.model.query(p, d);
             samples.push(SamplePoint { sigma, color: rgb });
         }
         // Step (d): volume rendering.
-        let outputs: Vec<_> = gathered
+        let outputs: Vec<_> = self
+            .arena
             .spans
             .iter()
             .map(|span| {
                 let ray_samples = &samples[span.start..span.start + span.len];
-                match &gathered.dts {
+                match dts {
                     Some(dts) => composite(ray_samples, &dts[span.start..span.start + span.len]),
                     None => composite_uniform(ray_samples, span.dt),
                 }
@@ -402,11 +424,17 @@ impl<M: TrainableField> Trainer<M> {
             .collect();
         // Step (e): loss.
         let predictions: Vec<Vec3> = outputs.iter().map(|o| o.color).collect();
-        let loss = l2_loss(&predictions, &gathered.targets);
+        let loss = l2_loss(&predictions, &self.arena.targets);
         // Step (f): backward through rendering, MLPs and the hash table.
-        for ((span, out), d_pred) in gathered.spans.iter().zip(&outputs).zip(&loss.d_predictions) {
+        for ((span, out), d_pred) in self
+            .arena
+            .spans
+            .iter()
+            .zip(&outputs)
+            .zip(&loss.d_predictions)
+        {
             let ray_samples = &samples[span.start..span.start + span.len];
-            let grads = match &gathered.dts {
+            let grads = match dts {
                 Some(dts) => composite_backward(
                     ray_samples,
                     &dts[span.start..span.start + span.len],
@@ -428,49 +456,65 @@ impl<M: TrainableField> Trainer<M> {
     /// Chunk boundaries and reduction orders are thread-count-independent,
     /// so a fixed seed gives a bitwise-identical trajectory at any pool
     /// size.
-    fn step_batched(&mut self, gathered: &GatheredBatch) -> f64 {
-        let n = gathered.points.len();
-        let pool = Arc::clone(&self.pool);
+    fn step_batched(&mut self) -> f64 {
+        let Trainer {
+            model, arena, pool, ..
+        } = self;
+        let n = arena.points.len();
+        let m = arena.spans.len();
+        // Stage buffers come from the arena: `resize` reuses capacity, and
+        // every stage fully overwrites its buffer, so stale prefixes from a
+        // previous iteration are never read.
+        arena.sigmas.resize(n, 0.0);
+        arena.rgbs.resize(n, Vec3::ZERO);
+        arena.ray_colors.resize(m, Vec3::ZERO);
+        arena.backgrounds.resize(m, 0.0);
+        arena.weights.resize(n, 0.0);
+        arena.trans_after.resize(n, 0.0);
+        arena.d_sigmas.resize(n, 0.0);
+        arena.d_colors.resize(n, Vec3::ZERO);
         // Step (c): batched model query (encode → MLPs), chunk-parallel
-        // inside the model.
-        let mut sigmas = vec![0.0f32; n];
-        let mut rgbs = vec![Vec3::ZERO; n];
-        self.model.query_batch(
-            &gathered.points,
-            &gathered.dirs,
-            &mut sigmas,
-            &mut rgbs,
-            &pool,
-        );
-        // Step (d): volume rendering, parallel over fixed ray chunks.
-        let span_chunks: Vec<&[RaySpan]> = gathered.spans.chunks(engine::RAY_CHUNK).collect();
-        let chunk_samples: Vec<usize> = span_chunks
-            .iter()
-            .map(|c| c.iter().map(|s| s.len).sum())
-            .collect();
-        let m = gathered.spans.len();
-        let mut ray_colors = vec![Vec3::ZERO; m];
-        let mut backgrounds = vec![0.0f32; m];
-        let mut weights = vec![0.0f32; n];
-        let mut trans_after = vec![0.0f32; n];
+        // inside the model. Phased models run the density phase first, so
+        // occupancy-driven compaction can drop samples past each ray's
+        // termination point (where transmittance is exactly 0.0) before the
+        // color pipeline runs; `scan_live_samples` proves the drop is
+        // bitwise-free (see DESIGN.md).
+        let phased = model.query_batch_density(&arena.points, &mut arena.sigmas, pool);
+        if phased {
+            let dts = arena.has_dts.then_some(arena.dts.as_slice());
+            engine::scan_live_samples(&arena.sigmas, &arena.spans, dts, &mut arena.live);
+            model.query_batch_color_compacted(&arena.dirs, &arena.live, &mut arena.rgbs, pool);
+        } else {
+            model.query_batch(
+                &arena.points,
+                &arena.dirs,
+                &mut arena.sigmas,
+                &mut arena.rgbs,
+                pool,
+            );
+        }
+        // Step (d): volume rendering, parallel over fixed ray chunks. The
+        // per-chunk output slices are carved off the arena buffers in chunk
+        // order (no per-iteration slice vectors).
         {
-            let ray_color_chunks =
-                engine::split_rows(&mut ray_colors, span_chunks.iter().map(|c| c.len()));
-            let background_chunks =
-                engine::split_rows(&mut backgrounds, span_chunks.iter().map(|c| c.len()));
-            let weight_chunks = engine::split_rows(&mut weights, chunk_samples.iter().copied());
-            let trans_chunks = engine::split_rows(&mut trans_after, chunk_samples.iter().copied());
-            let sigmas = &sigmas;
-            let rgbs = &rgbs;
-            let dts = gathered.dts.as_deref();
+            let sigmas = &arena.sigmas[..];
+            let rgbs = &arena.rgbs[..];
+            let dts = arena.has_dts.then_some(&arena.dts[..]);
+            let mut rc = &mut arena.ray_colors[..];
+            let mut bg = &mut arena.backgrounds[..];
+            let mut wc = &mut arena.weights[..];
+            let mut tc = &mut arena.trans_after[..];
             pool.scope(|s| {
-                for ((((spans, rc), bg), wc), tc) in span_chunks
-                    .iter()
-                    .zip(ray_color_chunks)
-                    .zip(background_chunks)
-                    .zip(weight_chunks)
-                    .zip(trans_chunks)
-                {
+                for spans in arena.spans.chunks(engine::RAY_CHUNK) {
+                    let samples: usize = spans.iter().map(|sp| sp.len).sum();
+                    let (rc_head, rc_rest) = std::mem::take(&mut rc).split_at_mut(spans.len());
+                    rc = rc_rest;
+                    let (bg_head, bg_rest) = std::mem::take(&mut bg).split_at_mut(spans.len());
+                    bg = bg_rest;
+                    let (wc_head, wc_rest) = std::mem::take(&mut wc).split_at_mut(samples);
+                    wc = wc_rest;
+                    let (tc_head, tc_rest) = std::mem::take(&mut tc).split_at_mut(samples);
+                    tc = tc_rest;
                     s.spawn(move |_| {
                         let batch = RayBatch {
                             sigmas,
@@ -479,36 +523,37 @@ impl<M: TrainableField> Trainer<M> {
                             dts,
                             sample_base: spans[0].start,
                         };
-                        composite_spans(&batch, rc, bg, wc, tc);
+                        composite_spans(&batch, rc_head, bg_head, wc_head, tc_head);
                     });
                 }
             });
         }
-        // Step (e): loss.
-        let loss = l2_loss(&ray_colors, &gathered.targets);
+        // Step (e): loss, into the pooled gradient buffer.
+        let loss = l2_loss_into(&arena.ray_colors, &arena.targets, &mut arena.d_predictions);
         // Step (f): backward — composite backward in parallel over the same
         // chunks, then the model's chunked backward with ordered reduction.
-        let mut d_sigmas = vec![0.0f32; n];
-        let mut d_colors = vec![Vec3::ZERO; n];
         {
-            let d_sigma_chunks = engine::split_rows(&mut d_sigmas, chunk_samples.iter().copied());
-            let d_color_chunks = engine::split_rows(&mut d_colors, chunk_samples.iter().copied());
-            let sigmas = &sigmas;
-            let rgbs = &rgbs;
-            let weights = &weights;
-            let trans_after = &trans_after;
-            let dts = gathered.dts.as_deref();
-            let d_pred_chunks = loss.d_predictions.chunks(engine::RAY_CHUNK);
+            let sigmas = &arena.sigmas[..];
+            let rgbs = &arena.rgbs[..];
+            let weights = &arena.weights[..];
+            let trans_after = &arena.trans_after[..];
+            let dts = arena.has_dts.then_some(&arena.dts[..]);
+            let mut ds = &mut arena.d_sigmas[..];
+            let mut dc = &mut arena.d_colors[..];
             pool.scope(|s| {
-                for (((spans, dp), ds), dc) in span_chunks
-                    .iter()
-                    .zip(d_pred_chunks)
-                    .zip(d_sigma_chunks)
-                    .zip(d_color_chunks)
+                for (spans, dp) in arena
+                    .spans
+                    .chunks(engine::RAY_CHUNK)
+                    .zip(arena.d_predictions.chunks(engine::RAY_CHUNK))
                 {
+                    let samples: usize = spans.iter().map(|sp| sp.len).sum();
+                    let (ds_head, ds_rest) = std::mem::take(&mut ds).split_at_mut(samples);
+                    ds = ds_rest;
+                    let (dc_head, dc_rest) = std::mem::take(&mut dc).split_at_mut(samples);
+                    dc = dc_rest;
                     s.spawn(move |_| {
                         let base = spans[0].start;
-                        let count = ds.len();
+                        let count = ds_head.len();
                         let batch = RayBatch {
                             sigmas,
                             colors: rgbs,
@@ -521,15 +566,19 @@ impl<M: TrainableField> Trainer<M> {
                             &weights[base..base + count],
                             &trans_after[base..base + count],
                             dp,
-                            ds,
-                            dc,
+                            ds_head,
+                            dc_head,
                         );
                     });
                 }
             });
         }
-        self.model.backward_batch(&d_sigmas, &d_colors, &pool);
-        loss.value
+        if phased {
+            model.backward_batch_compacted(&arena.d_sigmas, &arena.d_colors, pool);
+        } else {
+            model.backward_batch(&arena.d_sigmas, &arena.d_colors, pool);
+        }
+        loss
     }
 
     /// Trains for `iterations` steps, returning the loss trajectory.
@@ -810,6 +859,175 @@ mod tests {
         assert_eq!(report.losses.len(), 5);
         assert_eq!(report.first_loss, report.losses[0]);
         assert_eq!(report.last_loss, report.losses[4]);
+    }
+}
+
+#[cfg(test)]
+mod compaction_tests {
+    use super::*;
+
+    /// A deterministic analytic field dense enough that rays terminate
+    /// (transmittance reaches exactly 0.0) partway through their samples.
+    /// It implements both the dense and the phased/compacted batched entry
+    /// points and records the gradients the engine feeds back, so the test
+    /// below can prove occupancy-driven compaction is a bitwise no-op while
+    /// actually skipping color work.
+    #[derive(Debug, Clone, Default)]
+    struct PhasedProbe {
+        phased: bool,
+        points: Vec<Vec3>,
+        color_evals: u64,
+        d_sigmas_seen: Vec<f32>,
+        d_colors_seen: Vec<Vec3>,
+    }
+
+    fn probe_sigma(p: Vec3) -> f32 {
+        60.0 + 25.0 * (4.0 * p.x).sin().abs() + 40.0 * p.y.abs()
+    }
+
+    fn probe_rgb(p: Vec3, d: Vec3) -> Vec3 {
+        Vec3::new(
+            0.5 + 0.5 * (3.0 * p.x + d.y).sin(),
+            0.5 + 0.5 * (2.0 * p.y - d.z).cos(),
+            0.5 + 0.5 * (4.0 * p.z + d.x).sin(),
+        )
+    }
+
+    impl TrainableField for PhasedProbe {
+        fn begin_batch(&mut self) {
+            self.points.clear();
+            self.d_sigmas_seen.clear();
+            self.d_colors_seen.clear();
+        }
+
+        fn query(&mut self, p: Vec3, d: Vec3) -> (f32, Vec3) {
+            self.color_evals += 1;
+            (probe_sigma(p), probe_rgb(p, d))
+        }
+
+        fn backward(&mut self, idx: usize, d_sigma: f32, d_color: Vec3) {
+            if self.d_sigmas_seen.len() <= idx {
+                self.d_sigmas_seen.resize(idx + 1, 0.0);
+                self.d_colors_seen.resize(idx + 1, Vec3::ZERO);
+            }
+            self.d_sigmas_seen[idx] = d_sigma;
+            self.d_colors_seen[idx] = d_color;
+        }
+
+        fn apply_gradients(&mut self) {}
+
+        fn query_eval(&self, p: Vec3, d: Vec3) -> (f32, Vec3) {
+            (probe_sigma(p), probe_rgb(p, d))
+        }
+
+        fn parameter_count(&self) -> usize {
+            0
+        }
+
+        fn query_batch_density(
+            &mut self,
+            points: &[Vec3],
+            sigmas: &mut [f32],
+            _pool: &ThreadPool,
+        ) -> bool {
+            self.points = points.to_vec();
+            for (s, &p) in sigmas.iter_mut().zip(points) {
+                *s = probe_sigma(p);
+            }
+            self.phased
+        }
+
+        fn query_batch_color_compacted(
+            &mut self,
+            dirs: &[Vec3],
+            live: &[u32],
+            rgbs: &mut [Vec3],
+            _pool: &ThreadPool,
+        ) {
+            rgbs.fill(Vec3::ZERO);
+            for &i in live {
+                let i = i as usize;
+                self.color_evals += 1;
+                rgbs[i] = probe_rgb(self.points[i], dirs[i]);
+            }
+        }
+
+        fn backward_batch_compacted(
+            &mut self,
+            d_sigmas: &[f32],
+            d_colors: &[Vec3],
+            pool: &ThreadPool,
+        ) {
+            self.backward_batch(d_sigmas, d_colors, pool);
+        }
+    }
+
+    #[test]
+    fn compaction_is_bitwise_free_and_skips_dead_color_work() {
+        // Rays through a wall of density ≥ 60 with dt ≈ 0.2: transmittance
+        // underflows to exactly 0.0 a handful of samples in, so roughly
+        // half of every ray is dead. The compacted run must reproduce the
+        // dense run bit for bit while evaluating strictly fewer colors.
+        let bounds = Aabb::new(Vec3::splat(-1.0), Vec3::splat(1.0));
+        let mut rays = Vec::new();
+        let mut targets = Vec::new();
+        for i in 0..24 {
+            let f = i as f32 / 24.0;
+            let origin = Vec3::new(
+                2.5 * (6.3 * f).cos(),
+                0.4 * (12.0 * f).sin(),
+                2.5 * (6.3 * f).sin(),
+            );
+            let aim = Vec3::new(0.3 * (9.0 * f).sin(), 0.2 * (7.0 * f).cos(), 0.0);
+            rays.push(Ray::new(origin, (aim - origin).normalized()));
+            targets.push(Vec3::new(f, 1.0 - f, 0.5));
+        }
+        let run = |phased: bool| {
+            let probe = PhasedProbe {
+                phased,
+                ..PhasedProbe::default()
+            };
+            let mut trainer = Trainer::new(probe, TrainConfig::tiny(), 7).with_threads(2);
+            let loss = trainer.train_on_rays(&rays, &targets, &bounds);
+            let queried = trainer.points_queried();
+            (loss, queried, trainer.into_model())
+        };
+        let (dense_loss, dense_queried, dense) = run(false);
+        let (compact_loss, compact_queried, compact) = run(true);
+        assert_eq!(
+            dense_loss.to_bits(),
+            compact_loss.to_bits(),
+            "loss must be bitwise identical: {dense_loss} vs {compact_loss}"
+        );
+        assert_eq!(dense_queried, compact_queried);
+        assert_eq!(dense.d_sigmas_seen.len(), compact.d_sigmas_seen.len());
+        for (i, (a, b)) in dense
+            .d_sigmas_seen
+            .iter()
+            .zip(&compact.d_sigmas_seen)
+            .enumerate()
+        {
+            assert_eq!(a.to_bits(), b.to_bits(), "d_sigma[{i}]: {a} vs {b}");
+        }
+        for (i, (a, b)) in dense
+            .d_colors_seen
+            .iter()
+            .zip(&compact.d_colors_seen)
+            .enumerate()
+        {
+            assert_eq!(
+                [a.x.to_bits(), a.y.to_bits(), a.z.to_bits()],
+                [b.x.to_bits(), b.y.to_bits(), b.z.to_bits()],
+                "d_color[{i}]: {a:?} vs {b:?}"
+            );
+        }
+        assert!(
+            compact.color_evals < dense.color_evals,
+            "compaction must skip dead color evaluations: compact {} vs dense {}",
+            compact.color_evals,
+            dense.color_evals
+        );
+        assert!(compact.color_evals > 0, "live samples still need colors");
     }
 }
 

@@ -5,12 +5,26 @@
 //! the per-point reference, and bitwise-identical trajectories at any
 //! thread count.
 
+use inerf_encoding::requests::{RegisterCacheSink, StreamStats};
+use inerf_encoding::CountingSink;
 use inerf_geom::{Aabb, Ray, Vec3};
 use inerf_scenes::{zoo, DatasetConfig};
+use inerf_simd::Backend;
 use inerf_trainer::{Engine, IngpModel, ModelConfig, TrainConfig, Trainer};
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use std::sync::Mutex;
+
+/// Serializes tests that mutate the process-global SIMD backend choice.
+static BACKEND_GUARD: Mutex<()> = Mutex::new(());
+
+fn with_backend<R>(backend: Backend, f: impl FnOnce() -> R) -> R {
+    let prev = inerf_simd::force_backend(backend);
+    let out = f();
+    inerf_simd::force_backend(prev);
+    out
+}
 
 fn bounds() -> Aabb {
     Aabb::new(Vec3::splat(-1.0), Vec3::splat(1.0))
@@ -76,8 +90,14 @@ proptest! {
     fn batched_engine_matches_scalar_reference(seed in 0u64..1000) {
         let (rays, targets) = random_rays(seed, 24);
         let (mut scalar, mut batched) = trainer_pair(seed ^ 0xAB, seed ^ 0x5150);
-        let loss_s = scalar.train_on_rays(&rays, &targets, &bounds());
-        let loss_b = batched.train_on_rays(&rays, &targets, &bounds());
+        let mut sink_s = CountingSink::default();
+        let mut sink_b = CountingSink::default();
+        let loss_s = scalar.train_on_rays_with_sink(&rays, &targets, &bounds(), Some(&mut sink_s));
+        let loss_b = batched.train_on_rays_with_sink(&rays, &targets, &bounds(), Some(&mut sink_b));
+        // The fused batched pipeline must put exactly the same lookup (and
+        // therefore DRAM request) stream on the cosim bus as the unfused
+        // per-point reference.
+        prop_assert_eq!(sink_s, sink_b);
         prop_assert!(
             (loss_s - loss_b).abs() <= 1e-5 * loss_s.abs().max(1.0),
             "loss diverged: scalar {loss_s} vs batched {loss_b}"
@@ -150,6 +170,137 @@ fn same_seed_same_trajectory_at_1_2_and_8_threads() {
     // the worker count must not influence a single bit of the trajectory.
     assert_eq!(one, two, "1-thread vs 2-thread trajectories diverged");
     assert_eq!(one, eight, "1-thread vs 8-thread trajectories diverged");
+}
+
+/// Everything a training run can observably produce, bit-exact: loss
+/// trajectories, final-iteration gradients, an evaluation render, and the
+/// DRAM-side statistics of the streamed lookup trace.
+#[derive(Debug, PartialEq)]
+struct BackendFingerprint {
+    losses: Vec<u64>,
+    occ_losses: Vec<u64>,
+    psnr: u64,
+    trace_points: u64,
+    trace_cubes: u64,
+    dram: StreamStats,
+    grid_grads: Vec<u32>,
+    density_grads: Vec<u32>,
+    color_grads: Vec<u32>,
+}
+
+/// One fixed training workload (dense + occupancy-filtered + eval render)
+/// executed under whatever SIMD backend is currently forced.
+fn backend_fingerprint(ds: &inerf_scenes::Dataset) -> BackendFingerprint {
+    let levels = ModelConfig::tiny().grid.levels;
+    let mut plain = Trainer::new(
+        IngpModel::new(ModelConfig::tiny(), 8),
+        TrainConfig::tiny(),
+        3,
+    )
+    .with_threads(2);
+    let mut sinks = (CountingSink::default(), RegisterCacheSink::new(levels));
+    let report = plain.train_with_sink(ds, 4, &mut sinks);
+    let psnr = plain.eval_psnr(ds);
+    let mut occ = Trainer::new(
+        IngpModel::new(ModelConfig::tiny(), 8),
+        TrainConfig::tiny(),
+        3,
+    )
+    .with_occupancy_grid(8, 0.02, 2);
+    let occ_report = occ.train(ds, 4);
+    BackendFingerprint {
+        losses: report.losses.iter().map(|l| l.to_bits()).collect(),
+        occ_losses: occ_report.losses.iter().map(|l| l.to_bits()).collect(),
+        psnr: psnr.to_bits(),
+        trace_points: sinks.0.points,
+        trace_cubes: sinks.0.cubes,
+        dram: sinks.1.stats(),
+        grid_grads: plain
+            .model()
+            .grid()
+            .gradients()
+            .iter()
+            .map(|g| g.to_bits())
+            .collect(),
+        density_grads: plain
+            .model()
+            .density_mlp()
+            .gradient_vec()
+            .iter()
+            .map(|g| g.to_bits())
+            .collect(),
+        color_grads: plain
+            .model()
+            .color_mlp()
+            .gradient_vec()
+            .iter()
+            .map(|g| g.to_bits())
+            .collect(),
+    }
+}
+
+#[test]
+fn every_simd_backend_matches_the_scalar_backend_bitwise() {
+    // The SIMD kernels promise *bitwise* equality, not closeness: same
+    // losses, same gradients, same render, same DRAM request statistics,
+    // on every backend the host can run.
+    let _guard = BACKEND_GUARD.lock().unwrap();
+    let ds = DatasetConfig::tiny().generate(&zoo::scene(zoo::SceneKind::Mic));
+    let reference = with_backend(Backend::Scalar, || backend_fingerprint(&ds));
+    assert!(reference.trace_points > 0, "workload must stream lookups");
+    for backend in inerf_simd::available_backends() {
+        let fp = with_backend(backend, || backend_fingerprint(&ds));
+        assert_eq!(
+            fp, reference,
+            "{backend:?} diverged bitwise from the scalar backend"
+        );
+    }
+}
+
+#[test]
+fn trajectories_identical_across_threads_for_every_backend() {
+    let _guard = BACKEND_GUARD.lock().unwrap();
+    let scene = zoo::scene(zoo::SceneKind::Mic);
+    let dataset = DatasetConfig::tiny().generate(&scene);
+    for backend in inerf_simd::available_backends() {
+        with_backend(backend, || {
+            let run = |threads: usize| -> Vec<f64> {
+                let mut trainer = Trainer::new(
+                    IngpModel::new(ModelConfig::tiny(), 11),
+                    TrainConfig::tiny(),
+                    4,
+                )
+                .with_threads(threads);
+                trainer.train(&dataset, 6).losses
+            };
+            let one = run(1);
+            assert_eq!(one, run(2), "{backend:?}: 2-thread trajectory diverged");
+            assert_eq!(one, run(8), "{backend:?}: 8-thread trajectory diverged");
+        });
+    }
+}
+
+#[test]
+fn arena_allocation_free_in_steady_state() {
+    // Warm the arena with a full-size batch (every ray hits the bounds, so
+    // every pooled buffer reaches its steady-state high-water mark), then
+    // train on random dataset batches: no pooled buffer may grow again.
+    let scene = zoo::scene(zoo::SceneKind::Mic);
+    let dataset = DatasetConfig::tiny().generate(&scene);
+    let config = TrainConfig::tiny();
+    let (rays, targets) = random_rays(5, config.rays_per_batch);
+    let mut trainer = Trainer::new(IngpModel::new(ModelConfig::tiny(), 3), config, 9);
+    trainer.train_on_rays(&rays, &targets, &bounds());
+    let warm = trainer.arena_growth_events();
+    assert!(warm >= 1, "the first iteration must populate the arena");
+    for _ in 0..5 {
+        trainer.train_step(&dataset);
+    }
+    assert_eq!(
+        trainer.arena_growth_events(),
+        warm,
+        "steady-state iterations must not grow any pooled buffer"
+    );
 }
 
 #[test]
