@@ -11,12 +11,15 @@
 //! (`INERF_BENCH_QUICK=1`).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use inerf_encoding::HashFunction;
+use inerf_encoding::{HashFunction, HashGrid};
 use inerf_geom::Vec3;
+use inerf_mlp::{AdamState, ParamStore};
 use inerf_render::l2_loss;
 use inerf_render::volume::{composite_backward_spans, composite_spans, RayBatch, RaySpan};
 use inerf_scenes::{zoo, Dataset, DatasetConfig};
-use inerf_trainer::{engine, Engine, IngpModel, ModelConfig, TrainConfig, TrainableField, Trainer};
+use inerf_trainer::{
+    engine, Engine, IngpModel, ModelConfig, Precision, TrainConfig, TrainableField, Trainer,
+};
 use serde::Serialize;
 use std::time::Instant;
 
@@ -32,6 +35,28 @@ struct StageNsPerPoint {
     composite: f64,
     composite_backward: f64,
     model_backward: f64,
+    /// Grid clip-norm + Adam step under the default sparse path.
+    optimizer: f64,
+    /// Re-quantizing the touched fp16 working copy after the step.
+    fp16_commit: f64,
+}
+
+/// Dense vs sparse grid-optimizer cost at the paper's table size
+/// (`L=16, T=2^19, F=2` — 16.7 M parameter scalars), fp16 storage, over
+/// the touched set of one tab2-small-shaped batch of 8 K points. This is
+/// the per-iteration cost the sparse path removes: the dense reference
+/// sweeps (and re-quantizes) every scalar, the sparse path only the
+/// touched ones.
+#[derive(Debug, Serialize)]
+struct OptimizerMicrobench {
+    levels: u32,
+    table_size_log2: u32,
+    features: u32,
+    param_scalars: usize,
+    touched_scalars: usize,
+    dense_ms_per_iter: f64,
+    sparse_ms_per_iter: f64,
+    speedup_sparse_vs_dense: f64,
 }
 
 #[derive(Debug, Serialize)]
@@ -44,6 +69,8 @@ struct ThroughputReport {
     /// Timing windows per engine; the recorded rate is their median.
     timing_windows: usize,
     threads: usize,
+    /// Grid-optimizer path of the timed runs (`INERF_OPT`).
+    opt_path: String,
     /// Active SIMD backend (`INERF_SIMD` / runtime detection).
     backend: String,
     simd_lanes: usize,
@@ -53,6 +80,7 @@ struct ThroughputReport {
     speedup_batched_vs_scalar: f64,
     speedup_batched_1_thread_vs_scalar: f64,
     stage_ns_per_point_1_thread: StageNsPerPoint,
+    optimizer_paper_scale: OptimizerMicrobench,
 }
 
 fn quick_mode() -> bool {
@@ -156,6 +184,7 @@ fn stage_timings(dataset: &Dataset, reps: usize) -> StageNsPerPoint {
     let mut d_sigmas = vec![0.0f32; n];
     let mut d_colors = vec![Vec3::ZERO; n];
     let (mut encode_ns, mut color_ns, mut comp_ns, mut cbwd_ns, mut mbwd_ns) = (0u128, 0, 0, 0, 0);
+    let mut opt_ns = 0u128;
     for _ in 0..reps {
         model.begin_batch();
         // Stage (c1): fused hash-grid encode → density MLP.
@@ -199,7 +228,32 @@ fn stage_timings(dataset: &Dataset, reps: usize) -> StageNsPerPoint {
         let t0 = Instant::now();
         model.backward_batch_compacted(&d_sigmas, &d_colors, &pool);
         mbwd_ns += t0.elapsed().as_nanos();
+        // Stage (g): optimizer — clip-norm + Adam over the touched grid
+        // entries (sparse path by default) plus both MLP updates.
+        let t0 = Instant::now();
+        model.apply_gradients();
+        opt_ns += t0.elapsed().as_nanos();
     }
+
+    // The fp16 re-quantization of the touched working copy, measured on
+    // an fp16-stored grid over the same batch's touched set (the stage
+    // model above stores f32, where the commit is a no-op).
+    let mut fp16_grid = HashGrid::with_precision(
+        ModelConfig::small(HashFunction::Morton).grid,
+        7,
+        Precision::Fp16,
+    );
+    fp16_grid.enable_touch_tracking();
+    fp16_grid.begin_touch_batch();
+    fp16_grid.collect_touched_batch(&points);
+    fp16_grid.mark_touched_synced();
+    fp16_grid.finalize_touched();
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        fp16_grid.commit_touched();
+    }
+    let fp16_ns = t0.elapsed().as_nanos();
+
     let per_pt = |ns: u128| ns as f64 / (reps * n) as f64;
     StageNsPerPoint {
         gather: per_pt(gather_ns),
@@ -208,6 +262,123 @@ fn stage_timings(dataset: &Dataset, reps: usize) -> StageNsPerPoint {
         composite: per_pt(comp_ns),
         composite_backward: per_pt(cbwd_ns),
         model_backward: per_pt(mbwd_ns),
+        optimizer: per_pt(opt_ns),
+        fp16_commit: per_pt(fp16_ns),
+    }
+}
+
+/// A deterministic batch of ray-segment samples in the unit cube: `rays`
+/// random segments, `samples` evenly spaced points each — the spatial
+/// structure of a real training batch (adjacent samples share cells, so
+/// coarse levels deduplicate heavily), without an RNG dependency in the
+/// bench crate.
+fn lcg_ray_samples(rays: usize, samples: usize) -> Vec<Vec3> {
+    let mut state = 0x2545_F491_4F6C_DD1Du64;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 40) as f32 / (1u64 << 24) as f32
+    };
+    let mut points = Vec::with_capacity(rays * samples);
+    for _ in 0..rays {
+        let a = Vec3::new(next(), next(), next());
+        let b = Vec3::new(next(), next(), next());
+        for s in 0..samples {
+            let t = (s as f32 + 0.5) / samples as f32;
+            points.push(a + (b - a) * t);
+        }
+    }
+    points
+}
+
+/// Times the dense reference sweep vs the sparse path at the paper's
+/// `L=16, T=2^19, F=2` table size on an fp16 store: per iteration,
+/// clip-norm accumulation, the Adam step and the fp16 working-copy
+/// re-quantization. The touched set comes from a real paper-scale
+/// [`HashGrid`] collecting a tab2-small-shaped batch of 256 rays × 32
+/// samples (8 corners × 16 levels, deduplicated), so per-level dedup is
+/// as in training. Each path's per-iteration time is the median over its
+/// iterations, which keeps a single scheduler hiccup out of the recorded
+/// ratio.
+fn optimizer_microbench(dense_iters: usize, sparse_iters: usize) -> OptimizerMicrobench {
+    let grid_cfg = ModelConfig::paper(HashFunction::Morton).grid;
+    let (init, touched) = {
+        let mut grid = HashGrid::with_precision(grid_cfg, 7, Precision::Fp16);
+        grid.enable_touch_tracking();
+        grid.begin_touch_batch();
+        grid.collect_touched_batch(&lcg_ray_samples(256, 32));
+        grid.mark_touched_synced();
+        grid.finalize_touched();
+        let (scalars, _, _) = grid.touched_scalars_master_grads();
+        let touched = scalars.to_vec();
+        (grid.parameter_store().master().to_vec(), touched)
+    };
+    let n = init.len();
+    let mut grads = vec![0.0f32; n];
+    for &i in &touched {
+        grads[i as usize] = 1e-4 * ((i % 997) as f32 - 498.0);
+    }
+    let clip = 32.0f64;
+    let scale_of = |norm_sq: f64| {
+        let norm = norm_sq.sqrt();
+        if norm > clip {
+            (clip / norm) as f32
+        } else {
+            1.0
+        }
+    };
+
+    let mut dense_store = ParamStore::new(Precision::Fp16, init.clone());
+    let mut dense_adam = AdamState::new(n, 0.01);
+    let mut sparse_store = ParamStore::new(Precision::Fp16, init);
+    let mut sparse_adam = AdamState::new(n, 0.01);
+    sparse_adam.enable_lazy();
+    // Interleave the two paths round-robin so slow machine-wide drift
+    // (thermal throttling, co-tenants) hits both sides of the recorded
+    // ratio equally instead of whichever path happened to run second.
+    let mut dense_samples = Vec::with_capacity(dense_iters);
+    let mut sparse_samples = Vec::with_capacity(sparse_iters);
+    let sparse_per_round = sparse_iters.div_ceil(dense_iters);
+    let mut gathered = vec![0.0f32; touched.len()];
+    for _ in 0..dense_iters {
+        let t0 = Instant::now();
+        let norm_sq: f64 = grads.iter().map(|&g| (g as f64) * (g as f64)).sum();
+        dense_adam.step_scaled(dense_store.master_mut(), &grads, scale_of(norm_sq));
+        dense_store.commit();
+        dense_samples.push(t0.elapsed().as_secs_f64() * 1e3);
+        for _ in 0..sparse_per_round {
+            let t0 = Instant::now();
+            // Clip-norm pass gathers the touched gradients compactly;
+            // the fused step then streams them and re-quantizes each
+            // fp16 scalar in place, exactly as the trainer does.
+            let mut norm_sq = 0.0f64;
+            for (j, &i) in touched.iter().enumerate() {
+                let g = grads[i as usize];
+                gathered[j] = g;
+                norm_sq += (g as f64) * (g as f64);
+            }
+            sparse_adam.step_sparse_gathered(
+                &mut sparse_store,
+                &gathered,
+                &touched,
+                scale_of(norm_sq),
+            );
+            sparse_samples.push(t0.elapsed().as_secs_f64() * 1e3);
+        }
+    }
+    let dense_ms = median(dense_samples);
+    let sparse_ms = median(sparse_samples);
+
+    OptimizerMicrobench {
+        levels: grid_cfg.levels,
+        table_size_log2: grid_cfg.table_size_log2,
+        features: grid_cfg.features,
+        param_scalars: n,
+        touched_scalars: touched.len(),
+        dense_ms_per_iter: dense_ms,
+        sparse_ms_per_iter: sparse_ms,
+        speedup_sparse_vs_dense: dense_ms / sparse_ms,
     }
 }
 
@@ -221,6 +392,8 @@ fn bench(c: &mut Criterion) {
     let batched_1 = points_per_sec(&dataset, Engine::Batched, 1, iters, windows);
     let batched = points_per_sec(&dataset, Engine::Batched, threads, iters, windows);
     let stages = stage_timings(&dataset, stage_reps);
+    let (dense_iters, sparse_iters) = if quick_mode() { (3, 30) } else { (12, 240) };
+    let paper_opt = optimizer_microbench(dense_iters, sparse_iters);
 
     let cfg = TrainConfig::small();
     let report = ThroughputReport {
@@ -230,6 +403,7 @@ fn bench(c: &mut Criterion) {
         timed_iterations: iters,
         timing_windows: windows,
         threads,
+        opt_path: inerf_trainer::OptPath::from_env().label().to_string(),
         backend: inerf_simd::backend().name().to_string(),
         simd_lanes: inerf_simd::f32x8::LANES,
         scalar_points_per_sec: scalar,
@@ -238,6 +412,7 @@ fn bench(c: &mut Criterion) {
         speedup_batched_vs_scalar: batched / scalar,
         speedup_batched_1_thread_vs_scalar: batched_1 / scalar,
         stage_ns_per_point_1_thread: stages,
+        optimizer_paper_scale: paper_opt,
     };
     println!(
         "\nthroughput (tab2-small, median of {windows}x{iters} iterations, backend {}): \
@@ -251,13 +426,27 @@ fn bench(c: &mut Criterion) {
     );
     println!(
         "stages (ns/pt, 1 thread): gather {:.0} | encode+density {:.0} | color {:.0} | \
-         composite {:.0} | composite-bwd {:.0} | model-bwd {:.0}",
+         composite {:.0} | composite-bwd {:.0} | model-bwd {:.0} | optimizer {:.0} | \
+         fp16-commit {:.0}",
         report.stage_ns_per_point_1_thread.gather,
         report.stage_ns_per_point_1_thread.encode_density_mlp,
         report.stage_ns_per_point_1_thread.color_mlp,
         report.stage_ns_per_point_1_thread.composite,
         report.stage_ns_per_point_1_thread.composite_backward,
         report.stage_ns_per_point_1_thread.model_backward,
+        report.stage_ns_per_point_1_thread.optimizer,
+        report.stage_ns_per_point_1_thread.fp16_commit,
+    );
+    println!(
+        "paper-scale optimizer (L={}, T=2^{}, {:.1}M scalars, {:.0}K touched): \
+         dense {:.1} ms/iter | sparse {:.3} ms/iter | {:.0}x",
+        report.optimizer_paper_scale.levels,
+        report.optimizer_paper_scale.table_size_log2,
+        report.optimizer_paper_scale.param_scalars as f64 / 1e6,
+        report.optimizer_paper_scale.touched_scalars as f64 / 1e3,
+        report.optimizer_paper_scale.dense_ms_per_iter,
+        report.optimizer_paper_scale.sparse_ms_per_iter,
+        report.optimizer_paper_scale.speedup_sparse_vs_dense,
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_throughput.json");
     let json = serde_json::to_string_pretty(&report).expect("report serializes");

@@ -41,6 +41,34 @@ pub struct HashGrid {
     levels: Vec<GridLevel>,
     store: ParamStore,
     gradients: Vec<f32>,
+    /// Per-iteration touched-entry tracking for the sparse optimizer path
+    /// (`None` in the dense reference mode).
+    touch: Option<TouchTracking>,
+}
+
+/// Deduplicated touched-entry bookkeeping of one training iteration, at
+/// *entry* granularity (global id `level * T + entry`; all `F` feature
+/// scalars of an entry move together).
+///
+/// Dedup uses an epoch-stamp array instead of a hash set: `stamp[id] ==
+/// epoch` ⇔ already collected this batch, O(1) per corner with no
+/// clearing between batches (the epoch bump invalidates every stamp).
+#[derive(Debug, Clone)]
+struct TouchTracking {
+    /// `L × T` per-entry epoch stamps.
+    stamp: Vec<u32>,
+    /// Current batch epoch; 0 = no batch begun yet.
+    epoch: u32,
+    /// Touched global entry ids, deduplicated, in collection order until
+    /// [`HashGrid::finalize_touched`] sorts them ascending.
+    entries: Vec<u32>,
+    /// Prefix of `entries` already replayed by the lazy optimizer.
+    synced: usize,
+    /// Ascending scalar-index expansion of the sorted `entries`
+    /// (`entry * F + k`), built by `finalize_touched`.
+    scalars: Vec<u32>,
+    /// Scratch for per-sync fp16 commit index lists.
+    scratch: Vec<u32>,
 }
 
 /// Cached corner lookups of an encoded point batch: for each point and
@@ -111,6 +139,7 @@ impl HashGrid {
             levels: config.build_levels(),
             store: ParamStore::new(precision, embeddings),
             gradients: vec![0.0; n],
+            touch: None,
         }
     }
 
@@ -181,6 +210,274 @@ impl HashGrid {
     /// Clears accumulated gradients.
     pub fn zero_grad(&mut self) {
         self.gradients.fill(0.0);
+    }
+
+    // --- Touched-entry tracking (sparse optimizer path) -------------------
+
+    /// Switches the grid into touched-entry tracking mode for the sparse
+    /// optimizer path. Callers then bracket each iteration with
+    /// [`HashGrid::begin_touch_batch`], collect the read set via
+    /// [`HashGrid::collect_touched_batch`] /
+    /// [`HashGrid::collect_touched_point`] *before* encoding, and drive the
+    /// optimizer through [`HashGrid::finalize_touched`] and the touched
+    /// accessors.
+    pub fn enable_touch_tracking(&mut self) {
+        let entries_total = self.levels.len() * self.config.table_size() as usize;
+        self.touch = Some(TouchTracking {
+            stamp: vec![0; entries_total],
+            epoch: 0,
+            entries: Vec::new(),
+            synced: 0,
+            scalars: Vec::new(),
+            scratch: Vec::new(),
+        });
+    }
+
+    /// Whether touched-entry tracking is enabled.
+    pub fn touch_tracking_enabled(&self) -> bool {
+        self.touch.is_some()
+    }
+
+    /// Starts a new tracked iteration: zeroes the gradient slots of the
+    /// *previous* iteration's touched entries (the backward scatter only
+    /// ever writes corners of encoded points, and every such corner is in
+    /// the collected read set — so this is bitwise-equivalent to a full
+    /// [`HashGrid::zero_grad`] at O(touched) cost) and resets the touch
+    /// list. Falls back to the full memset when tracking is disabled.
+    pub fn begin_touch_batch(&mut self) {
+        let f = self.config.features as usize;
+        let HashGrid {
+            touch, gradients, ..
+        } = self;
+        let Some(tr) = touch.as_mut() else {
+            gradients.fill(0.0);
+            return;
+        };
+        for &gid in &tr.entries {
+            let base = gid as usize * f;
+            gradients[base..base + f].fill(0.0);
+        }
+        tr.entries.clear();
+        tr.scalars.clear();
+        tr.synced = 0;
+        if tr.epoch == u32::MAX {
+            // Epoch wrap: every stamp value is stale-valid, so reset them.
+            tr.stamp.fill(0);
+            tr.epoch = 1;
+        } else {
+            tr.epoch += 1;
+        }
+    }
+
+    /// Records the eight corner entries of every level of `p` into the
+    /// touched set (deduplicated). This is exactly the read set of
+    /// [`HashGrid::encode_into`] for `p` — a superset of the backward
+    /// scatter's write set, which skips zero-weight corners. No-op when
+    /// tracking is disabled.
+    pub fn collect_touched_point(&mut self, p: Vec3) {
+        let t = self.config.table_size();
+        let hash = self.config.hash;
+        let HashGrid { touch, levels, .. } = self;
+        let Some(tr) = touch.as_mut() else { return };
+        debug_assert!(tr.epoch > 0, "collect before begin_touch_batch");
+        for (li, level) in levels.iter().enumerate() {
+            let (base, _) = level.cube_of(p);
+            let entries = cube_level_indices(hash, level, base, t);
+            let level_base = li * t as usize;
+            for &e in &entries {
+                let gid = level_base + e as usize;
+                if tr.stamp[gid] != tr.epoch {
+                    tr.stamp[gid] = tr.epoch;
+                    tr.entries.push(gid as u32);
+                }
+            }
+        }
+    }
+
+    /// [`HashGrid::collect_touched_point`] over a point slice.
+    pub fn collect_touched_batch(&mut self, points: &[Vec3]) {
+        for &p in points {
+            self.collect_touched_point(p);
+        }
+    }
+
+    /// Computes every corner entry and trilinear weight of `points` into
+    /// `cache` *without* gathering features — the batched engine's sparse
+    /// prepass. The cache slots are bitwise-identical to what
+    /// [`HashGrid::encode_batch_cached`] would record, so a later
+    /// gather-only encode ([`HashGrid::encode_tile_bt_from_cache`]) and
+    /// the backward scatter can both replay it. Unlike the encode this
+    /// reads no table values, so it may run *before* the lazy optimizer
+    /// has replayed the batch's entries.
+    pub fn fill_cache(&self, points: &[Vec3], cache: &mut LookupCache) {
+        cache.reset(self.levels.len(), points.len());
+        let t = self.config.table_size();
+        let hash = self.config.hash;
+        inerf_simd::vectorize(|| {
+            for (pi, &p) in points.iter().enumerate() {
+                for (li, level) in self.levels.iter().enumerate() {
+                    let (base, frac) = level.cube_of(p);
+                    let entries = cube_level_indices(hash, level, base, t);
+                    let corner_base = (pi * self.levels.len() + li) * 8;
+                    corner_weights8(frac)
+                        .write_to(&mut cache.weights[corner_base..corner_base + 8]);
+                    cache.entries[corner_base..corner_base + 8].copy_from_slice(&entries);
+                }
+            }
+        });
+    }
+
+    /// [`HashGrid::collect_touched_point`] driven by a pre-filled
+    /// [`LookupCache`] instead of re-deriving cube geometry and hashes:
+    /// scans the cached corner entries in point order, so the collected
+    /// (deduplicated) entry sequence is identical to
+    /// [`HashGrid::collect_touched_batch`] over the same points. No-op
+    /// when tracking is disabled.
+    pub fn collect_touched_cache(&mut self, cache: &LookupCache) {
+        let t = self.config.table_size() as usize;
+        let HashGrid { touch, levels, .. } = self;
+        let Some(tr) = touch.as_mut() else { return };
+        debug_assert_eq!(cache.levels, levels.len(), "cache level mismatch");
+        debug_assert!(tr.epoch > 0, "collect before begin_touch_batch");
+        let mut slot = 0usize;
+        for _ in 0..cache.points {
+            for li in 0..cache.levels {
+                let level_base = li * t;
+                for &e in &cache.entries[slot..slot + 8] {
+                    let gid = level_base + e as usize;
+                    if tr.stamp[gid] != tr.epoch {
+                        tr.stamp[gid] = tr.epoch;
+                        tr.entries.push(gid as u32);
+                    }
+                }
+                slot += 8;
+            }
+        }
+    }
+
+    /// The touched entries collected since the last sync cursor advance,
+    /// together with the mutable master weights — the inputs of a lazy
+    /// optimizer replay. Follow with [`HashGrid::mark_touched_synced`].
+    pub fn unsynced_touched_and_master(&mut self) -> (&[u32], &mut [f32]) {
+        let HashGrid { touch, store, .. } = self;
+        match touch.as_ref() {
+            Some(tr) => (&tr.entries[tr.synced..], store.master_mut()),
+            None => (&[], store.master_mut()),
+        }
+    }
+
+    /// Advances the sync cursor past every collected entry and, for fp16
+    /// grids, re-quantizes the working copy of exactly those entries (the
+    /// replay may have moved their master weights, and the forward pass is
+    /// about to read them).
+    pub fn mark_touched_synced(&mut self) {
+        let f = self.config.features as usize;
+        let HashGrid { touch, store, .. } = self;
+        let Some(tr) = touch.as_mut() else { return };
+        tr.scratch.clear();
+        for &gid in &tr.entries[tr.synced..] {
+            let base = gid as usize * f;
+            for k in 0..f {
+                tr.scratch.push((base + k) as u32);
+            }
+        }
+        store.commit_indices(&tr.scratch);
+        tr.synced = tr.entries.len();
+    }
+
+    /// Freezes this iteration's touched set for the optimizer step: sorts
+    /// the entry list ascending and expands it into ascending scalar
+    /// indices. Ascending order makes a touched-only clip-norm sweep
+    /// accumulate in exactly the dense index order (the skipped terms are
+    /// exact `+0.0` contributions).
+    pub fn finalize_touched(&mut self) {
+        let f = self.config.features as usize;
+        let Some(tr) = self.touch.as_mut() else {
+            return;
+        };
+        debug_assert_eq!(
+            tr.synced,
+            tr.entries.len(),
+            "finalize with unsynced entries: the forward read stale values"
+        );
+        // Ascending order is load-bearing (the clip-norm f64 accumulation
+        // order must match the dense sweep), but how we get there is not:
+        // above ~1/16 occupancy a sequential scan of the stamp array beats
+        // sorting the collection-order list and yields the same set in the
+        // same ascending order.
+        if tr.entries.len() >= tr.stamp.len() / 16 {
+            tr.entries.clear();
+            let epoch = tr.epoch;
+            tr.entries.extend(
+                tr.stamp
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &s)| s == epoch)
+                    .map(|(id, _)| id as u32),
+            );
+            tr.synced = tr.entries.len();
+        } else {
+            tr.entries.sort_unstable();
+        }
+        tr.scalars.clear();
+        for &gid in &tr.entries {
+            let base = gid as usize * f;
+            for k in 0..f {
+                tr.scalars.push((base + k) as u32);
+            }
+        }
+    }
+
+    /// This iteration's touched entry ids (sorted after
+    /// [`HashGrid::finalize_touched`], collection order before).
+    pub fn touched_entries(&self) -> &[u32] {
+        match &self.touch {
+            Some(tr) => &tr.entries,
+            None => &[],
+        }
+    }
+
+    /// The ascending touched scalar indices plus the master-weight and
+    /// gradient buffers — everything a sparse optimizer step needs.
+    /// Call after [`HashGrid::finalize_touched`].
+    pub fn touched_scalars_master_grads(&mut self) -> (&[u32], &mut [f32], &[f32]) {
+        let HashGrid {
+            touch,
+            store,
+            gradients,
+            ..
+        } = self;
+        match touch.as_ref() {
+            Some(tr) => (&tr.scalars, store.master_mut(), &gradients[..]),
+            None => (&[], store.master_mut(), &gradients[..]),
+        }
+    }
+
+    /// [`HashGrid::touched_scalars_master_grads`] with the whole
+    /// [`ParamStore`] instead of just the master slice, for fused
+    /// optimizer steps ([`inerf_mlp::AdamState::step_sparse_store`]) that
+    /// re-quantize each fp16 working scalar inside the update loop rather
+    /// than in a separate [`HashGrid::commit_touched`] pass.
+    pub fn touched_scalars_store_grads(&mut self) -> (&[u32], &mut ParamStore, &[f32]) {
+        let HashGrid {
+            touch,
+            store,
+            gradients,
+            ..
+        } = self;
+        match touch.as_ref() {
+            Some(tr) => (&tr.scalars, store, &gradients[..]),
+            None => (&[], store, &gradients[..]),
+        }
+    }
+
+    /// Re-quantizes the fp16 working copy of this iteration's touched
+    /// scalars after the optimizer step (no-op for f32 grids).
+    pub fn commit_touched(&mut self) {
+        let HashGrid { touch, store, .. } = self;
+        if let Some(tr) = touch.as_ref() {
+            store.commit_indices(&tr.scalars);
+        }
     }
 
     #[inline]
@@ -374,6 +671,83 @@ impl HashGrid {
             self.encode_point_cached(pi, points[pi], row, cache);
             for (i, &v) in row.iter().enumerate() {
                 tile[i * lane_stride + p] = v;
+            }
+        }
+    }
+
+    /// [`HashGrid::encode_tile_bt_cached`] driven by a cache that was
+    /// already filled by [`HashGrid::fill_cache`]: gathers and
+    /// interpolates from the recorded corner entries/weights without
+    /// re-deriving cube geometry or hashes. Rows and tiles are
+    /// bitwise-identical to the computing variant — same corner order,
+    /// same zero-weight skip, same accumulation shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tile, row range, or cache shape is too small.
+    pub fn encode_tile_bt_from_cache(
+        &self,
+        tile_base: usize,
+        bn: usize,
+        lane_stride: usize,
+        out: &mut [f32],
+        tile: &mut [f32],
+        cache: &LookupCache,
+    ) {
+        let dim = self.config.feature_dim();
+        assert_eq!(cache.levels, self.levels.len(), "cache level mismatch");
+        assert!(bn <= lane_stride, "tile narrower than the block");
+        assert!(tile.len() >= dim * lane_stride, "tile buffer too small");
+        for p in 0..bn {
+            let pi = tile_base + p;
+            let row = &mut out[pi * dim..(pi + 1) * dim];
+            self.encode_point_from_cache(pi, row, cache);
+            for (i, &v) in row.iter().enumerate() {
+                tile[i * lane_stride + p] = v;
+            }
+        }
+    }
+
+    /// Gather-only counterpart of [`HashGrid::encode_point_cached`]: reads
+    /// the cached corner entries/weights of point `pi` and accumulates
+    /// `row` with the exact corner order, zero-weight skip, and
+    /// register/slot accumulation shape of the computing path, so the row
+    /// is bitwise-identical to it.
+    #[inline]
+    fn encode_point_from_cache(&self, pi: usize, row: &mut [f32], cache: &LookupCache) {
+        let f = self.config.features as usize;
+        let emb = self.store.values();
+        for li in 0..cache.levels {
+            let corner_base = (pi * cache.levels + li) * 8;
+            let entries = &cache.entries[corner_base..corner_base + 8];
+            let weights = &cache.weights[corner_base..corner_base + 8];
+            let slot = &mut row[li * f..(li + 1) * f];
+            slot.fill(0.0);
+            if f == 2 {
+                // Same F = 2 register fast path as the computing encode.
+                let (mut s0, mut s1) = (0.0f32, 0.0f32);
+                for (c, &entry) in entries.iter().enumerate() {
+                    let w = weights[c];
+                    if w == 0.0 {
+                        continue;
+                    }
+                    let off = self.base_offset(li as u32, entry);
+                    s0 += w * emb[off];
+                    s1 += w * emb[off + 1];
+                }
+                slot[0] = s0;
+                slot[1] = s1;
+                continue;
+            }
+            for (c, &entry) in entries.iter().enumerate() {
+                let w = weights[c];
+                if w == 0.0 {
+                    continue;
+                }
+                let off = self.base_offset(li as u32, entry);
+                for (k, s) in slot.iter_mut().enumerate() {
+                    *s += w * emb[off + k];
+                }
             }
         }
     }
@@ -1012,6 +1386,82 @@ mod tests {
         }
         batched.backward_batch(&points, &d);
         assert_eq!(scalar.gradients(), batched.gradients());
+    }
+
+    #[test]
+    fn touched_set_covers_scatter_writes_and_dedups() {
+        let mut g = grid(HashFunction::Morton);
+        g.enable_touch_tracking();
+        let dim = g.config().feature_dim();
+        let f = g.config().features as usize;
+        let points: Vec<Vec3> = (0..37)
+            .map(|i| {
+                let t = i as f32 + 0.5;
+                Vec3::new((t * 0.13).fract(), (t * 0.27).fract(), (t * 0.59).fract())
+            })
+            .collect();
+        g.begin_touch_batch();
+        g.collect_touched_batch(&points);
+        // Deduplicated: no entry id appears twice.
+        let mut seen = g.touched_entries().to_vec();
+        let collected = seen.len();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), collected, "touched list has duplicates");
+        // Scatter a dense gradient batch: every nonzero gradient slot must
+        // belong to a touched entry (write set ⊆ collected read set).
+        let mut feats = vec![0.0; points.len() * dim];
+        let mut cache = LookupCache::default();
+        g.encode_batch_cached(&points, &mut feats, &mut cache);
+        let d: Vec<f32> = (0..points.len() * dim)
+            .map(|i| (i as f32 * 0.21).sin() + 0.05)
+            .collect();
+        g.backward_batch_cached(&cache, &d);
+        g.mark_touched_synced();
+        g.finalize_touched();
+        for (i, &grad) in g.gradients().iter().enumerate() {
+            if grad != 0.0 {
+                let gid = (i / f) as u32;
+                assert!(
+                    seen.binary_search(&gid).is_ok(),
+                    "gradient at scalar {i} outside the touched set"
+                );
+            }
+        }
+        // finalize sorts entries and expands scalars in ascending order.
+        let entries = g.touched_entries().to_vec();
+        assert!(entries.windows(2).all(|w| w[0] < w[1]));
+        let (scalars, _, _) = g.touched_scalars_master_grads();
+        assert_eq!(scalars.len(), entries.len() * f);
+        assert!(scalars.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn begin_touch_batch_zeroes_exactly_like_zero_grad() {
+        let mut g = grid(HashFunction::Original);
+        g.enable_touch_tracking();
+        let dim = g.config().feature_dim();
+        let points: Vec<Vec3> = (0..11)
+            .map(|i| {
+                let t = i as f32 + 0.25;
+                Vec3::new((t * 0.33).fract(), (t * 0.71).fract(), (t * 0.49).fract())
+            })
+            .collect();
+        g.begin_touch_batch();
+        g.collect_touched_batch(&points);
+        let mut feats = vec![0.0; points.len() * dim];
+        let mut cache = LookupCache::default();
+        g.encode_batch_cached(&points, &mut feats, &mut cache);
+        let d = vec![0.5f32; points.len() * dim];
+        g.backward_batch_cached(&cache, &d);
+        g.mark_touched_synced();
+        g.finalize_touched();
+        assert!(g.gradients().iter().any(|&x| x != 0.0));
+        // The next begin must leave the gradient table all-zero — i.e.
+        // exactly what zero_grad produces — by clearing only touched slots.
+        g.begin_touch_batch();
+        assert!(g.gradients().iter().all(|&x| x == 0.0));
+        assert!(g.touched_entries().is_empty());
     }
 
     proptest! {

@@ -150,12 +150,43 @@ impl ParamStore {
         &mut self.master
     }
 
+    /// Master weights plus the fp16 working copy (`None` for f32 stores),
+    /// for fused update-and-commit loops that re-quantize each scalar
+    /// while its cache line is still hot. Callers must uphold the store
+    /// invariant themselves: every modified `master[i]` needs
+    /// `active[i] = quantize_f16(master[i])` before the next read
+    /// ([`ParamStore::commit`] restores it wholesale if in doubt).
+    pub fn master_active_mut(&mut self) -> (&mut [f32], Option<&mut [f32]>) {
+        match self.precision {
+            Precision::F32 => (&mut self.master, None),
+            Precision::Fp16 => (&mut self.master, Some(&mut self.active)),
+        }
+    }
+
     /// Re-quantizes the working copy from the master weights (RNE through
     /// the fp16 storage path). No-op for f32 stores.
     pub fn commit(&mut self) {
         if self.precision == Precision::Fp16 {
             for (a, &m) in self.active.iter_mut().zip(&self.master) {
                 *a = quantize_f16(m);
+            }
+        }
+    }
+
+    /// Re-quantizes the working copy at just the listed scalar indices —
+    /// the sparse-optimizer counterpart of [`ParamStore::commit`]. Sound
+    /// whenever only those master weights changed since the last commit;
+    /// the result is then bitwise-identical to a full `commit`. No-op for
+    /// f32 stores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    pub fn commit_indices(&mut self, indices: &[u32]) {
+        if self.precision == Precision::Fp16 {
+            for &i in indices {
+                let i = i as usize;
+                self.active[i] = quantize_f16(self.master[i]);
             }
         }
     }
@@ -245,6 +276,27 @@ mod tests {
         assert_eq!(store.values()[2], quantize_f16(0.3));
         assert_eq!(store.master()[2], 0.3);
         assert_eq!(store.values()[0], 0.0);
+    }
+
+    #[test]
+    fn commit_indices_matches_full_commit() {
+        let vals = vec![0.1f32, -0.37, 7.625, 1.0e-3];
+        let mut sparse = ParamStore::new(Precision::Fp16, vals.clone());
+        let mut full = ParamStore::new(Precision::Fp16, vals);
+        let touch = |s: &mut ParamStore| {
+            s.master_mut()[1] = 0.91;
+            s.master_mut()[3] = -2.5e-4;
+        };
+        touch(&mut sparse);
+        touch(&mut full);
+        sparse.commit_indices(&[1, 3]);
+        full.commit();
+        assert_eq!(sparse.values(), full.values());
+        // f32 stores: master is the working copy, nothing to do.
+        let mut f32s = ParamStore::f32(vec![1.0, 2.0]);
+        f32s.master_mut()[0] = 5.0;
+        f32s.commit_indices(&[0]);
+        assert_eq!(f32s.values(), &[5.0, 2.0]);
     }
 
     #[test]

@@ -22,6 +22,12 @@
 //!   densities and weights are finite by construction).
 //! * [`f32x8::exp_lanes`] is lane-serial `f32::exp` in every backend so
 //!   transcendentals stay bitwise identical to the scalar engine.
+//! * Division and [`f32x8::sqrt`] are IEEE-exact (correctly rounded) in
+//!   every backend — `vdivps`/`vsqrtps` and `vdivq`/`vsqrtq` round
+//!   exactly like the scalar `/` and `f32::sqrt` — so they carry the
+//!   same bitwise guarantee as `+`/`-`/`*`. Kernels must not produce
+//!   NaN lanes through them (`0/0`, `inf/inf`, `sqrt` of a negative):
+//!   NaN *payloads* are the one place backends may legally differ.
 
 /// Eight `f32` lanes with value semantics.
 #[allow(non_camel_case_types)]
@@ -136,6 +142,14 @@ impl f32x8 {
         }
         f32x8(a)
     }
+
+    /// Lane-wise square root — IEEE-exact, bitwise identical to
+    /// `f32::sqrt` per lane in every backend. Lanes must be non-negative
+    /// (see the module contract on NaN).
+    #[inline(always)]
+    pub fn sqrt(self) -> Self {
+        f32x8(imp::sqrt(self.0))
+    }
 }
 
 impl std::ops::Add for f32x8 {
@@ -159,6 +173,14 @@ impl std::ops::Mul for f32x8 {
     #[inline(always)]
     fn mul(self, o: f32x8) -> f32x8 {
         f32x8(imp::mul(self.0, o.0))
+    }
+}
+
+impl std::ops::Div for f32x8 {
+    type Output = f32x8;
+    #[inline(always)]
+    fn div(self, o: f32x8) -> f32x8 {
+        f32x8(imp::div(self.0, o.0))
     }
 }
 
@@ -233,6 +255,24 @@ mod scalar {
     }
 
     #[inline(always)]
+    pub fn div(a: [f32; 8], b: [f32; 8]) -> [f32; 8] {
+        let mut o = [0.0f32; 8];
+        for i in 0..8 {
+            o[i] = a[i] / b[i];
+        }
+        o
+    }
+
+    #[inline(always)]
+    pub fn sqrt(a: [f32; 8]) -> [f32; 8] {
+        let mut o = [0.0f32; 8];
+        for i in 0..8 {
+            o[i] = a[i].sqrt();
+        }
+        o
+    }
+
+    #[inline(always)]
     pub fn max(a: [f32; 8], b: [f32; 8]) -> [f32; 8] {
         let mut o = [0.0f32; 8];
         for i in 0..8 {
@@ -302,6 +342,20 @@ mod avx {
         store(unsafe { _mm256_add_ps(load(&acc), _mm256_mul_ps(load(&a), load(&b))) })
     }
 
+    /// `vdivps` is IEEE correctly rounded — bitwise the scalar `/`.
+    #[inline(always)]
+    pub fn div(a: [f32; 8], b: [f32; 8]) -> [f32; 8] {
+        // SAFETY: AVX is statically enabled in this cfg (value intrinsic).
+        store(unsafe { _mm256_div_ps(load(&a), load(&b)) })
+    }
+
+    /// `vsqrtps` is IEEE correctly rounded — bitwise `f32::sqrt`.
+    #[inline(always)]
+    pub fn sqrt(a: [f32; 8]) -> [f32; 8] {
+        // SAFETY: AVX is statically enabled in this cfg (value intrinsic).
+        store(unsafe { _mm256_sqrt_ps(load(&a)) })
+    }
+
     /// `vmaxps` returns the second operand when lanes compare unordered,
     /// matching `f32::max` only for non-NaN inputs (see module contract).
     #[inline(always)]
@@ -366,6 +420,29 @@ mod neon {
     #[inline(always)]
     pub fn madd(acc: [f32; 8], a: [f32; 8], b: [f32; 8]) -> [f32; 8] {
         add(acc, mul(a, b))
+    }
+
+    /// `fdiv` is IEEE correctly rounded — bitwise the scalar `/`.
+    #[inline(always)]
+    pub fn div(a: [f32; 8], b: [f32; 8]) -> [f32; 8] {
+        // SAFETY: NEON statically enabled (value intrinsic inside map2).
+        map2(a, b, |x, y| unsafe { vdivq_f32(x, y) })
+    }
+
+    /// `fsqrt` is IEEE correctly rounded — bitwise `f32::sqrt`.
+    #[inline(always)]
+    pub fn sqrt(a: [f32; 8]) -> [f32; 8] {
+        let mut out = [0.0f32; 8];
+        // SAFETY: both halves of `a` are 4 readable f32s and both halves
+        // of `out` are 4 writable f32s; NEON is statically enabled.
+        unsafe {
+            vst1q_f32(out.as_mut_ptr(), vsqrtq_f32(vld1q_f32(a.as_ptr())));
+            vst1q_f32(
+                out.as_mut_ptr().add(4),
+                vsqrtq_f32(vld1q_f32(a.as_ptr().add(4))),
+            );
+        }
+        out
     }
 
     #[inline(always)]
@@ -447,6 +524,26 @@ mod tests {
             assert_lanes_eq(xa * xb, per_lane(|x, y| x * y), "mul");
             assert_lanes_eq(xa.max(xb), per_lane(f32::max), "max");
             assert_lanes_eq(xa.min(xb), per_lane(f32::min), "min");
+            // Division: 0/0 lanes would be NaN, whose payload is outside
+            // the contract (see module docs) — skip only those pairs.
+            if !(a == 0.0 && b == 0.0) {
+                assert_lanes_eq(xa / xb, per_lane(|x, y| x / y), "div");
+            }
+        }
+    }
+
+    #[test]
+    fn sqrt_matches_scalar_bitwise() {
+        for &v in &POOL {
+            // Negative lanes would be NaN (outside the contract): sqrt the
+            // magnitudes, which still covers zeros and subnormals.
+            let a = vec_of(v).map(f32::abs);
+            let got = f32x8::from_array(a).sqrt();
+            let mut want = [0.0f32; 8];
+            for i in 0..8 {
+                want[i] = a[i].sqrt();
+            }
+            assert_lanes_eq(got, want, "sqrt");
         }
     }
 
@@ -563,7 +660,7 @@ mod tests {
             let mut bits = Vec::new();
             for &(a, b) in &inputs {
                 let (xa, xb) = (f32x8::from_array(vec_of(a)), f32x8::from_array(vec_of(b)));
-                for v in [
+                let mut ops = vec![
                     xa + xb,
                     xa - xb,
                     xa * xb,
@@ -571,7 +668,12 @@ mod tests {
                     xa.min(xb),
                     xb.madd(xa, xb),
                     (xa * xb).exp_lanes(),
-                ] {
+                    (xa * xa).sqrt(),
+                ];
+                if !(a == 0.0 && b == 0.0) {
+                    ops.push(xa / xb);
+                }
+                for v in ops {
                     bits.extend(v.to_array().map(f32::to_bits));
                 }
             }

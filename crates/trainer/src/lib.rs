@@ -50,7 +50,7 @@ pub mod streaming;
 pub mod train;
 pub mod workload;
 
-pub use model::{IngpModel, ModelConfig, TrainableField};
+pub use model::{IngpModel, ModelConfig, OptPath, TrainableField};
 pub use occupancy::OccupancyGrid;
 pub use streaming::StreamingOrder;
 pub use train::{Engine, TrainConfig, TrainReport, Trainer};

@@ -43,6 +43,13 @@ pub trait TrainableField {
     /// Applies one optimizer step using the accumulated gradients.
     fn apply_gradients(&mut self);
 
+    /// Brings every stored parameter up to date before an out-of-band read
+    /// (rendering, evaluation, occupancy refresh, parameter export).
+    /// Models with a lazily-replayed sparse optimizer flush their deferred
+    /// updates here; for everything else (and after training-loop reads
+    /// that stay inside the touched set) it is a no-op, the default.
+    fn sync_parameters(&mut self) {}
+
     /// Queries without caching (for evaluation/rendering).
     fn query_eval(&self, p: Vec3, d: Vec3) -> (f32, Vec3);
 
@@ -179,6 +186,41 @@ pub trait TrainableField {
     /// The default is a no-op: models without a hash-table access stream
     /// (the Tab. IV baselines) generate no trace events.
     fn stream_lookups(&self, _points: &[Vec3], _sink: &mut dyn TraceSink) {}
+}
+
+/// Execution path of the hash-grid optimizer.
+///
+/// Both paths produce bitwise-identical training trajectories (losses,
+/// parameters, DRAM/cosim statistics) — `Sparse` is the default and
+/// `Dense` is the pinned O(table) reference it is tested against. See
+/// DESIGN.md, "Sparse optimizer & lazy Adam".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OptPath {
+    /// Full-table sweep every iteration: dense Adam step, full fp16
+    /// re-quantize, full gradient memset.
+    Dense,
+    /// O(touched entries) per iteration: touched-set collection during the
+    /// forward prepass, lazy-replay Adam, sparse fp16 commit.
+    Sparse,
+}
+
+impl OptPath {
+    /// Reads the `INERF_OPT` environment knob: `dense` selects the
+    /// reference path, anything else (or unset) the sparse default.
+    pub fn from_env() -> Self {
+        match std::env::var("INERF_OPT") {
+            Ok(v) if v.eq_ignore_ascii_case("dense") => OptPath::Dense,
+            _ => OptPath::Sparse,
+        }
+    }
+
+    /// Lower-case label for reports and JSON dumps.
+    pub const fn label(self) -> &'static str {
+        match self {
+            OptPath::Dense => "dense",
+            OptPath::Sparse => "sparse",
+        }
+    }
 }
 
 /// Architecture hyper-parameters of [`IngpModel`].
@@ -320,12 +362,15 @@ impl ChunkScratch {
         density_mlp: &Mlp,
         points: &[Vec3],
         sigmas_out: &mut [f32],
+        prefilled: bool,
     ) {
         let n = points.len();
         let fdim = grid.config().feature_dim();
         let dout = density_mlp.out_dim();
         reset_buf(&mut self.feats, n * fdim);
-        grid.prepare_cache(&mut self.lookups, n);
+        if !prefilled {
+            grid.prepare_cache(&mut self.lookups, n);
+        }
         let ChunkScratch {
             feats,
             lookups,
@@ -336,7 +381,13 @@ impl ChunkScratch {
         density_mlp.forward_batch_fused(
             n,
             |base, bn, tile| {
-                grid.encode_tile_bt_cached(points, base, bn, FWD_BLOCK, feats, tile, lookups)
+                if prefilled {
+                    // Sparse-path prepass already derived every corner
+                    // entry and weight; gather-only encode.
+                    grid.encode_tile_bt_from_cache(base, bn, FWD_BLOCK, feats, tile, lookups)
+                } else {
+                    grid.encode_tile_bt_cached(points, base, bn, FWD_BLOCK, feats, tile, lookups)
+                }
             },
             density,
             density_scratch,
@@ -428,8 +479,9 @@ impl ChunkScratch {
         dirs: &[Vec3],
         sigmas_out: &mut [f32],
         rgbs_out: &mut [Vec3],
+        prefilled: bool,
     ) {
-        self.forward_density(grid, density_mlp, points, sigmas_out);
+        self.forward_density(grid, density_mlp, points, sigmas_out, prefilled);
         self.forward_color(color_mlp, density_mlp.out_dim(), dirs, rgbs_out);
     }
 
@@ -544,8 +596,13 @@ pub struct IngpModel {
     grid_adam: AdamState,
     density_adam: AdamState,
     color_adam: AdamState,
+    opt: OptPath,
     cache: Vec<PointCache>,
     batch: BatchCache,
+    /// Scratch: this iteration's touched gradients, gathered compactly by
+    /// the sparse clip-norm pass so the Adam step streams them instead of
+    /// re-gathering from the dense table.
+    touched_grads: Vec<f32>,
 }
 
 impl IngpModel {
@@ -567,9 +624,20 @@ impl IngpModel {
     /// [`IngpModel::new`] with the hash table and both MLPs stored at
     /// `precision` (fp16 keeps f32 master weights for Adam and commits
     /// RNE-rounded working copies after every optimizer step). The
-    /// initialization draws are identical to the f32 model.
+    /// initialization draws are identical to the f32 model. The grid
+    /// optimizer path comes from [`OptPath::from_env`].
     pub fn with_precision(config: ModelConfig, seed: u64, precision: Precision) -> Self {
-        let grid = HashGrid::with_precision(config.grid, seed, precision);
+        Self::with_options(config, seed, precision, OptPath::from_env())
+    }
+
+    /// Fully explicit constructor: precision *and* grid-optimizer path.
+    pub fn with_options(
+        config: ModelConfig,
+        seed: u64,
+        precision: Precision,
+        opt: OptPath,
+    ) -> Self {
+        let mut grid = HashGrid::with_precision(config.grid, seed, precision);
         let feat = config.grid.feature_dim();
         let density_mlp = Mlp::with_precision(
             &[feat, config.density_hidden, config.density_out],
@@ -586,7 +654,11 @@ impl IngpModel {
             seed ^ 0xC0,
             precision,
         );
-        let grid_adam = AdamState::new(grid.parameters().len(), Self::LEARNING_RATE);
+        let mut grid_adam = AdamState::new(grid.parameters().len(), Self::LEARNING_RATE);
+        if opt == OptPath::Sparse {
+            grid.enable_touch_tracking();
+            grid_adam.enable_lazy();
+        }
         let density_adam = AdamState::new(density_mlp.parameter_count(), Self::LEARNING_RATE);
         let color_adam = AdamState::new(color_mlp.parameter_count(), Self::LEARNING_RATE);
         IngpModel {
@@ -597,16 +669,23 @@ impl IngpModel {
             grid_adam,
             density_adam,
             color_adam,
+            opt,
             cache: Vec::new(),
             batch: BatchCache::default(),
+            touched_grads: Vec::new(),
         }
     }
 
-    /// [`IngpModel::with_precision`] driven by a [`TrainConfig`]'s
-    /// `precision` field — the one-stop constructor for precision-swept
-    /// experiments.
+    /// [`IngpModel::with_options`] driven by a [`TrainConfig`]'s
+    /// `precision` and `opt` fields — the one-stop constructor for
+    /// precision- and optimizer-swept experiments.
     pub fn for_config(config: ModelConfig, train: &TrainConfig, seed: u64) -> Self {
-        Self::with_precision(config, seed, train.precision)
+        Self::with_options(config, seed, train.precision, train.opt)
+    }
+
+    /// The grid-optimizer execution path this model runs.
+    pub fn opt_path(&self) -> OptPath {
+        self.opt
     }
 
     /// The architecture configuration.
@@ -661,6 +740,72 @@ impl IngpModel {
         (density_acts, color_acts, sigma, rgb)
     }
 
+    /// Sparse-path forward prepass, part 2: replays the lazy Adam chains of
+    /// every entry collected since the last sync, so the encode about to
+    /// run reads exactly the parameter values the dense path would hold.
+    /// No-op in dense mode and when nothing new was collected.
+    fn sync_touched(&mut self) {
+        let f = self.config.grid.features as usize;
+        let (new_entries, master) = self.grid.unsynced_touched_and_master();
+        if new_entries.is_empty() {
+            return;
+        }
+        self.grid_adam.sync_entries(master, new_entries, f);
+        self.grid.mark_touched_synced();
+    }
+
+    /// Batched-engine prepass. Sizes the chunk list, and on the sparse
+    /// path additionally fills every chunk's corner-lookup cache in
+    /// parallel (the exact index math the fused encode would otherwise
+    /// do), collects the batch's read set from the cached indices, and
+    /// replays those entries' lazy Adam chains — so the gather-only
+    /// encode that follows reads exactly the parameter values the dense
+    /// path would hold. Returns whether the caches are pre-filled.
+    fn prepass_batch(&mut self, points: &[Vec3], pool: &ThreadPool) -> bool {
+        let n = points.len();
+        self.batch.len = n;
+        let n_chunks = n.div_ceil(POINT_CHUNK);
+        self.batch
+            .chunks
+            .resize_with(n_chunks, ChunkScratch::default);
+        if self.opt != OptPath::Sparse {
+            return false;
+        }
+        let IngpModel { grid, batch, .. } = self;
+        if pool.current_num_threads() > 1 {
+            let grid_ref = &*grid;
+            pool.scope(|s| {
+                for (ci, chunk) in batch.chunks.iter_mut().enumerate() {
+                    let lo = ci * POINT_CHUNK;
+                    let hi = (lo + POINT_CHUNK).min(n);
+                    let pts = &points[lo..hi];
+                    s.spawn(move |_| grid_ref.fill_cache(pts, &mut chunk.lookups));
+                }
+            });
+            // Serial, chunk-ordered collection: the deduplicated entry
+            // sequence is identical to a point-ordered walk, so the sync
+            // and the later finalize see the same set in the same order
+            // at any thread count.
+            for chunk in &batch.chunks {
+                grid.collect_touched_cache(&chunk.lookups);
+            }
+        } else {
+            // Single worker: interleave collection with each chunk's
+            // fill while its cache lines are still hot. The stamp dedup
+            // is insertion-order-insensitive within a chunk walk and the
+            // chunk order matches the parallel branch, so the collected
+            // sequence — and everything downstream — is identical.
+            for (ci, chunk) in batch.chunks.iter_mut().enumerate() {
+                let lo = ci * POINT_CHUNK;
+                let hi = (lo + POINT_CHUNK).min(n);
+                grid.fill_cache(&points[lo..hi], &mut chunk.lookups);
+                grid.collect_touched_cache(&chunk.lookups);
+            }
+        }
+        self.sync_touched();
+        true
+    }
+
     fn step_mlp(mlp: &mut Mlp, adam: &mut AdamState) {
         // Global-norm clip over the MLP's gradients. Read-only over the
         // gradient buffers — for_each_param_mut would needlessly re-commit
@@ -696,12 +841,20 @@ impl TrainableField for IngpModel {
     fn begin_batch(&mut self) {
         self.cache.clear();
         self.batch.len = 0;
-        self.grid.zero_grad();
+        // Sparse path: zero only the previous iteration's touched gradient
+        // slots and open a new touch epoch (falls back to the full memset
+        // when tracking is disabled — the dense path).
+        self.grid.begin_touch_batch();
         self.density_mlp.zero_grad();
         self.color_mlp.zero_grad();
     }
 
     fn query(&mut self, p: Vec3, d: Vec3) -> (f32, Vec3) {
+        // Sparse-path prepass: the read set of this query is exactly the
+        // eight corner entries per level — collect them and replay their
+        // lazy Adam chains before the encode reads them.
+        self.grid.collect_touched_point(p);
+        self.sync_touched();
         let (density_acts, color_acts, sigma, rgb) = self.forward_parts(p, d);
         self.cache.push(PointCache {
             p,
@@ -732,23 +885,59 @@ impl TrainableField for IngpModel {
     }
 
     fn apply_gradients(&mut self) {
-        {
-            let (params, grads) = self.grid.parameters_and_gradients_mut();
-            let mut grads = grads.to_vec();
-            let norm_sq: f64 = grads.iter().map(|&g| (g as f64) * (g as f64)).sum();
-            let scale = clip_scale(norm_sq, Self::GRAD_CLIP_NORM);
-            if scale < 1.0 {
-                for g in &mut grads {
-                    *g *= scale;
+        match self.opt {
+            OptPath::Sparse => {
+                // O(touched) step. Ascending scalar order makes the
+                // clip-norm accumulate in dense index order — every
+                // skipped term is an exact +0.0 contribution to a
+                // never-negative f64 accumulator, so the sum is bitwise
+                // the dense one. The prepass already replayed the touched
+                // entries through the previous step, so `step_sparse`
+                // performs exactly the dense update at the new step.
+                self.grid.finalize_touched();
+                let (scalars, store, grads) = self.grid.touched_scalars_store_grads();
+                // The clip-norm pass gathers the touched gradients into a
+                // compact scratch as a side product, so the Adam step can
+                // stream them instead of re-gathering one cache line per
+                // scalar. Same values in the same ascending order: the
+                // accumulated norm and the step are bitwise unchanged.
+                self.touched_grads.clear();
+                self.touched_grads.reserve(scalars.len());
+                let mut norm_sq = 0.0f64;
+                for &i in scalars {
+                    let g = grads[i as usize];
+                    self.touched_grads.push(g);
+                    norm_sq += (g as f64) * (g as f64);
                 }
+                let scale = clip_scale(norm_sq, Self::GRAD_CLIP_NORM);
+                // Fused step + fp16 re-quantize of only the scalars Adam
+                // moved (no-op commit for f32 grids).
+                self.grid_adam
+                    .step_sparse_gathered(store, &self.touched_grads, scalars, scale);
             }
-            // Adam moves the f32 master weights; the commit re-quantizes
-            // the working copy for fp16 grids (no-op for f32).
-            self.grid_adam.step(params, &grads);
-            self.grid.commit_parameters();
+            OptPath::Dense => {
+                let (params, grads) = self.grid.parameters_and_gradients_mut();
+                let norm_sq: f64 = grads.iter().map(|&g| (g as f64) * (g as f64)).sum();
+                let scale = clip_scale(norm_sq, Self::GRAD_CLIP_NORM);
+                // Folding the scale into the gradient read is bitwise-
+                // identical to the historical clone-and-rescale (g × 1.0
+                // is exact), without the O(table) copy. Adam moves the
+                // f32 master weights; the commit re-quantizes the working
+                // copy for fp16 grids (no-op for f32).
+                self.grid_adam.step_scaled(params, grads, scale);
+                self.grid.commit_parameters();
+            }
         }
         Self::step_mlp(&mut self.density_mlp, &mut self.density_adam);
         Self::step_mlp(&mut self.color_mlp, &mut self.color_adam);
+    }
+
+    fn sync_parameters(&mut self) {
+        if self.opt == OptPath::Sparse {
+            self.grid_adam
+                .sync_all(self.grid.parameter_store_mut().master_mut());
+            self.grid.commit_parameters();
+        }
     }
 
     fn query_eval(&self, p: Vec3, d: Vec3) -> (f32, Vec3) {
@@ -782,11 +971,10 @@ impl TrainableField for IngpModel {
         assert_eq!(n, dirs.len(), "points/dirs length mismatch");
         assert_eq!(n, sigmas.len(), "sigma buffer mismatch");
         assert_eq!(n, rgbs.len(), "rgb buffer mismatch");
-        self.batch.len = n;
-        let n_chunks = n.div_ceil(POINT_CHUNK);
-        self.batch
-            .chunks
-            .resize_with(n_chunks, ChunkScratch::default);
+        // Sparse-path prepass: derive every corner lookup once, collect
+        // the batch's read set, and replay those entries' lazy Adam
+        // chains before any chunk encodes.
+        let prefilled = self.prepass_batch(points, pool);
         let grid = &self.grid;
         let density_mlp = &self.density_mlp;
         let color_mlp = &self.color_mlp;
@@ -803,7 +991,16 @@ impl TrainableField for IngpModel {
                 let pts = &points[lo..hi];
                 let drs = &dirs[lo..hi];
                 s.spawn(move |_| {
-                    chunk.forward(grid, density_mlp, color_mlp, pts, drs, sigma_c, rgb_c);
+                    chunk.forward(
+                        grid,
+                        density_mlp,
+                        color_mlp,
+                        pts,
+                        drs,
+                        sigma_c,
+                        rgb_c,
+                        prefilled,
+                    );
                 });
             }
         });
@@ -820,11 +1017,10 @@ impl TrainableField for IngpModel {
     ) -> bool {
         let n = points.len();
         assert_eq!(n, sigmas.len(), "sigma buffer mismatch");
-        self.batch.len = n;
-        let n_chunks = n.div_ceil(POINT_CHUNK);
-        self.batch
-            .chunks
-            .resize_with(n_chunks, ChunkScratch::default);
+        // Sparse-path prepass (see `query_batch`). The compacted color
+        // phase reads no grid entries, so the density-phase read set
+        // covers the whole phased query.
+        let prefilled = self.prepass_batch(points, pool);
         let grid = &self.grid;
         let density_mlp = &self.density_mlp;
         let mut sigma_rest: &mut [f32] = sigmas;
@@ -835,7 +1031,7 @@ impl TrainableField for IngpModel {
                 let (sigma_c, rest) = std::mem::take(&mut sigma_rest).split_at_mut(hi - lo);
                 sigma_rest = rest;
                 let pts = &points[lo..hi];
-                s.spawn(move |_| chunk.forward_density(grid, density_mlp, pts, sigma_c));
+                s.spawn(move |_| chunk.forward_density(grid, density_mlp, pts, sigma_c, prefilled));
             }
         });
         true
@@ -968,7 +1164,18 @@ impl TrainableField for IngpModel {
                 let drs = &dirs[lo..hi];
                 s.spawn(move |_| {
                     let mut scratch = ChunkScratch::default();
-                    scratch.forward(grid, density_mlp, color_mlp, pts, drs, sigma_c, rgb_c);
+                    // `&self` eval: no touch collection (callers sync
+                    // beforehand), so the encode computes its own cache.
+                    scratch.forward(
+                        grid,
+                        density_mlp,
+                        color_mlp,
+                        pts,
+                        drs,
+                        sigma_c,
+                        rgb_c,
+                        false,
+                    );
                 });
             }
         });
@@ -1083,6 +1290,34 @@ mod clip_tests {
         assert_eq!(clip_scale(1.0, 32.0), 1.0);
         let s = clip_scale((64.0f64) * 64.0, 32.0);
         assert!((s - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn f64_clip_norm_unchanged_by_skipping_zero_terms() {
+        // The sparse path's clip-norm accumulates only touched entries, in
+        // ascending index order; every skipped (untouched) entry holds an
+        // exactly-zero gradient whose square contributes `+0.0`. The f64
+        // accumulator starts at +0.0 and only ever adds squares, so it is
+        // never -0.0, and `x + (+0.0) == x` bitwise for every such x —
+        // skipping the zero terms cannot change a single intermediate bit.
+        let grads: Vec<f32> = (0..1000)
+            .map(|i| match i % 3 {
+                0 => ((i as f32) * 0.37).sin() * 1e-3,
+                1 => 0.0,
+                _ => -0.0,
+            })
+            .collect();
+        let dense: f64 = grads.iter().map(|&g| (g as f64) * (g as f64)).sum();
+        let sparse: f64 = grads
+            .iter()
+            .filter(|&&g| g != 0.0)
+            .map(|&g| (g as f64) * (g as f64))
+            .sum();
+        assert_eq!(dense.to_bits(), sparse.to_bits());
+        assert_eq!(
+            clip_scale(dense, 1e-3).to_bits(),
+            clip_scale(sparse, 1e-3).to_bits()
+        );
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! The training loop: batches, rendering, loss, backprop, evaluation.
 
 use crate::engine;
-use crate::model::TrainableField;
+use crate::model::{OptPath, TrainableField};
 use crate::occupancy::OccupancyGrid;
 use crate::streaming::StreamingOrder;
 use inerf_encoding::TraceSink;
@@ -54,6 +54,11 @@ pub struct TrainConfig {
     ///
     /// [`ParamStore`]: inerf_mlp::ParamStore
     pub precision: Precision,
+    /// Grid-optimizer execution path of the model this run trains: the
+    /// O(touched) sparse path with lazy-replay Adam (the default) or the
+    /// dense O(table) reference. Both are bitwise-identical; the knob
+    /// exists so the reference stays exercised (`INERF_OPT=dense`).
+    pub opt: OptPath,
 }
 
 impl TrainConfig {
@@ -67,6 +72,7 @@ impl TrainConfig {
             eval_samples_per_ray: 128,
             engine: Engine::Batched,
             precision: Precision::F32,
+            opt: OptPath::from_env(),
         }
     }
 
@@ -79,6 +85,7 @@ impl TrainConfig {
             eval_samples_per_ray: 24,
             engine: Engine::Batched,
             precision: Precision::F32,
+            opt: OptPath::from_env(),
         }
     }
 
@@ -91,6 +98,7 @@ impl TrainConfig {
             eval_samples_per_ray: 48,
             engine: Engine::Batched,
             precision: Precision::F32,
+            opt: OptPath::from_env(),
         }
     }
 
@@ -104,6 +112,12 @@ impl TrainConfig {
     /// [`Precision`].
     pub fn with_precision(mut self, precision: Precision) -> Self {
         self.precision = precision;
+        self
+    }
+
+    /// The same configuration with a different grid-optimizer [`OptPath`].
+    pub fn with_opt(mut self, opt: OptPath) -> Self {
+        self.opt = opt;
         self
     }
 
@@ -245,8 +259,11 @@ impl<M: TrainableField> Trainer<M> {
         &self.config
     }
 
-    /// Consumes the trainer, returning the trained model.
-    pub fn into_model(self) -> M {
+    /// Consumes the trainer, returning the trained model with every
+    /// parameter brought up to date (lazily deferred optimizer updates are
+    /// flushed first).
+    pub fn into_model(mut self) -> M {
+        self.model.sync_parameters();
         self.model
     }
 
@@ -268,6 +285,10 @@ impl<M: TrainableField> Trainer<M> {
     ) -> f64 {
         if let Some(occ) = &mut self.occupancy {
             if occ.iteration % occ.refresh_every == 0 {
+                // The refresh probes model densities outside the training
+                // read set — flush any lazily deferred parameter updates
+                // first (no-op for dense-optimizer models).
+                self.model.sync_parameters();
                 occ.grid.refresh(&self.model, occ.threshold, 2);
             }
             occ.iteration += 1;
@@ -618,7 +639,10 @@ impl<M: TrainableField> Trainer<M> {
     }
 
     /// Renders an image from the trained model (no gradient tracking).
-    pub fn render_view(&self, camera: &Camera, bounds: &Aabb) -> Image {
+    /// Flushes lazily deferred optimizer updates first, so the render sees
+    /// exactly the parameters a dense-optimizer run would hold.
+    pub fn render_view(&mut self, camera: &Camera, bounds: &Aabb) -> Image {
+        self.model.sync_parameters();
         render_view_with_pool(
             &self.model,
             camera,
@@ -628,8 +652,10 @@ impl<M: TrainableField> Trainer<M> {
         )
     }
 
-    /// Mean PSNR over the dataset's held-out test views.
-    pub fn eval_psnr(&self, dataset: &Dataset) -> f64 {
+    /// Mean PSNR over the dataset's held-out test views. Flushes lazily
+    /// deferred optimizer updates first (see [`Trainer::render_view`]).
+    pub fn eval_psnr(&mut self, dataset: &Dataset) -> f64 {
+        self.model.sync_parameters();
         eval_psnr_with_pool(
             &self.model,
             dataset,
@@ -640,6 +666,11 @@ impl<M: TrainableField> Trainer<M> {
 }
 
 /// Renders `camera`'s image from any trained field on the default pool.
+///
+/// Takes the model read-only: callers holding a model with lazily deferred
+/// optimizer updates must flush them first
+/// ([`TrainableField::sync_parameters`]); models from
+/// [`Trainer::into_model`] are already synced.
 pub fn render_view<M: TrainableField>(
     model: &M,
     camera: &Camera,
@@ -755,7 +786,8 @@ fn render_pixel_block<M: TrainableField>(
 }
 
 /// Mean PSNR of a model over a dataset's held-out test views, on the
-/// default pool.
+/// default pool. Read-only over the model — see [`render_view`] for the
+/// sync requirement on lazily-optimized models.
 pub fn eval_psnr<M: TrainableField>(model: &M, dataset: &Dataset, samples_per_ray: usize) -> f64 {
     eval_psnr_with_pool(model, dataset, samples_per_ray, &engine::default_pool())
 }
@@ -826,7 +858,7 @@ mod tests {
 
     #[test]
     fn render_view_dimensions_and_range() {
-        let (dataset, trainer) = tiny_setup();
+        let (dataset, mut trainer) = tiny_setup();
         let cam = &dataset.test_views[0].camera;
         let img = trainer.render_view(cam, &dataset.bounds);
         assert_eq!(img.width(), cam.width);
