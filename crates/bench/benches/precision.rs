@@ -56,7 +56,8 @@ fn bench(c: &mut Criterion) {
     };
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_precision.json");
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
-    std::fs::write(path, json + "\n").expect("write BENCH_precision.json");
+    inerf_snapshot::atomic_write_file(std::path::Path::new(path), (json + "\n").as_bytes())
+        .expect("write BENCH_precision.json");
     println!("wrote {path}");
 
     // A tracked criterion kernel: one fp16 training step (quantized

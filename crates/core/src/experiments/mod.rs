@@ -17,3 +17,4 @@ pub mod precision;
 pub mod psnr;
 pub mod tables;
 pub mod traces;
+pub mod warmstart;

@@ -1,0 +1,165 @@
+//! Warm-start fine-tuning from a crash-safe checkpoint.
+//!
+//! The on-device story the paper motivates — reconstructing a scene the
+//! user is *still inside* — implies scenes that drift: furniture moves,
+//! lighting changes. With checkpoints, the accelerator does not retrain
+//! from scratch; it resumes the converged snapshot and fine-tunes on the
+//! drifted scene. This experiment quantifies the payoff: pretrain on a
+//! base scene, snapshot, perturb the scene geometry, then compare
+//! fine-tuning the resumed model against training cold — same budget —
+//! and count how many cold iterations the perturbed scene needs before
+//! it catches up with the warm start.
+
+use inerf_geom::Vec3;
+use inerf_scenes::field::Primitive;
+use inerf_scenes::{zoo, Dataset, DatasetConfig, Scene};
+use inerf_snapshot::MemIo;
+use inerf_trainer::{IngpModel, ModelConfig, TrainConfig, Trainer};
+use serde::{Deserialize, Serialize};
+
+use crate::report;
+
+/// Outcome of the warm-vs-cold fine-tune comparison.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WarmStartReport {
+    /// Scene the snapshot was pretrained on.
+    pub scene: String,
+    /// Iterations of pretraining baked into the checkpoint.
+    pub pretrain_iterations: usize,
+    /// Fine-tune budget given to both the warm and cold runs.
+    pub finetune_iterations: usize,
+    /// PSNR on the perturbed scene before any fine-tuning (the resumed
+    /// model evaluated as-is — how much the drift hurt).
+    pub resumed_psnr: f64,
+    /// PSNR after fine-tuning the resumed checkpoint.
+    pub warm_psnr: f64,
+    /// PSNR after spending the same budget from random initialization.
+    pub cold_psnr: f64,
+    /// Iterations a cold run needed to first match `warm_psnr`, if it
+    /// managed within the search cap.
+    pub cold_iterations_to_match: Option<usize>,
+    /// The search cap used for `cold_iterations_to_match`.
+    pub cold_search_cap: usize,
+}
+
+/// Shifts every primitive of `scene` by `delta` — the "furniture moved"
+/// drift: same shapes, same colors, new positions.
+pub fn perturb_scene(scene: &Scene, delta: Vec3) -> Scene {
+    let primitives = scene
+        .primitives()
+        .iter()
+        .map(|prim| match *prim {
+            Primitive::Blob(mut b) => {
+                b.center += delta;
+                Primitive::Blob(b)
+            }
+            Primitive::Box(mut b) => {
+                b.center += delta;
+                Primitive::Box(b)
+            }
+            Primitive::Torus(mut t) => {
+                t.center += delta;
+                Primitive::Torus(t)
+            }
+        })
+        .collect();
+    Scene::new(format!("{}-drifted", scene.name), scene.bounds, primitives)
+}
+
+fn fresh(cfg: TrainConfig) -> Trainer<IngpModel> {
+    Trainer::new(IngpModel::for_config(ModelConfig::tiny(), &cfg, 11), cfg, 5)
+}
+
+/// Runs the experiment at integration-test scale: tiny model, tiny
+/// datasets, a handful of iterations — the shape of the result matters,
+/// not wall-clock realism.
+pub fn run() -> WarmStartReport {
+    let cfg = TrainConfig::tiny();
+    let base_scene = zoo::scene(zoo::SceneKind::Mic);
+    let drifted_scene = perturb_scene(&base_scene, Vec3::new(0.06, -0.04, 0.05));
+    let base: Dataset = DatasetConfig::tiny().generate(&base_scene);
+    let drifted: Dataset = DatasetConfig::tiny().generate(&drifted_scene);
+
+    let pretrain_iterations = 24;
+    let finetune_iterations = 8;
+    let cold_search_cap = 4 * finetune_iterations;
+
+    // Pretrain on the base scene and checkpoint — through the same
+    // atomic write path a real deployment would use, just in memory.
+    let mut io = MemIo::default();
+    {
+        let mut pre = fresh(cfg);
+        pre.train(&base, pretrain_iterations);
+        pre.save_checkpoint_to(&mut io, 1)
+            .expect("in-memory checkpoint cannot fail");
+    }
+
+    // Warm path: resume the snapshot, fine-tune on the drifted scene.
+    let mut warm = Trainer::resume_from_io(&io, cfg).expect("checkpoint written above");
+    let resumed_psnr = warm.eval_psnr(&drifted);
+    warm.train(&drifted, finetune_iterations);
+    let warm_psnr = warm.eval_psnr(&drifted);
+
+    // Cold path: same budget from scratch.
+    let mut cold = fresh(cfg);
+    cold.train(&drifted, finetune_iterations);
+    let cold_psnr = cold.eval_psnr(&drifted);
+
+    // How long until cold catches up? Continue the same cold trainer,
+    // probing after each iteration up to the cap.
+    let mut cold_iterations_to_match = if cold_psnr >= warm_psnr {
+        Some(finetune_iterations)
+    } else {
+        None
+    };
+    let mut spent = finetune_iterations;
+    while cold_iterations_to_match.is_none() && spent < cold_search_cap {
+        cold.train(&drifted, 1);
+        spent += 1;
+        if cold.eval_psnr(&drifted) >= warm_psnr {
+            cold_iterations_to_match = Some(spent);
+        }
+    }
+
+    WarmStartReport {
+        scene: base_scene.name,
+        pretrain_iterations,
+        finetune_iterations,
+        resumed_psnr,
+        warm_psnr,
+        cold_psnr,
+        cold_iterations_to_match,
+        cold_search_cap,
+    }
+}
+
+/// Pretty-prints the comparison.
+pub fn render(r: &WarmStartReport) -> String {
+    let mut out = format!(
+        "Warm-start fine-tune on drifted '{}' (pretrained {} iters, budget {} iters)\n",
+        r.scene, r.pretrain_iterations, r.finetune_iterations
+    );
+    let rows = vec![
+        vec![
+            "resumed, no fine-tune".to_string(),
+            report::f(r.resumed_psnr, 2),
+        ],
+        vec![
+            "warm (resume + budget)".to_string(),
+            report::f(r.warm_psnr, 2),
+        ],
+        vec!["cold (budget only)".to_string(), report::f(r.cold_psnr, 2)],
+    ];
+    out.push_str(&report::table(&["run", "PSNR (dB)"], &rows));
+    match r.cold_iterations_to_match {
+        Some(n) => out.push_str(&format!(
+            "cold run matched the warm start after {n} iterations ({}x the budget)\n",
+            report::f(n as f64 / r.finetune_iterations as f64, 1)
+        )),
+        None => out.push_str(&format!(
+            "cold run did not match the warm start within {} iterations\n",
+            r.cold_search_cap
+        )),
+    }
+    out
+}

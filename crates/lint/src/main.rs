@@ -83,6 +83,22 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
+/// Temp-then-rename write, so a crash mid-write cannot leave a torn
+/// `UNSAFE_AUDIT.md` for `--check-unsafe-audit` to compare against.
+/// Local copy of `inerf_snapshot::atomic_write_file` — the lint binary
+/// stays free of workspace dependencies by design (see Cargo.toml).
+fn atomic_write(path: &std::path::Path, bytes: &[u8]) -> std::io::Result<()> {
+    use std::io::Write;
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    let mut file = std::fs::File::create(&tmp)?;
+    file.write_all(bytes)?;
+    file.flush()?;
+    file.sync_all()?;
+    std::fs::rename(&tmp, path)
+}
+
 /// Prints to stdout, ignoring write failures: Rust ignores SIGPIPE, so a
 /// closed pipe (`inerf-lint --explain foo | head`) would otherwise turn
 /// into a `println!` panic. The exit code stays meaningful either way.
@@ -146,7 +162,8 @@ fn run(args: Args) -> Result<ExitCode, String> {
         Mode::WriteAudit => {
             let (_, audit) = lint_and_audit(&args.root)?;
             let path = args.root.join(UNSAFE_AUDIT_FILE);
-            std::fs::write(&path, &audit).map_err(|e| format!("{}: {e}", path.display()))?;
+            atomic_write(&path, audit.as_bytes())
+                .map_err(|e| format!("{}: {e}", path.display()))?;
             emit(&format!("wrote {}\n", path.display()));
             Ok(ExitCode::SUCCESS)
         }

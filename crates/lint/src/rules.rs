@@ -81,6 +81,7 @@ pub const WALL_CLOCK: &str = "wall-clock";
 pub const UNSAFE_AUDIT: &str = "unsafe-audit";
 pub const ENTRY_WIDTH: &str = "entry-width";
 pub const PANIC_PATH: &str = "panic-path";
+pub const SNAPSHOT_IO: &str = "snapshot-io";
 pub const VENDOR_ISOLATION: &str = "vendor-isolation";
 pub const SIMD_LANE: &str = "simd-lane";
 pub const WAIVER_SYNTAX: &str = "waiver-syntax";
@@ -141,6 +142,17 @@ in those crates must not call .unwrap() or .expect(): return a Result, restructu
 the invariant is type-enforced, or waive a genuinely infallible site with a \
 justification stating *why* it cannot fail. Test code is exempt — panics are how tests \
 report.",
+    },
+    RuleInfo {
+        id: SNAPSHOT_IO,
+        summary: "no unwrap()/expect() in the snapshot crate's library code",
+        explain: "The snapshot crate's whole contract is that corrupt bytes, torn \
+writes and failed I/O surface as typed SnapshotError values — the fault-injection \
+sweep pins 'never panics' at every kill point and for every flipped bit. A single \
+.unwrap() or .expect() in library code is a latent violation of that contract waiting \
+for the input the tests didn't generate. Propagate with `?` instead; test code is \
+exempt. (Same mechanics as panic-path, but scoped to crates/snapshot and \
+non-waivable in spirit: there is no infallible I/O.)",
     },
     RuleInfo {
         id: VENDOR_ISOLATION,
@@ -233,6 +245,7 @@ pub fn check_file(class: &FileClass, ctx: &FileContext) -> (Vec<RawFinding>, Vec
     unsafe_audit(class, ctx, &mut out, &mut sites);
     entry_width(class, ctx, &mut out);
     panic_path(class, ctx, &mut out);
+    snapshot_io(class, ctx, &mut out);
     vendor_isolation(class, ctx, &mut out);
     simd_lane(class, ctx, &mut out);
     // One finding per (rule, line): `HashMap::<K,V>::new()` should read as
@@ -446,6 +459,32 @@ fn panic_path(class: &FileClass, ctx: &FileContext, out: &mut Vec<RawFinding>) {
                 message: format!(
                     "`.{}()` can panic on the hot path; return a Result or waive with \
 the reason it is infallible",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+/// Rule 4b: snapshot-io — the crash-safety analogue of panic-path.
+fn snapshot_io(class: &FileClass, ctx: &FileContext, out: &mut Vec<RawFinding>) {
+    if class.vendor || class.test_path || !class.crate_is(&["snapshot"]) {
+        return;
+    }
+    for (i, t) in ctx.code.iter().enumerate() {
+        if !(t.is_ident("unwrap") || t.is_ident("expect")) || ctx.is_test_line(t.line) {
+            continue;
+        }
+        let is_method_call = i > 0
+            && ctx.code[i - 1].is_punct('.')
+            && ctx.code.get(i + 1).is_some_and(|a| a.is_punct('('));
+        if is_method_call {
+            out.push(RawFinding {
+                rule: SNAPSHOT_IO,
+                line: t.line,
+                message: format!(
+                    "`.{}()` in the snapshot crate defeats the never-panic recovery \
+contract; propagate a SnapshotError with `?`",
                     t.text
                 ),
             });

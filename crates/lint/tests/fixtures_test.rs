@@ -56,6 +56,8 @@ fn corpus_findings_are_exactly_the_seeded_ones() {
         ("crates/mlp/src/waivers.rs", 3, "waiver-syntax", false),
         ("crates/mlp/src/waivers.rs", 8, "unused-waiver", false),
         ("crates/mlp/src/waivers.rs", 13, "waiver-syntax", false),
+        ("crates/snapshot/src/io.rs", 4, "snapshot-io", false),
+        ("crates/snapshot/src/io.rs", 9, "snapshot-io", true),
         (
             "crates/trainer/src/vendorref.rs",
             4,
@@ -88,8 +90,8 @@ fn corpus_findings_are_exactly_the_seeded_ones() {
         .map(|(f, l, r, w)| (f.to_string(), l, r.to_string(), w))
         .collect();
     assert_eq!(got, want, "fixture findings drifted from the seeded corpus");
-    assert_eq!(report.files_scanned, 10);
-    assert_eq!(report.unwaived_count(), 19);
+    assert_eq!(report.files_scanned, 11);
+    assert_eq!(report.unwaived_count(), 20);
 }
 
 #[test]
@@ -108,6 +110,7 @@ fn waiver_justifications_are_recorded() {
             "fixture: membership probe, order never observed",
             "fixture: literal is a register count, not a width",
             "fixture: caller guarantees Some",
+            "fixture: caller validated the length",
             "fixture: stand-in extension pending README row",
         ]
     );

@@ -56,6 +56,35 @@ pub struct AdamState {
     pub epsilon: f32,
 }
 
+/// A plain-data image of an [`AdamState`] for checkpointing: the packed
+/// `{m, v, stamp}` records flattened to bit patterns, the global step
+/// (the lazy-replay epoch), the mode flag and the hyper-parameters.
+///
+/// Moments travel as `u32` bit patterns, not values, because a resumed
+/// run must replay the *bits* of the original trajectory — a decimal
+/// round-trip would already diverge on the first post-resume step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdamStateSnapshot {
+    /// First-moment bit patterns, one per parameter.
+    pub m_bits: Vec<u32>,
+    /// Second-moment bit patterns, one per parameter.
+    pub v_bits: Vec<u32>,
+    /// Lazy-replay stamps, one per parameter (all 0 in dense mode).
+    pub step_stamps: Vec<u32>,
+    /// Global step count (the lazy-replay epoch).
+    pub t: u64,
+    /// Whether lazy sparse mode is on.
+    pub lazy: bool,
+    /// Learning rate.
+    pub learning_rate: f32,
+    /// First-moment decay `β₁`.
+    pub beta1: f32,
+    /// Second-moment decay `β₂`.
+    pub beta2: f32,
+    /// Numerical-stability epsilon.
+    pub epsilon: f32,
+}
+
 impl AdamState {
     /// Creates Adam state for `n` parameters with iNGP-style defaults
     /// (`β₁ = 0.9`, `β₂ = 0.99`, `ε = 1e-10` scaled to `1e-8` for f32).
@@ -81,6 +110,66 @@ impl AdamState {
     /// Number of steps taken so far.
     pub fn steps(&self) -> u64 {
         self.t
+    }
+
+    /// Exports the complete optimizer state as a plain-data snapshot
+    /// (see [`AdamStateSnapshot`]).
+    pub fn to_snapshot(&self) -> AdamStateSnapshot {
+        AdamStateSnapshot {
+            m_bits: self.state.iter().map(|s| s.m.to_bits()).collect(),
+            v_bits: self.state.iter().map(|s| s.v.to_bits()).collect(),
+            step_stamps: self.state.iter().map(|s| s.step).collect(),
+            t: self.t,
+            lazy: self.lazy,
+            learning_rate: self.learning_rate,
+            beta1: self.beta1,
+            beta2: self.beta2,
+            epsilon: self.epsilon,
+        }
+    }
+
+    /// Rebuilds an [`AdamState`] from an exported snapshot, bit-exactly.
+    ///
+    /// Unlike [`AdamState::enable_lazy`], this may restore a lazy state
+    /// mid-trajectory (`t > 0`) — the stamps come from the snapshot, so
+    /// the replayed-through invariant is whatever the original run had.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the three per-parameter vectors differ in length;
+    /// callers deserializing untrusted bytes must validate lengths first
+    /// and surface a typed error.
+    pub fn from_snapshot(snap: &AdamStateSnapshot) -> Self {
+        assert_eq!(
+            snap.m_bits.len(),
+            snap.v_bits.len(),
+            "adam snapshot m/v length mismatch"
+        );
+        assert_eq!(
+            snap.m_bits.len(),
+            snap.step_stamps.len(),
+            "adam snapshot m/stamp length mismatch"
+        );
+        let state = snap
+            .m_bits
+            .iter()
+            .zip(&snap.v_bits)
+            .zip(&snap.step_stamps)
+            .map(|((&m, &v), &step)| Moments {
+                m: f32::from_bits(m),
+                v: f32::from_bits(v),
+                step,
+            })
+            .collect();
+        AdamState {
+            state,
+            t: snap.t,
+            lazy: snap.lazy,
+            learning_rate: snap.learning_rate,
+            beta1: snap.beta1,
+            beta2: snap.beta2,
+            epsilon: snap.epsilon,
+        }
     }
 
     /// Number of parameters this state covers.
@@ -611,6 +700,39 @@ mod tests {
             assert_eq!(bits(&p1), bits(&p2), "scale {scale}");
             assert_eq!(moment_bits(&a1), moment_bits(&a2), "moments, scale {scale}");
         }
+    }
+
+    #[test]
+    fn snapshot_round_trip_is_bit_exact_mid_trajectory() {
+        // Export mid-run (unsynced lazy stamps and all), rebuild, and the
+        // restored optimizer must continue bit-identically to the
+        // original — including entries whose replay is still pending.
+        let n = 5;
+        let mut p: Vec<f32> = (0..n).map(|i| 0.1 * i as f32 - 0.2).collect();
+        let mut adam = AdamState::new(n, 0.015);
+        adam.enable_lazy();
+        for (step, touched) in [&[0u32, 3][..], &[3][..], &[1, 4][..]].iter().enumerate() {
+            let mut g = vec![0.0f32; n];
+            for &i in *touched {
+                g[i as usize] = 0.2 * (step as f32 + 1.0);
+            }
+            adam.step_sparse(&mut p, &g, touched, 1.0);
+        }
+        let snap = adam.to_snapshot();
+        assert_eq!(snap.t, 3);
+        assert!(snap.lazy);
+        let mut restored = AdamState::from_snapshot(&snap);
+        assert_eq!(restored, adam);
+        let mut p2 = p.clone();
+        let g = vec![0.05f32; n];
+        let touched: Vec<u32> = (0..n as u32).collect();
+        adam.step_sparse(&mut p, &g, &touched, 1.0);
+        restored.step_sparse(&mut p2, &g, &touched, 1.0);
+        adam.sync_all(&mut p);
+        restored.sync_all(&mut p2);
+        let bits = |xs: &[f32]| xs.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&p), bits(&p2));
+        assert_eq!(restored, adam);
     }
 
     #[test]

@@ -605,6 +605,16 @@ impl DenseLayer {
         self.bias.commit();
     }
 
+    /// The weight store (checkpoint capture / equivalence assertions).
+    pub fn weights(&self) -> &ParamStore {
+        &self.weights
+    }
+
+    /// The bias store (checkpoint capture / equivalence assertions).
+    pub fn bias(&self) -> &ParamStore {
+        &self.bias
+    }
+
     /// The weight store (test/tooling hook for direct parameter edits).
     pub fn weights_mut(&mut self) -> &mut ParamStore {
         &mut self.weights

@@ -204,6 +204,13 @@ impl Mlp {
         &self.layers
     }
 
+    /// Mutable layer access — the checkpoint-restore hook. Callers must
+    /// preserve each layer's dimensions and precision; only the
+    /// parameter *values* are meant to change.
+    pub fn layers_mut(&mut self) -> &mut [DenseLayer] {
+        &mut self.layers
+    }
+
     /// The storage precision of the network's parameters.
     pub fn precision(&self) -> Precision {
         self.layers[0].precision()

@@ -20,7 +20,7 @@
 //! | `scalar`             | force the plain scalar lane loops              |
 //! | `avx2`               | AVX2 frames (falls back to scalar if absent)   |
 //! | `neon`               | NEON frames (falls back to scalar if absent)   |
-//! | anything else        | scalar (deterministic, never panics)           |
+//! | anything else        | hard error naming the offending value          |
 //!
 //! Tests may override the cached choice with [`force_backend`]; overrides
 //! are clamped to what the CPU actually supports, so forcing `Avx2` on a
@@ -124,31 +124,62 @@ pub fn native_backend() -> Backend {
     }
 }
 
-/// Resolves a raw `INERF_SIMD` value to a backend. Unknown strings resolve
-/// to `Scalar` so a typo degrades performance, never correctness.
-fn resolve_from(raw: Option<&str>) -> Backend {
+/// Resolves a raw `INERF_SIMD` value to a backend.
+///
+/// Unknown values are a *hard error* naming the offending string — a typo
+/// like `INERF_SIMD=sclar` must not silently run a benchmark on the wrong
+/// path. A recognized-but-unavailable backend (`avx2` on an aarch64 host)
+/// still clamps to `Scalar`: the request is meaningful, the CPU just
+/// cannot honor it, and every backend is bitwise identical by contract.
+fn try_resolve(raw: Option<&str>) -> Result<Backend, String> {
     let requested = match raw {
-        None => return native_backend(),
+        None => return Ok(native_backend()),
         Some(s) => s.trim().to_ascii_lowercase(),
     };
     match requested.as_str() {
-        "" | "native" | "auto" => native_backend(),
-        "scalar" => Backend::Scalar,
-        "avx2" if Backend::Avx2.is_available() => Backend::Avx2,
-        "neon" if Backend::Neon.is_available() => Backend::Neon,
-        _ => Backend::Scalar,
+        "" | "native" | "auto" => Ok(native_backend()),
+        "scalar" => Ok(Backend::Scalar),
+        "avx2" => Ok(if Backend::Avx2.is_available() {
+            Backend::Avx2
+        } else {
+            Backend::Scalar
+        }),
+        "neon" => Ok(if Backend::Neon.is_available() {
+            Backend::Neon
+        } else {
+            Backend::Scalar
+        }),
+        other => Err(format!(
+            "INERF_SIMD={other:?} is not a recognized backend; \
+             expected one of: scalar, avx2, neon, native, auto"
+        )),
     }
 }
 
 /// The active backend, resolving `INERF_SIMD` on first use and caching the
 /// result for the life of the process (unless a test calls
 /// [`force_backend`]).
+///
+/// # Panics
+///
+/// Panics if `INERF_SIMD` is set to an unrecognized or non-Unicode value
+/// (see `try_resolve`) — configuration typos fail loudly at startup.
 pub fn backend() -> Backend {
     let raw = ACTIVE.load(Ordering::Relaxed);
     if raw != BACKEND_UNSET {
         return Backend::from_raw(raw);
     }
-    let resolved = resolve_from(std::env::var("INERF_SIMD").ok().as_deref());
+    let var = match std::env::var("INERF_SIMD") {
+        Ok(v) => Some(v),
+        Err(std::env::VarError::NotPresent) => None,
+        Err(std::env::VarError::NotUnicode(v)) => {
+            panic!("INERF_SIMD={v:?} is not valid Unicode")
+        }
+    };
+    let resolved = match try_resolve(var.as_deref()) {
+        Ok(b) => b,
+        Err(msg) => panic!("{msg}"),
+    };
     ACTIVE.store(resolved as u8, Ordering::Relaxed);
     resolved
 }
@@ -185,7 +216,7 @@ pub fn vectorize<R>(kernel: impl FnOnce() -> R) -> R {
         #[cfg(target_arch = "x86_64")]
         // SAFETY: Backend::Avx2 is only ever stored into ACTIVE after
         // `is_x86_feature_detected!("avx2")` confirmed support (see
-        // `Backend::is_available`, which both `resolve_from` and
+        // `Backend::is_available`, which both `try_resolve` and
         // `force_backend` clamp through), so the AVX2 frame cannot execute
         // on a CPU without AVX2.
         Backend::Avx2 => unsafe { frame_avx2(kernel) },
@@ -227,21 +258,29 @@ mod tests {
 
     #[test]
     fn resolve_env_values() {
-        assert_eq!(resolve_from(Some("scalar")), Backend::Scalar);
-        assert_eq!(resolve_from(Some("SCALAR ")), Backend::Scalar);
-        assert_eq!(resolve_from(None), native_backend());
-        assert_eq!(resolve_from(Some("native")), native_backend());
-        assert_eq!(resolve_from(Some("auto")), native_backend());
-        assert_eq!(resolve_from(Some("")), native_backend());
-        // Unknown values fall back to scalar, never panic.
-        assert_eq!(resolve_from(Some("avx512")), Backend::Scalar);
-        assert_eq!(resolve_from(Some("wide")), Backend::Scalar);
+        assert_eq!(try_resolve(Some("scalar")), Ok(Backend::Scalar));
+        assert_eq!(try_resolve(Some("SCALAR ")), Ok(Backend::Scalar));
+        assert_eq!(try_resolve(None), Ok(native_backend()));
+        assert_eq!(try_resolve(Some("native")), Ok(native_backend()));
+        assert_eq!(try_resolve(Some("auto")), Ok(native_backend()));
+        assert_eq!(try_resolve(Some("")), Ok(native_backend()));
         // Unavailable explicit requests clamp to scalar.
         if !Backend::Neon.is_available() {
-            assert_eq!(resolve_from(Some("neon")), Backend::Scalar);
+            assert_eq!(try_resolve(Some("neon")), Ok(Backend::Scalar));
         }
         if !Backend::Avx2.is_available() {
-            assert_eq!(resolve_from(Some("avx2")), Backend::Scalar);
+            assert_eq!(try_resolve(Some("avx2")), Ok(Backend::Scalar));
+        }
+    }
+
+    #[test]
+    fn unknown_env_values_are_hard_errors_naming_the_value() {
+        for bad in ["avx512", "wide", "sclar", "simd on"] {
+            let err = try_resolve(Some(bad)).unwrap_err();
+            assert!(
+                err.contains("INERF_SIMD") && err.contains(bad.trim()),
+                "error must name the variable and the offending value: {err}"
+            );
         }
     }
 

@@ -1,0 +1,46 @@
+//! FNV-1a 64-bit checksum.
+//!
+//! Chosen over a table-driven CRC for implementation transparency: the
+//! per-byte step `h' = (h ^ b) * PRIME` is injective in `b` for any fixed
+//! `h` (the prime is odd, hence invertible mod 2^64), so corrupting any
+//! single byte — including flipping a single bit — always changes the
+//! digest. That is exactly the property the byte-flip sweep in
+//! `tests/corruption.rs` pins end to end.
+
+const OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a 64-bit digest of `bytes`.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = OFFSET_BASIS;
+    for &b in bytes {
+        h = (h ^ u64::from(b)).wrapping_mul(PRIME);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_vectors() {
+        // Published FNV-1a/64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn every_single_bit_flip_changes_the_digest() {
+        let base: Vec<u8> = (0u8..=255).collect();
+        let clean = fnv1a64(&base);
+        for i in 0..base.len() {
+            for bit in 0..8 {
+                let mut flipped = base.clone();
+                flipped[i] ^= 1 << bit;
+                assert_ne!(fnv1a64(&flipped), clean, "flip byte {i} bit {bit}");
+            }
+        }
+    }
+}

@@ -1,0 +1,239 @@
+//! Little-endian byte codec used by the snapshot format and its payloads.
+//!
+//! Writers append to a plain `Vec<u8>`; readers consume through
+//! [`Reader`], which surfaces every overrun, length overflow or trailing
+//! garbage as [`SnapshotError::Corrupt`] instead of panicking — the
+//! no-panic-on-any-input invariant the byte-flip sweep relies on.
+//!
+//! Slices are encoded as a `u64` element count followed by the raw
+//! little-endian elements; floats travel as their IEEE 754 bit patterns
+//! so round-trips are bit-exact (including NaN payloads and signed
+//! zeros — a resume must reproduce *bits*, not values).
+
+use crate::error::SnapshotError;
+
+/// Appends a `u8`.
+pub fn put_u8(out: &mut Vec<u8>, v: u8) {
+    out.push(v);
+}
+
+/// Appends a `u16`, little-endian.
+pub fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a `u32`, little-endian.
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a `u64`, little-endian.
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends an `f32` as its bit pattern, little-endian.
+pub fn put_f32(out: &mut Vec<u8>, v: f32) {
+    put_u32(out, v.to_bits());
+}
+
+/// Appends a length-prefixed `u16` slice.
+pub fn put_u16_slice(out: &mut Vec<u8>, xs: &[u16]) {
+    put_u64(out, xs.len() as u64);
+    for &x in xs {
+        put_u16(out, x);
+    }
+}
+
+/// Appends a length-prefixed `u32` slice.
+pub fn put_u32_slice(out: &mut Vec<u8>, xs: &[u32]) {
+    put_u64(out, xs.len() as u64);
+    for &x in xs {
+        put_u32(out, x);
+    }
+}
+
+/// Appends a length-prefixed `u64` slice.
+pub fn put_u64_slice(out: &mut Vec<u8>, xs: &[u64]) {
+    put_u64(out, xs.len() as u64);
+    for &x in xs {
+        put_u64(out, x);
+    }
+}
+
+/// Appends a length-prefixed `f32` slice (bit patterns).
+pub fn put_f32_slice(out: &mut Vec<u8>, xs: &[f32]) {
+    put_u64(out, xs.len() as u64);
+    for &x in xs {
+        put_f32(out, x);
+    }
+}
+
+/// A bounds-checked cursor over an untrusted byte buffer.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Starts reading `buf` from the beginning.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes left to consume.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+        if n > self.remaining() {
+            return Err(SnapshotError::Corrupt(format!(
+                "record truncated: need {n} bytes, have {}",
+                self.remaining()
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads a `u8`.
+    pub fn u8(&mut self) -> Result<u8, SnapshotError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u16`.
+    pub fn u16(&mut self) -> Result<u16, SnapshotError> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, SnapshotError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, SnapshotError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Reads an `f32` bit pattern.
+    pub fn f32(&mut self) -> Result<f32, SnapshotError> {
+        Ok(f32::from_bits(self.u32()?))
+    }
+
+    /// Reads a length prefix, guarding against lengths that cannot fit
+    /// in the remaining bytes (a corrupted prefix must not trigger a
+    /// huge allocation before the bounds check catches it).
+    fn len_prefix(&mut self, elem_bytes: usize) -> Result<usize, SnapshotError> {
+        let raw = self.u64()?;
+        let n = usize::try_from(raw)
+            .ok()
+            .and_then(|n| n.checked_mul(elem_bytes).map(|total| (n, total)));
+        match n {
+            Some((n, total)) if total <= self.remaining() => Ok(n),
+            _ => Err(SnapshotError::Corrupt(format!(
+                "slice length {raw} overruns record ({} bytes remain)",
+                self.remaining()
+            ))),
+        }
+    }
+
+    /// Reads a length-prefixed `u16` slice.
+    pub fn u16_vec(&mut self) -> Result<Vec<u16>, SnapshotError> {
+        let n = self.len_prefix(2)?;
+        (0..n).map(|_| self.u16()).collect()
+    }
+
+    /// Reads a length-prefixed `u32` slice.
+    pub fn u32_vec(&mut self) -> Result<Vec<u32>, SnapshotError> {
+        let n = self.len_prefix(4)?;
+        (0..n).map(|_| self.u32()).collect()
+    }
+
+    /// Reads a length-prefixed `u64` slice.
+    pub fn u64_vec(&mut self) -> Result<Vec<u64>, SnapshotError> {
+        let n = self.len_prefix(8)?;
+        (0..n).map(|_| self.u64()).collect()
+    }
+
+    /// Reads a length-prefixed `f32` slice (bit patterns).
+    pub fn f32_vec(&mut self) -> Result<Vec<f32>, SnapshotError> {
+        let n = self.len_prefix(4)?;
+        (0..n).map(|_| self.f32()).collect()
+    }
+
+    /// Consumes the reader, failing if any bytes were left unread —
+    /// trailing garbage means the record is not what the decoder thinks
+    /// it is.
+    pub fn finish(self) -> Result<(), SnapshotError> {
+        if self.remaining() != 0 {
+            return Err(SnapshotError::Corrupt(format!(
+                "{} trailing bytes after record",
+                self.remaining()
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_and_slice_round_trip_bit_exact() {
+        let mut buf = Vec::new();
+        put_u8(&mut buf, 7);
+        put_u16(&mut buf, 0xBEEF);
+        put_u32(&mut buf, 0xDEAD_BEEF);
+        put_u64(&mut buf, u64::MAX - 3);
+        put_f32(&mut buf, -0.0);
+        put_f32_slice(&mut buf, &[f32::NAN, 1.5, -3.25]);
+        put_u16_slice(&mut buf, &[1, 2, 3]);
+        put_u32_slice(&mut buf, &[9, 8]);
+        put_u64_slice(&mut buf, &[u64::MAX]);
+
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u16().unwrap(), 0xBEEF);
+        assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 3);
+        assert_eq!(r.f32().unwrap().to_bits(), (-0.0f32).to_bits());
+        let fs = r.f32_vec().unwrap();
+        assert_eq!(fs.len(), 3);
+        assert_eq!(fs[0].to_bits(), f32::NAN.to_bits());
+        assert_eq!(fs[1], 1.5);
+        assert_eq!(r.u16_vec().unwrap(), vec![1, 2, 3]);
+        assert_eq!(r.u32_vec().unwrap(), vec![9, 8]);
+        assert_eq!(r.u64_vec().unwrap(), vec![u64::MAX]);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn overrun_is_corrupt_not_panic() {
+        let mut r = Reader::new(&[1, 2]);
+        assert!(matches!(r.u32(), Err(SnapshotError::Corrupt(_))));
+    }
+
+    #[test]
+    fn huge_length_prefix_is_rejected_before_allocation() {
+        let mut buf = Vec::new();
+        put_u64(&mut buf, u64::MAX); // claims ~1.8e19 elements
+        let mut r = Reader::new(&buf);
+        assert!(matches!(r.f32_vec(), Err(SnapshotError::Corrupt(_))));
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let r = Reader::new(&[0]);
+        assert!(matches!(r.finish(), Err(SnapshotError::Corrupt(_))));
+    }
+}

@@ -24,13 +24,38 @@ use std::sync::{Arc, OnceLock};
 /// identical at 1, 2, or 64 threads.
 pub const RAY_CHUNK: usize = 16;
 
+/// Parses an `INERF_THREADS` value: a positive integer. Anything else is
+/// a hard error naming the value — a typo must not silently run on all
+/// cores under a benchmark that claims a fixed thread count.
+pub fn parse_threads(raw: &str) -> Result<usize, String> {
+    match raw.trim().parse::<usize>() {
+        Ok(n) if n > 0 => Ok(n),
+        _ => Err(format!(
+            "INERF_THREADS={:?} is not a positive integer thread count",
+            raw.trim()
+        )),
+    }
+}
+
 /// The thread count requested via `INERF_THREADS`, or all available cores.
+///
+/// # Panics
+///
+/// Panics if `INERF_THREADS` is set to anything but a positive integer
+/// (see [`parse_threads`]) — configuration typos fail loudly.
 pub fn default_threads() -> usize {
-    std::env::var("INERF_THREADS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        .filter(|&n| n > 0)
-        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+    match std::env::var("INERF_THREADS") {
+        Ok(v) => match parse_threads(&v) {
+            Ok(n) => n,
+            Err(msg) => panic!("{msg}"),
+        },
+        Err(std::env::VarError::NotPresent) => {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        }
+        Err(std::env::VarError::NotUnicode(v)) => {
+            panic!("INERF_THREADS={v:?} is not valid Unicode")
+        }
+    }
 }
 
 /// Builds a dedicated pool with exactly `threads` workers.
@@ -208,6 +233,19 @@ mod tests {
     #[test]
     fn default_threads_is_positive() {
         assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn parse_threads_accepts_positive_integers_only() {
+        assert_eq!(parse_threads("1"), Ok(1));
+        assert_eq!(parse_threads(" 8 "), Ok(8));
+        for bad in ["0", "-2", "four", "2.5", ""] {
+            let err = parse_threads(bad).unwrap_err();
+            assert!(
+                err.contains("INERF_THREADS") && err.contains(bad.trim()),
+                "error must name the variable and the offending value: {err}"
+            );
+        }
     }
 
     #[test]

@@ -205,12 +205,40 @@ pub enum OptPath {
 }
 
 impl OptPath {
+    /// Parses an `INERF_OPT` value. Unknown strings are a hard error
+    /// naming the value — a typo must not silently select the default
+    /// path under a benchmark that claims to measure the other one.
+    pub fn parse(raw: &str) -> Result<Self, String> {
+        let v = raw.trim();
+        if v.eq_ignore_ascii_case("dense") {
+            Ok(OptPath::Dense)
+        } else if v.is_empty() || v.eq_ignore_ascii_case("sparse") {
+            Ok(OptPath::Sparse)
+        } else {
+            Err(format!(
+                "INERF_OPT={v:?} is not a recognized optimizer path; \
+                 expected one of: sparse, dense"
+            ))
+        }
+    }
+
     /// Reads the `INERF_OPT` environment knob: `dense` selects the
-    /// reference path, anything else (or unset) the sparse default.
+    /// reference path, `sparse` (or unset) the default.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unrecognized or non-Unicode value (see
+    /// [`OptPath::parse`]) — configuration typos fail loudly.
     pub fn from_env() -> Self {
         match std::env::var("INERF_OPT") {
-            Ok(v) if v.eq_ignore_ascii_case("dense") => OptPath::Dense,
-            _ => OptPath::Sparse,
+            Ok(v) => match Self::parse(&v) {
+                Ok(opt) => opt,
+                Err(msg) => panic!("{msg}"),
+            },
+            Err(std::env::VarError::NotPresent) => OptPath::Sparse,
+            Err(std::env::VarError::NotUnicode(v)) => {
+                panic!("INERF_OPT={v:?} is not valid Unicode")
+            }
         }
     }
 
@@ -721,6 +749,32 @@ impl IngpModel {
         &self.color_mlp
     }
 
+    /// Checkpoint hooks: the three optimizer states in a fixed order
+    /// (grid, density MLP, color MLP).
+    pub(crate) fn adam_states(&self) -> [&AdamState; 3] {
+        [&self.grid_adam, &self.density_adam, &self.color_adam]
+    }
+
+    /// Checkpoint-restore hooks, same order as
+    /// [`IngpModel::adam_states`].
+    pub(crate) fn adam_states_mut(&mut self) -> [&mut AdamState; 3] {
+        [
+            &mut self.grid_adam,
+            &mut self.density_adam,
+            &mut self.color_adam,
+        ]
+    }
+
+    /// Mutable grid access for checkpoint restore.
+    pub(crate) fn grid_mut(&mut self) -> &mut HashGrid {
+        &mut self.grid
+    }
+
+    /// Mutable MLP access for checkpoint restore (density, color).
+    pub(crate) fn mlps_mut(&mut self) -> (&mut Mlp, &mut Mlp) {
+        (&mut self.density_mlp, &mut self.color_mlp)
+    }
+
     fn forward_parts(&self, p: Vec3, d: Vec3) -> (MlpActivations, MlpActivations, f32, Vec3) {
         let feats = self.grid.encode(p);
         let density_acts = self.density_mlp.forward(&feats);
@@ -1185,6 +1239,21 @@ impl TrainableField for IngpModel {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn opt_path_parse_rejects_unknown_values_by_name() {
+        assert_eq!(OptPath::parse("dense"), Ok(OptPath::Dense));
+        assert_eq!(OptPath::parse(" DENSE "), Ok(OptPath::Dense));
+        assert_eq!(OptPath::parse("sparse"), Ok(OptPath::Sparse));
+        assert_eq!(OptPath::parse(""), Ok(OptPath::Sparse));
+        for bad in ["densse", "lazy", "fast"] {
+            let err = OptPath::parse(bad).unwrap_err();
+            assert!(
+                err.contains("INERF_OPT") && err.contains(bad),
+                "error must name the variable and the offending value: {err}"
+            );
+        }
+    }
 
     #[test]
     fn query_output_ranges() {

@@ -45,6 +45,32 @@ impl OccupancyGrid {
         (self.resolution as usize).pow(3)
     }
 
+    /// The raw bit words backing the grid (checkpoint capture).
+    pub fn words(&self) -> &[u64] {
+        &self.bits
+    }
+
+    /// Rebuilds a grid from [`OccupancyGrid::words`] output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `resolution` is zero or `words` has the wrong length
+    /// for it; callers restoring untrusted bytes must validate first
+    /// and surface a typed error.
+    pub fn from_words(resolution: u32, words: Vec<u64>) -> Self {
+        assert!(resolution > 0, "occupancy grid resolution must be positive");
+        let cells = (resolution as usize).pow(3);
+        assert_eq!(
+            words.len(),
+            cells.div_ceil(64),
+            "occupancy word count does not match resolution"
+        );
+        OccupancyGrid {
+            resolution,
+            bits: words,
+        }
+    }
+
     #[inline]
     fn cell_index(&self, p: Vec3) -> usize {
         let r = self.resolution as f32;

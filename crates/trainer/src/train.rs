@@ -1,5 +1,7 @@
 //! The training loop: batches, rendering, loss, backprop, evaluation.
 
+pub mod checkpoint;
+
 use crate::engine;
 use crate::model::{OptPath, TrainableField};
 use crate::occupancy::OccupancyGrid;
@@ -149,6 +151,15 @@ struct OccupancyState {
     iteration: usize,
 }
 
+/// Where and how often [`Trainer::train_checkpointed`] writes snapshots.
+/// Plain data (no live IO handle), so the trainer stays `Clone`.
+#[derive(Debug, Clone)]
+struct CheckpointPolicy {
+    dir: std::path::PathBuf,
+    every_n: usize,
+    keep_last: usize,
+}
+
 /// Drives a [`TrainableField`] through the six-step NeRF training pipeline.
 ///
 /// Every per-iteration structure-of-arrays buffer (the gathered batch and
@@ -162,6 +173,10 @@ pub struct Trainer<M> {
     rng: SmallRng,
     occupancy: Option<OccupancyState>,
     points_queried: u64,
+    /// Completed training iterations — the step counter snapshots carry
+    /// and checkpoint file names are keyed on.
+    steps: u64,
+    checkpoint: Option<CheckpointPolicy>,
     pool: Arc<ThreadPool>,
     arena: engine::BatchArena,
 }
@@ -186,6 +201,8 @@ impl<M: TrainableField> Trainer<M> {
             rng: SmallRng::seed_from_u64(seed),
             occupancy: None,
             points_queried: 0,
+            steps: 0,
+            checkpoint: None,
             pool: engine::default_pool(),
             arena: engine::BatchArena::default(),
         }
@@ -222,9 +239,32 @@ impl<M: TrainableField> Trainer<M> {
         self
     }
 
+    /// Enables periodic crash-safe checkpoints for
+    /// [`Trainer::train_checkpointed`]: every `every_n` completed
+    /// iterations a snapshot is written atomically under `dir`, keeping
+    /// the newest `keep_last` (see `inerf_snapshot` for the protocol).
+    pub fn checkpoint_every_n(
+        mut self,
+        dir: impl Into<std::path::PathBuf>,
+        every_n: usize,
+        keep_last: usize,
+    ) -> Self {
+        self.checkpoint = Some(CheckpointPolicy {
+            dir: dir.into(),
+            every_n: every_n.max(1),
+            keep_last: keep_last.max(1),
+        });
+        self
+    }
+
     /// The occupancy grid, if enabled.
     pub fn occupancy_grid(&self) -> Option<&OccupancyGrid> {
         self.occupancy.as_ref().map(|o| &o.grid)
+    }
+
+    /// Completed training iterations (survives snapshot/resume).
+    pub fn global_step(&self) -> u64 {
+        self.steps
     }
 
     /// Total model queries issued so far (the quantity empty-space skipping
@@ -331,6 +371,7 @@ impl<M: TrainableField> Trainer<M> {
         bounds: &Aabb,
         sink: Option<&mut (dyn TraceSink + '_)>,
     ) -> f64 {
+        self.steps += 1;
         self.model.begin_batch();
         self.arena.begin_iteration();
         self.gather_batch(rays, targets, bounds);

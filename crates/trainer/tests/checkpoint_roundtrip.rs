@@ -1,0 +1,70 @@
+//! Property tests for the checkpoint payload codecs: arbitrary
+//! parameter contents at both precisions must round-trip bit-exactly,
+//! and truncated payloads must decode to typed errors, never panics.
+
+use inerf_mlp::{ParamStore, Precision};
+use inerf_snapshot::codec::Reader;
+use inerf_trainer::train::checkpoint::{decode_param_store, encode_param_store};
+use proptest::prelude::*;
+
+/// Builds a store whose contents mix ordinary weights with the
+/// fp16-quantization edge cases: signed zeros and sub-fp16-normal
+/// magnitudes that flush differently than round values.
+fn build_store(bulk: Vec<f32>, tiny: Vec<f32>, fp16: bool) -> ParamStore {
+    let precision = if fp16 {
+        Precision::Fp16
+    } else {
+        Precision::F32
+    };
+    let mut values = bulk;
+    values.extend(tiny.into_iter().map(|v| v * 1e-6));
+    values.push(0.0);
+    values.push(-0.0);
+    ParamStore::new(precision, values)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn param_store_round_trips_bit_exactly_at_both_precisions(
+        bulk in proptest::collection::vec(-10.0f32..10.0, 0..64),
+        tiny in proptest::collection::vec(-1.0f32..1.0, 0..16),
+        fp16 in 0u8..2,
+    ) {
+        let store = build_store(bulk, tiny, fp16 == 1);
+        let mut bytes = Vec::new();
+        encode_param_store(&mut bytes, &store);
+
+        let mut r = Reader::new(&bytes);
+        let restored = decode_param_store(&mut r, store.len(), store.precision()).unwrap();
+        prop_assert!(r.finish().is_ok());
+
+        // Bit-level equality of both copies, not just value equality.
+        let master_bits = |s: &ParamStore| -> Vec<u32> {
+            s.master().iter().map(|v| v.to_bits()).collect()
+        };
+        let working_bits = |s: &ParamStore| -> Vec<u32> {
+            s.values().iter().map(|v| v.to_bits()).collect()
+        };
+        prop_assert_eq!(master_bits(&restored), master_bits(&store));
+        prop_assert_eq!(working_bits(&restored), working_bits(&store));
+    }
+
+    #[test]
+    fn truncated_param_store_payloads_error_cleanly(
+        bulk in proptest::collection::vec(-10.0f32..10.0, 1..32),
+        fp16 in 0u8..2,
+        cut_frac in 0.0f32..1.0,
+    ) {
+        let store = build_store(bulk, Vec::new(), fp16 == 1);
+        let mut bytes = Vec::new();
+        encode_param_store(&mut bytes, &store);
+
+        let keep = ((bytes.len() as f32) * cut_frac) as usize; // < len
+        let mut r = Reader::new(&bytes[..keep]);
+        let outcome = decode_param_store(&mut r, store.len(), store.precision());
+        let trailing_ok = outcome.is_ok() && r.finish().is_ok();
+        prop_assert!(!trailing_ok, "truncated payload decoded cleanly");
+    }
+}

@@ -1,0 +1,195 @@
+//! Checkpoint/resume bitwise-equivalence.
+//!
+//! The headline guarantee of the snapshot subsystem: training 2N
+//! iterations straight is *bitwise* identical to training N, writing a
+//! checkpoint, dropping the trainer entirely, resuming from the
+//! checkpoint bytes, and training N more — same loss bits, same
+//! evaluation render, same DRAM request statistics for the second half,
+//! same master and working parameter bits at the end. Pinned across
+//! both engines, both storage precisions, both optimizer paths, and at
+//! 1/2/8 threads (a snapshot written at any parallelism resumes at any
+//! other).
+
+use inerf_encoding::requests::{RegisterCacheSink, StreamStats};
+use inerf_encoding::CountingSink;
+use inerf_scenes::{zoo, Dataset, DatasetConfig};
+use inerf_snapshot::{MemIo, SnapshotError};
+use inerf_trainer::{Engine, IngpModel, ModelConfig, OptPath, Precision, TrainConfig, Trainer};
+
+const N: usize = 4;
+
+fn bits(xs: &[f32]) -> Vec<u32> {
+    xs.iter().map(|x| x.to_bits()).collect()
+}
+
+fn tiny_config(engine: Engine, precision: Precision, opt: OptPath) -> TrainConfig {
+    TrainConfig::tiny()
+        .with_engine(engine)
+        .with_precision(precision)
+        .with_opt(opt)
+}
+
+fn fresh_trainer(cfg: TrainConfig, threads: usize) -> Trainer<IngpModel> {
+    Trainer::new(IngpModel::for_config(ModelConfig::tiny(), &cfg, 8), cfg, 3).with_threads(threads)
+}
+
+/// Everything the *second half* of a 2N-iteration run observably
+/// produces, bit-exact, plus the final parameter state.
+#[derive(Debug, PartialEq)]
+struct SecondHalf {
+    losses: Vec<u64>,
+    psnr: u64,
+    steps: u64,
+    dram: StreamStats,
+    trace_points: u64,
+    master: Vec<u32>,
+    working: Vec<u32>,
+}
+
+fn second_half(trainer: &mut Trainer<IngpModel>, ds: &Dataset) -> SecondHalf {
+    let levels = ModelConfig::tiny().grid.levels;
+    let mut sinks = (CountingSink::default(), RegisterCacheSink::new(levels));
+    let report = trainer.train_with_sink(ds, N, &mut sinks);
+    let psnr = trainer.eval_psnr(ds);
+    SecondHalf {
+        losses: report.losses.iter().map(|l| l.to_bits()).collect(),
+        psnr: psnr.to_bits(),
+        steps: trainer.global_step(),
+        dram: sinks.1.stats(),
+        trace_points: sinks.0.points,
+        master: bits(trainer.model().grid().parameter_store().master()),
+        working: bits(trainer.model().grid().parameters()),
+    }
+}
+
+/// Train 2N straight (discarding the first half's trace) at 1 thread.
+fn straight(ds: &Dataset, cfg: TrainConfig) -> SecondHalf {
+    let mut trainer = fresh_trainer(cfg, 1);
+    trainer.train(ds, N);
+    second_half(&mut trainer, ds)
+}
+
+/// Train N, checkpoint to memory, drop the trainer, resume from the
+/// checkpoint bytes alone, then train N more at `threads`.
+fn resumed(ds: &Dataset, cfg: TrainConfig, threads: usize) -> SecondHalf {
+    let mut io = MemIo::default();
+    {
+        let mut first = fresh_trainer(cfg, threads);
+        first.train(ds, N);
+        first.save_checkpoint_to(&mut io, 2).unwrap();
+        // `first` dropped here — the resumed run sees only `io`'s bytes.
+    }
+    let mut trainer = Trainer::resume_from_io(&io, cfg)
+        .unwrap()
+        .with_threads(threads);
+    assert_eq!(trainer.global_step(), N as u64);
+    second_half(&mut trainer, ds)
+}
+
+#[test]
+fn resume_matches_straight_bitwise_for_every_engine_precision_thread_count_and_opt() {
+    let ds = DatasetConfig::tiny().generate(&zoo::scene(zoo::SceneKind::Mic));
+    for engine in [Engine::Scalar, Engine::Batched] {
+        for precision in [Precision::F32, Precision::Fp16] {
+            for opt in [OptPath::Sparse, OptPath::Dense] {
+                let cfg = tiny_config(engine, precision, opt);
+                let reference = straight(&ds, cfg);
+                assert!(reference.trace_points > 0, "workload must stream lookups");
+                assert_eq!(reference.steps, 2 * N as u64);
+                for threads in [1usize, 2, 8] {
+                    let restored = resumed(&ds, cfg, threads);
+                    assert_eq!(
+                        restored,
+                        reference,
+                        "{engine:?}/{}/{}/{threads}t: resume diverged bitwise from straight",
+                        precision.label(),
+                        opt.label()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn resume_preserves_occupancy_grid_state_bitwise() {
+    // The occupancy grid refreshes on a fixed cadence keyed to its own
+    // iteration counter; a resume must restore the counter, the bitset,
+    // and the refresh parameters or the filtered trajectory diverges.
+    let ds = DatasetConfig::tiny().generate(&zoo::scene(zoo::SceneKind::Mic));
+    let cfg = tiny_config(Engine::Scalar, Precision::F32, OptPath::Sparse);
+
+    let mut reference = fresh_trainer(cfg, 1).with_occupancy_grid(8, 0.02, 2);
+    let straight_report = reference.train(&ds, 2 * N);
+    let straight_losses: Vec<u64> = straight_report.losses[N..]
+        .iter()
+        .map(|l| l.to_bits())
+        .collect();
+    let straight_master = bits(reference.model().grid().parameter_store().master());
+
+    let mut io = MemIo::default();
+    {
+        let mut first = fresh_trainer(cfg, 1).with_occupancy_grid(8, 0.02, 2);
+        first.train(&ds, N);
+        first.save_checkpoint_to(&mut io, 2).unwrap();
+    }
+    let mut restored = Trainer::resume_from_io(&io, cfg).unwrap();
+    let resumed_report = restored.train(&ds, N);
+    let resumed_losses: Vec<u64> = resumed_report.losses.iter().map(|l| l.to_bits()).collect();
+
+    assert_eq!(resumed_losses, straight_losses);
+    assert_eq!(
+        bits(restored.model().grid().parameter_store().master()),
+        straight_master
+    );
+}
+
+#[test]
+fn resume_with_mismatched_config_is_a_typed_error() {
+    let ds = DatasetConfig::tiny().generate(&zoo::scene(zoo::SceneKind::Mic));
+    let cfg = tiny_config(Engine::Scalar, Precision::F32, OptPath::Sparse);
+    let mut io = MemIo::default();
+    let mut trainer = fresh_trainer(cfg, 1);
+    trainer.train(&ds, 2);
+    trainer.save_checkpoint_to(&mut io, 2).unwrap();
+
+    for wrong in [
+        cfg.with_engine(Engine::Batched),
+        cfg.with_precision(Precision::Fp16),
+        cfg.with_opt(OptPath::Dense),
+    ] {
+        match Trainer::resume_from_io(&io, wrong) {
+            Err(SnapshotError::ConfigMismatch(msg)) => {
+                assert!(msg.contains("resume requested"), "unhelpful message: {msg}");
+            }
+            other => panic!("expected ConfigMismatch, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn resume_from_empty_store_is_no_snapshot() {
+    let cfg = tiny_config(Engine::Scalar, Precision::F32, OptPath::Sparse);
+    let io = MemIo::default();
+    assert!(matches!(
+        Trainer::<IngpModel>::resume_from_io(&io, cfg),
+        Err(SnapshotError::NoSnapshot)
+    ));
+}
+
+#[test]
+fn checkpoints_rotate_and_latest_wins() {
+    let ds = DatasetConfig::tiny().generate(&zoo::scene(zoo::SceneKind::Mic));
+    let cfg = tiny_config(Engine::Scalar, Precision::F32, OptPath::Sparse);
+    let mut io = MemIo::default();
+    let mut trainer = fresh_trainer(cfg, 1);
+    for _ in 0..3 {
+        trainer.train(&ds, 2);
+        trainer.save_checkpoint_to(&mut io, 2).unwrap();
+    }
+    // keep_last = 2 → exactly two snapshot files, newest named step 6.
+    let steps = inerf_snapshot::list_snapshots(&io).unwrap();
+    assert_eq!(steps.len(), 2);
+    let restored = Trainer::resume_from_io(&io, cfg).unwrap();
+    assert_eq!(restored.global_step(), 6);
+}

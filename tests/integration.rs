@@ -107,3 +107,51 @@ fn streaming_order_only_affects_hardware_not_math() {
     let b = mk(StreamingOrder::Random);
     assert!((a - b).abs() < 3.0, "orders diverged: {a:.2} vs {b:.2} dB");
 }
+
+#[test]
+fn warmstart_experiment_reproduces_shape() {
+    let r = instant_nerf::experiments::warmstart::run();
+    assert_eq!(r.scene, "Mic");
+    assert!(r.pretrain_iterations > 0 && r.finetune_iterations > 0);
+    assert!(r.resumed_psnr.is_finite() && r.warm_psnr.is_finite() && r.cold_psnr.is_finite());
+    // Fine-tuning a pretrained model must not be worse than not
+    // fine-tuning it at all on the drifted scene.
+    assert!(r.warm_psnr >= r.resumed_psnr - 1.0);
+    if let Some(n) = r.cold_iterations_to_match {
+        assert!(n >= r.finetune_iterations && n <= r.cold_search_cap);
+    }
+    let rendered = instant_nerf::experiments::warmstart::render(&r);
+    assert!(rendered.contains("PSNR"));
+}
+
+#[test]
+fn checkpointed_training_resumes_to_identical_psnr_bits() {
+    // End-to-end through the on-disk path: train with periodic
+    // checkpoints, then resume from the directory and verify the
+    // continued run reproduces the straight run's PSNR bit for bit.
+    let scene = instant_nerf::scenes::zoo::scene(SceneKind::Mic);
+    let dataset = DatasetConfig::tiny().generate(&scene);
+    let cfg = TrainConfig::tiny();
+    let dir = std::env::temp_dir().join(format!("inerf-ckpt-{}", std::process::id()));
+
+    let mut straight = Trainer::new(IngpModel::for_config(ModelConfig::tiny(), &cfg, 9), cfg, 4);
+    straight.train(&dataset, 12);
+    let want = straight.eval_psnr(&dataset);
+
+    let mut ckpt = Trainer::new(IngpModel::for_config(ModelConfig::tiny(), &cfg, 9), cfg, 4)
+        .checkpoint_every_n(&dir, 4, 2);
+    ckpt.train_checkpointed(&dataset, 8)
+        .expect("checkpointed training failed");
+    drop(ckpt);
+
+    let mut resumed = Trainer::resume_from(&dir, cfg).expect("resume failed");
+    assert_eq!(resumed.global_step(), 8);
+    resumed.train(&dataset, 4);
+    let got = resumed.eval_psnr(&dataset);
+    std::fs::remove_dir_all(&dir).ok();
+    assert_eq!(
+        got.to_bits(),
+        want.to_bits(),
+        "resumed PSNR {got} != straight {want}"
+    );
+}
