@@ -42,7 +42,7 @@ fn seeded_tree_exits_one_and_lists_findings() {
     assert_eq!(code(&out), 1);
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("crates/dram/src/order.rs:3: [hash-order]"));
-    assert!(text.contains("20 unwaived finding(s), 7 waived, 11 file(s) scanned"));
+    assert!(text.contains("21 unwaived finding(s), 8 waived, 12 file(s) scanned"));
     // Waived findings are only listed under --verbose.
     assert!(!text.contains("waived: fixture:"));
 }
@@ -67,8 +67,8 @@ fn json_format_reports_summary_and_waivers() {
     assert_eq!(code(&out), 1);
     let json = String::from_utf8_lossy(&out.stdout);
     assert!(json.contains(
-        "\"summary\": {\"files_scanned\": 11, \"findings\": 27, \"waived\": 7, \
-\"unwaived\": 20, \"unsafe_sites\": 2}"
+        "\"summary\": {\"files_scanned\": 12, \"findings\": 29, \"waived\": 8, \
+\"unwaived\": 21, \"unsafe_sites\": 2}"
     ));
     assert!(json.contains("\"rule\": \"unsafe-audit\""));
     assert!(json.contains("\"waived\": \"fixture: caller guarantees Some\""));

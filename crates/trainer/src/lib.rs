@@ -15,6 +15,10 @@
 //!   reference and the batched structure-of-arrays engine (the default).
 //! * [`engine`] — thread-pool plumbing for the batched engine
 //!   (`INERF_THREADS`, fixed-chunk determinism helpers).
+//! * [`render`] — the no-gradient render engine: occupancy-culled,
+//!   early-terminating, allocation-free view rendering behind
+//!   [`render::RenderOpts`], bitwise-exact to the reference path when the
+//!   switches are off.
 //! * [`streaming`] — ray-first vs random point streaming orders (the
 //!   paper's Sec. III-B) and trace generation for the hardware simulators.
 //! * [`workload`] — the Tab. II workload model (parameter/data sizes of the
@@ -46,12 +50,14 @@ pub mod baselines;
 pub mod engine;
 pub mod model;
 pub mod occupancy;
+pub mod render;
 pub mod streaming;
 pub mod train;
 pub mod workload;
 
-pub use model::{IngpModel, ModelConfig, OptPath, TrainableField};
+pub use model::{EvalScratch, IngpModel, ModelConfig, OptPath, TrainableField};
 pub use occupancy::OccupancyGrid;
+pub use render::{RenderEngine, RenderOpts, RenderStats};
 pub use streaming::StreamingOrder;
 pub use train::{Engine, TrainConfig, TrainReport, Trainer};
 

@@ -177,6 +177,43 @@ pub trait TrainableField {
         unimplemented!("query_batch_density returned false; the compacted backward is unsupported");
     }
 
+    /// Density phase of the phased *evaluation* query — the render
+    /// engine's no-gradient analogue of
+    /// [`TrainableField::query_batch_density`]. When a model supports
+    /// phased evaluation it fills `sigmas`, keeps whatever the color phase
+    /// needs in the caller-owned `scratch`, and returns `true`; the render
+    /// engine then scans ray transmittance and pays the color MLP only for
+    /// samples that still matter. The default returns `false`, keeping
+    /// per-point models (the Tab. IV baselines) on the dense
+    /// [`TrainableField::query_eval_batch`] path.
+    fn query_eval_batch_density(
+        &self,
+        _points: &[Vec3],
+        _sigmas: &mut [f32],
+        _scratch: &mut EvalScratch,
+        _pool: &ThreadPool,
+    ) -> bool {
+        false
+    }
+
+    /// Color phase of the phased evaluation query: computes `rgbs[i]` for
+    /// the samples listed (ascending, global indices) in `live` and
+    /// `Vec3::ZERO` for the rest. Only called after
+    /// [`TrainableField::query_eval_batch_density`] returned `true` with
+    /// the same `scratch`.
+    fn query_eval_batch_color_compacted(
+        &self,
+        _dirs: &[Vec3],
+        _live: &[u32],
+        _rgbs: &mut [Vec3],
+        _scratch: &mut EvalScratch,
+        _pool: &ThreadPool,
+    ) {
+        unimplemented!(
+            "query_eval_batch_density returned false; the phased evaluation query is unsupported"
+        );
+    }
+
     /// Streams the memory-access events this model would generate for a
     /// batch of sample points into the trace bus — the algorithm→hardware
     /// boundary the co-simulation path hooks into. One `push_cube` per
@@ -606,6 +643,42 @@ impl ChunkScratch {
 struct BatchCache {
     len: usize,
     chunks: Vec<ChunkScratch>,
+}
+
+/// Caller-owned scratch for the phased *evaluation* query
+/// ([`TrainableField::query_eval_batch_density`] /
+/// [`TrainableField::query_eval_batch_color_compacted`]). Opaque outside
+/// this module: the render engine holds one per engine and hands it back on
+/// every call, so steady-state rendering reuses the per-chunk buffers
+/// instead of allocating fresh scratch per block (which is what the plain
+/// `&self` [`TrainableField::query_eval_batch`] has to do).
+#[derive(Debug, Clone, Default)]
+pub struct EvalScratch {
+    /// Sample count of the density phase, rechecked by the color phase.
+    len: usize,
+    chunks: Vec<ChunkScratch>,
+}
+
+impl EvalScratch {
+    /// Sum of the directly-owned buffer capacities, for the render arena's
+    /// growth-event accounting. Nested kernel scratch (MLP activations,
+    /// lookup caches, GEMM ping-pong buffers) is excluded — those types do
+    /// not expose capacities — but all of it is `resize`-managed and never
+    /// shrunk, so this sum still only stays flat when the scratch as a
+    /// whole reached steady state.
+    pub(crate) fn capacity_sum(&self) -> usize {
+        self.chunks.capacity()
+            + self
+                .chunks
+                .iter()
+                .map(|c| {
+                    c.feats.capacity()
+                        + c.color_in.capacity()
+                        + c.sigmas.capacity()
+                        + c.live.capacity()
+                })
+                .sum::<usize>()
+    }
 }
 
 /// The iNGP / Instant-NeRF model: multi-resolution hash grid → density MLP →
@@ -1231,6 +1304,86 @@ impl TrainableField for IngpModel {
                         false,
                     );
                 });
+            }
+        });
+    }
+
+    /// Density phase of the phased evaluation query: fused encode →
+    /// density MLP per fixed chunk into caller-owned scratch, leaving each
+    /// chunk's activations cached for the color phase. Always supported.
+    fn query_eval_batch_density(
+        &self,
+        points: &[Vec3],
+        sigmas: &mut [f32],
+        scratch: &mut EvalScratch,
+        pool: &ThreadPool,
+    ) -> bool {
+        let n = points.len();
+        assert_eq!(n, sigmas.len(), "sigma buffer mismatch");
+        scratch.len = n;
+        let n_chunks = n.div_ceil(POINT_CHUNK);
+        // Monotone growth: a block with fewer chunks than its predecessor
+        // must not drop (and re-allocate next block) the surplus scratch.
+        if scratch.chunks.len() < n_chunks {
+            scratch.chunks.resize_with(n_chunks, ChunkScratch::default);
+        }
+        let grid = &self.grid;
+        let density_mlp = &self.density_mlp;
+        let mut sigma_rest: &mut [f32] = sigmas;
+        pool.scope(|s| {
+            for (ci, chunk) in scratch.chunks[..n_chunks].iter_mut().enumerate() {
+                let lo = ci * POINT_CHUNK;
+                let hi = (lo + POINT_CHUNK).min(n);
+                let (sigma_c, rest) = std::mem::take(&mut sigma_rest).split_at_mut(hi - lo);
+                sigma_rest = rest;
+                let pts = &points[lo..hi];
+                // `&self` eval: callers sync beforehand, so the encode
+                // computes its own corner cache (prefilled = false).
+                s.spawn(move |_| chunk.forward_density(grid, density_mlp, pts, sigma_c, false));
+            }
+        });
+        true
+    }
+
+    /// Color phase of the phased evaluation query over the live samples
+    /// only — the `&self` analogue of
+    /// [`TrainableField::query_batch_color_compacted`], with the same
+    /// fixed-chunk (thread-count-independent) decomposition of `live`.
+    fn query_eval_batch_color_compacted(
+        &self,
+        dirs: &[Vec3],
+        live: &[u32],
+        rgbs: &mut [Vec3],
+        scratch: &mut EvalScratch,
+        pool: &ThreadPool,
+    ) {
+        let n = scratch.len;
+        assert_eq!(n, dirs.len(), "dirs length mismatch");
+        assert_eq!(n, rgbs.len(), "rgb buffer mismatch");
+        let n_chunks = n.div_ceil(POINT_CHUNK);
+        // Split the global live list into chunk-local index lists.
+        let mut cursor = 0usize;
+        for (ci, chunk) in scratch.chunks[..n_chunks].iter_mut().enumerate() {
+            let lo = ci * POINT_CHUNK;
+            let hi = (lo + POINT_CHUNK).min(n);
+            chunk.live.clear();
+            while cursor < live.len() && (live[cursor] as usize) < hi {
+                chunk.live.push(live[cursor] - lo as u32);
+                cursor += 1;
+            }
+        }
+        assert_eq!(cursor, live.len(), "live indices out of range");
+        let dout = self.density_mlp.out_dim();
+        let color_mlp = &self.color_mlp;
+        let mut rgb_rest: &mut [Vec3] = rgbs;
+        pool.scope(|s| {
+            for (ci, chunk) in scratch.chunks[..n_chunks].iter_mut().enumerate() {
+                let lo = ci * POINT_CHUNK;
+                let hi = (lo + POINT_CHUNK).min(n);
+                let (rgb_c, rest) = std::mem::take(&mut rgb_rest).split_at_mut(hi - lo);
+                rgb_rest = rest;
+                let drs = &dirs[lo..hi];
+                s.spawn(move |_| chunk.forward_color_compacted(color_mlp, dout, drs, rgb_c));
             }
         });
     }

@@ -5,6 +5,7 @@ pub mod checkpoint;
 use crate::engine;
 use crate::model::{OptPath, TrainableField};
 use crate::occupancy::OccupancyGrid;
+use crate::render::{RenderEngine, RenderOpts};
 use crate::streaming::StreamingOrder;
 use inerf_encoding::TraceSink;
 use inerf_geom::{Aabb, Camera, Ray, Vec3};
@@ -14,12 +15,17 @@ use inerf_render::volume::{
     composite_spans, composite_uniform, RayBatch, RaySpan, SamplePoint,
 };
 use inerf_render::{l2_loss, l2_loss_into};
-use inerf_scenes::{psnr_from_mse, Dataset, Image};
+use inerf_scenes::{Dataset, Image};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use rayon::ThreadPool;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
+
+// Rendering and PSNR evaluation moved to the dedicated render engine in
+// PR 10; re-exported here so existing `train::render_view`-style paths
+// keep working.
+pub use crate::render::{eval_psnr, eval_psnr_with_pool, render_view, render_view_with_pool};
 
 /// Which implementation drives the training/inference hot path.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -179,6 +185,8 @@ pub struct Trainer<M> {
     checkpoint: Option<CheckpointPolicy>,
     pool: Arc<ThreadPool>,
     arena: engine::BatchArena,
+    /// The no-gradient render engine (pure scratch — never checkpointed).
+    render: RenderEngine,
 }
 
 impl<M: TrainableField> Trainer<M> {
@@ -205,6 +213,7 @@ impl<M: TrainableField> Trainer<M> {
             checkpoint: None,
             pool: engine::default_pool(),
             arena: engine::BatchArena::default(),
+            render: RenderEngine::default(),
         }
     }
 
@@ -679,175 +688,63 @@ impl<M: TrainableField> Trainer<M> {
         }
     }
 
-    /// Renders an image from the trained model (no gradient tracking).
+    /// Renders an image from the trained model (no gradient tracking)
+    /// through the inference fast path — occupancy culling against this
+    /// trainer's own grid (when enabled) plus early ray termination
+    /// ([`RenderOpts::default`]); use [`Trainer::render_view_opts`] with
+    /// [`RenderOpts::reference`] for the pinned bitwise-exact semantics.
     /// Flushes lazily deferred optimizer updates first, so the render sees
     /// exactly the parameters a dense-optimizer run would hold.
     pub fn render_view(&mut self, camera: &Camera, bounds: &Aabb) -> Image {
+        self.render_view_opts(camera, bounds, &RenderOpts::default())
+    }
+
+    /// [`Trainer::render_view`] with explicit fast-path switches.
+    pub fn render_view_opts(&mut self, camera: &Camera, bounds: &Aabb, opts: &RenderOpts) -> Image {
         self.model.sync_parameters();
-        render_view_with_pool(
+        self.render.render_view(
             &self.model,
             camera,
             bounds,
             self.config.eval_samples_per_ray,
+            self.occupancy.as_ref().map(|o| &o.grid),
+            opts,
             &self.pool,
         )
     }
 
-    /// Mean PSNR over the dataset's held-out test views. Flushes lazily
-    /// deferred optimizer updates first (see [`Trainer::render_view`]).
+    /// Mean PSNR over the dataset's held-out test views, rendered through
+    /// the inference fast path (see [`Trainer::render_view`]). Flushes
+    /// lazily deferred optimizer updates first.
     pub fn eval_psnr(&mut self, dataset: &Dataset) -> f64 {
+        self.eval_psnr_opts(dataset, &RenderOpts::default())
+    }
+
+    /// [`Trainer::eval_psnr`] with explicit fast-path switches.
+    pub fn eval_psnr_opts(&mut self, dataset: &Dataset, opts: &RenderOpts) -> f64 {
         self.model.sync_parameters();
-        eval_psnr_with_pool(
+        self.render.eval_psnr(
             &self.model,
             dataset,
             self.config.eval_samples_per_ray,
+            self.occupancy.as_ref().map(|o| &o.grid),
+            opts,
             &self.pool,
         )
     }
-}
 
-/// Renders `camera`'s image from any trained field on the default pool.
-///
-/// Takes the model read-only: callers holding a model with lazily deferred
-/// optimizer updates must flush them first
-/// ([`TrainableField::sync_parameters`]); models from
-/// [`Trainer::into_model`] are already synced.
-pub fn render_view<M: TrainableField>(
-    model: &M,
-    camera: &Camera,
-    bounds: &Aabb,
-    samples_per_ray: usize,
-) -> Image {
-    render_view_with_pool(
-        model,
-        camera,
-        bounds,
-        samples_per_ray,
-        &engine::default_pool(),
-    )
-}
-
-/// Pixels per render block: bounds the SoA buffers of
-/// [`render_view_with_pool`] to block-sized batches (a whole-frame batch
-/// would be `width × height × samples_per_ray` samples — gigabytes for a
-/// production-size view) while keeping each block large enough to fill the
-/// model's point chunks.
-const RENDER_PIXEL_BLOCK: usize = 2048;
-
-/// [`render_view`] on an explicit thread pool: gathers sample points into
-/// SoA batches of `RENDER_PIXEL_BLOCK` pixels, queries the model once per
-/// block (chunk-parallel for [`crate::model::IngpModel`]), then composites
-/// the block's rays. Block boundaries are fixed, so results do not depend
-/// on the pool size.
-pub fn render_view_with_pool<M: TrainableField>(
-    model: &M,
-    camera: &Camera,
-    bounds: &Aabb,
-    samples_per_ray: usize,
-    pool: &ThreadPool,
-) -> Image {
-    let mut img = Image::new(camera.width, camera.height);
-    let mut points = Vec::new();
-    let mut dirs = Vec::new();
-    let mut spans = Vec::new();
-    let mut pixels = Vec::new();
-    for py in 0..camera.height {
-        for px in 0..camera.width {
-            let ray = camera.ray_for_pixel(px, py);
-            let Some(hit) = bounds.intersect(&ray) else {
-                continue;
-            };
-            if hit.t_far - hit.t_near < 1e-5 {
-                continue;
-            }
-            let ts = ray.stratified_ts(hit.t_near.max(1e-4), hit.t_far, samples_per_ray, None);
-            let dt = (hit.t_far - hit.t_near.max(1e-4)) / samples_per_ray as f32;
-            let start = points.len();
-            for &t in &ts {
-                points.push(bounds.normalize(ray.at(t)));
-                dirs.push(ray.direction);
-            }
-            spans.push(RaySpan {
-                start,
-                len: ts.len(),
-                dt,
-            });
-            pixels.push((px, py));
-            if pixels.len() == RENDER_PIXEL_BLOCK {
-                render_pixel_block(model, pool, &mut img, &points, &dirs, &spans, &pixels);
-                points.clear();
-                dirs.clear();
-                spans.clear();
-                pixels.clear();
-            }
-        }
+    /// Work and stage-time accounting of the most recent render (or of
+    /// the last view of the most recent [`Trainer::eval_psnr`]).
+    pub fn render_stats(&self) -> &crate::render::RenderStats {
+        self.render.last_stats()
     }
-    render_pixel_block(model, pool, &mut img, &points, &dirs, &spans, &pixels);
-    img
-}
 
-/// Queries, composites, and writes one block of gathered pixels (span
-/// starts are block-relative).
-fn render_pixel_block<M: TrainableField>(
-    model: &M,
-    pool: &ThreadPool,
-    img: &mut Image,
-    points: &[Vec3],
-    dirs: &[Vec3],
-    spans: &[RaySpan],
-    pixels: &[(u32, u32)],
-) {
-    if spans.is_empty() {
-        return;
+    /// Render blocks (since construction) that grew some pooled render
+    /// buffer's capacity — the render-side analogue of
+    /// [`Trainer::arena_growth_events`].
+    pub fn render_growth_events(&self) -> u64 {
+        self.render.growth_events()
     }
-    let n = points.len();
-    let mut sigmas = vec![0.0f32; n];
-    let mut rgbs = vec![Vec3::ZERO; n];
-    model.query_eval_batch(points, dirs, &mut sigmas, &mut rgbs, pool);
-    let mut ray_colors = vec![Vec3::ZERO; spans.len()];
-    let mut backgrounds = vec![0.0f32; spans.len()];
-    let mut weights = vec![0.0f32; n];
-    let mut trans_after = vec![0.0f32; n];
-    composite_spans(
-        &RayBatch {
-            sigmas: &sigmas,
-            colors: &rgbs,
-            spans,
-            dts: None,
-            sample_base: 0,
-        },
-        &mut ray_colors,
-        &mut backgrounds,
-        &mut weights,
-        &mut trans_after,
-    );
-    for (&(px, py), &color) in pixels.iter().zip(&ray_colors) {
-        img.set(px, py, color);
-    }
-}
-
-/// Mean PSNR of a model over a dataset's held-out test views, on the
-/// default pool. Read-only over the model — see [`render_view`] for the
-/// sync requirement on lazily-optimized models.
-pub fn eval_psnr<M: TrainableField>(model: &M, dataset: &Dataset, samples_per_ray: usize) -> f64 {
-    eval_psnr_with_pool(model, dataset, samples_per_ray, &engine::default_pool())
-}
-
-/// [`eval_psnr`] on an explicit thread pool.
-pub fn eval_psnr_with_pool<M: TrainableField>(
-    model: &M,
-    dataset: &Dataset,
-    samples_per_ray: usize,
-    pool: &ThreadPool,
-) -> f64 {
-    assert!(!dataset.test_views.is_empty(), "dataset has no test views");
-    let mut total_mse = 0.0f64;
-    for view in &dataset.test_views {
-        let rendered =
-            render_view_with_pool(model, &view.camera, &dataset.bounds, samples_per_ray, pool);
-        total_mse += inerf_scenes::mse(&rendered, &view.image);
-    }
-    psnr_from_mse(total_mse / dataset.test_views.len() as f64)
 }
 
 #[cfg(test)]
